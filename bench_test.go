@@ -1,0 +1,264 @@
+// Benchmarks regenerating every figure of the paper's evaluation (§6) and
+// the §5 cost-model validation. One benchmark function per figure panel;
+// sub-benchmarks carry the sweep point and the algorithm.
+//
+// Metrics: ns/op is the running-time reading of the panel (Figures 12/14/
+// 15b); the custom objacc/op metric is the object-access reading (Figures
+// 11/13/15a — the paper's primary cost measure). Workloads default to
+// bench-friendly sizes with the paper's object density; run
+// cmd/fuzzybench -scale paper for Table 2 scale. See EXPERIMENTS.md for the
+// paper-vs-measured comparison.
+package fuzzyknn
+
+import (
+	"fmt"
+	"testing"
+
+	"fuzzyknn/internal/bench"
+	"fuzzyknn/internal/dataset"
+	"fuzzyknn/internal/query"
+)
+
+const benchScale = bench.ScaleSmall
+
+func benchWorkload(kind dataset.Kind, n int) bench.Workload {
+	defN, pts, queries := benchScale.Defaults()
+	if n == 0 {
+		n = defN
+	}
+	return bench.Workload{
+		Kind: kind, N: n, Pts: pts,
+		Space: benchScale.Space(), Seed: 1, Queries: queries,
+	}
+}
+
+func setupEnv(b *testing.B, w bench.Workload) *bench.Env {
+	b.Helper()
+	e, err := bench.Setup(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// runAKNN measures one AKNN configuration: each op is one full query,
+// cycling through the workload's query objects.
+func runAKNN(b *testing.B, e *bench.Env, k int, alpha float64, algo query.AKNNAlgorithm) {
+	b.Helper()
+	var accesses, nodes int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := e.QueryObj[i%len(e.QueryObj)]
+		_, st, err := e.Index.AKNN(q, k, alpha, algo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		accesses += int64(st.ObjectAccesses)
+		nodes += int64(st.NodeAccesses)
+	}
+	b.ReportMetric(float64(accesses)/float64(b.N), "objacc/op")
+	b.ReportMetric(float64(nodes)/float64(b.N), "nodeacc/op")
+}
+
+// runRKNN measures one RKNN configuration.
+func runRKNN(b *testing.B, e *bench.Env, k int, as, ae float64, algo query.RKNNAlgorithm) {
+	b.Helper()
+	var accesses, pieces int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := e.QueryObj[i%len(e.QueryObj)]
+		_, st, err := e.Index.RKNN(q, k, as, ae, algo)
+		if err != nil {
+			b.Fatal(err)
+		}
+		accesses += int64(st.ObjectAccesses)
+		pieces += int64(st.Pieces)
+	}
+	b.ReportMetric(float64(accesses)/float64(b.N), "objacc/op")
+	b.ReportMetric(float64(pieces)/float64(b.N), "pieces/op")
+}
+
+// --- Figure 11: object access of AKNN search (11a: N, 11b: k, 11c: α). ---
+
+func BenchmarkFig11a_AKNNAccessVaryN(b *testing.B) {
+	for _, n := range benchScale.NSweep() {
+		for _, algo := range bench.AKNNAlgos() {
+			b.Run(fmt.Sprintf("N=%d/algo=%s", n, algo), func(b *testing.B) {
+				e := setupEnv(b, benchWorkload(dataset.Synthetic, n))
+				runAKNN(b, e, bench.DefaultK, bench.DefaultAlpha, algo)
+			})
+		}
+	}
+}
+
+func BenchmarkFig11b_AKNNAccessVaryK(b *testing.B) {
+	for _, k := range benchScale.KSweep() {
+		for _, algo := range bench.AKNNAlgos() {
+			b.Run(fmt.Sprintf("k=%d/algo=%s", k, algo), func(b *testing.B) {
+				e := setupEnv(b, benchWorkload(dataset.Synthetic, 0))
+				runAKNN(b, e, k, bench.DefaultAlpha, algo)
+			})
+		}
+	}
+}
+
+func BenchmarkFig11c_AKNNAccessVaryAlpha(b *testing.B) {
+	for _, alpha := range benchScale.AlphaSweep() {
+		for _, algo := range bench.AKNNAlgos() {
+			b.Run(fmt.Sprintf("alpha=%.1f/algo=%s", alpha, algo), func(b *testing.B) {
+				e := setupEnv(b, benchWorkload(dataset.Synthetic, 0))
+				runAKNN(b, e, bench.DefaultK, alpha, algo)
+			})
+		}
+	}
+}
+
+// --- Figure 12: running time of AKNN search (ns/op is the reading). ---
+
+func BenchmarkFig12a_AKNNTimeVaryN(b *testing.B) {
+	for _, n := range benchScale.NSweep() {
+		for _, algo := range bench.AKNNAlgos() {
+			b.Run(fmt.Sprintf("N=%d/algo=%s", n, algo), func(b *testing.B) {
+				e := setupEnv(b, benchWorkload(dataset.Synthetic, n))
+				runAKNN(b, e, bench.DefaultK, bench.DefaultAlpha, algo)
+			})
+		}
+	}
+}
+
+func BenchmarkFig12b_AKNNTimeVaryK(b *testing.B) {
+	for _, k := range benchScale.KSweep() {
+		for _, algo := range bench.AKNNAlgos() {
+			b.Run(fmt.Sprintf("k=%d/algo=%s", k, algo), func(b *testing.B) {
+				e := setupEnv(b, benchWorkload(dataset.Synthetic, 0))
+				runAKNN(b, e, k, bench.DefaultAlpha, algo)
+			})
+		}
+	}
+}
+
+func BenchmarkFig12c_AKNNTimeVaryAlpha(b *testing.B) {
+	for _, alpha := range benchScale.AlphaSweep() {
+		for _, algo := range bench.AKNNAlgos() {
+			b.Run(fmt.Sprintf("alpha=%.1f/algo=%s", alpha, algo), func(b *testing.B) {
+				e := setupEnv(b, benchWorkload(dataset.Synthetic, 0))
+				runAKNN(b, e, bench.DefaultK, alpha, algo)
+			})
+		}
+	}
+}
+
+// --- Figure 13: object access of RKNN search (13a: N, 13b: k, 13c: L). ---
+
+func BenchmarkFig13a_RKNNAccessVaryN(b *testing.B) {
+	as, ae := bench.RangeForL(bench.DefaultL)
+	for _, n := range benchScale.NSweep() {
+		for _, algo := range bench.RKNNAlgos() {
+			b.Run(fmt.Sprintf("N=%d/algo=%s", n, algo), func(b *testing.B) {
+				e := setupEnv(b, benchWorkload(dataset.Synthetic, n))
+				runRKNN(b, e, bench.DefaultK, as, ae, algo)
+			})
+		}
+	}
+}
+
+func BenchmarkFig13b_RKNNAccessVaryK(b *testing.B) {
+	as, ae := bench.RangeForL(bench.DefaultL)
+	for _, k := range benchScale.KSweep() {
+		for _, algo := range bench.RKNNAlgos() {
+			b.Run(fmt.Sprintf("k=%d/algo=%s", k, algo), func(b *testing.B) {
+				e := setupEnv(b, benchWorkload(dataset.Synthetic, 0))
+				runRKNN(b, e, k, as, ae, algo)
+			})
+		}
+	}
+}
+
+func BenchmarkFig13c_RKNNAccessVaryL(b *testing.B) {
+	for _, l := range benchScale.LSweep() {
+		as, ae := bench.RangeForL(l)
+		for _, algo := range bench.RKNNAlgos() {
+			b.Run(fmt.Sprintf("L=%.2f/algo=%s", l, algo), func(b *testing.B) {
+				e := setupEnv(b, benchWorkload(dataset.Synthetic, 0))
+				runRKNN(b, e, bench.DefaultK, as, ae, algo)
+			})
+		}
+	}
+}
+
+// --- Figure 14: running time of RKNN search (ns/op is the reading). ---
+
+func BenchmarkFig14a_RKNNTimeVaryN(b *testing.B) {
+	as, ae := bench.RangeForL(bench.DefaultL)
+	for _, n := range benchScale.NSweep() {
+		for _, algo := range bench.RKNNAlgos() {
+			b.Run(fmt.Sprintf("N=%d/algo=%s", n, algo), func(b *testing.B) {
+				e := setupEnv(b, benchWorkload(dataset.Synthetic, n))
+				runRKNN(b, e, bench.DefaultK, as, ae, algo)
+			})
+		}
+	}
+}
+
+func BenchmarkFig14b_RKNNTimeVaryK(b *testing.B) {
+	as, ae := bench.RangeForL(bench.DefaultL)
+	for _, k := range benchScale.KSweep() {
+		for _, algo := range bench.RKNNAlgos() {
+			b.Run(fmt.Sprintf("k=%d/algo=%s", k, algo), func(b *testing.B) {
+				e := setupEnv(b, benchWorkload(dataset.Synthetic, 0))
+				runRKNN(b, e, k, as, ae, algo)
+			})
+		}
+	}
+}
+
+func BenchmarkFig14c_RKNNTimeVaryL(b *testing.B) {
+	for _, l := range benchScale.LSweep() {
+		as, ae := bench.RangeForL(l)
+		for _, algo := range bench.RKNNAlgos() {
+			b.Run(fmt.Sprintf("L=%.2f/algo=%s", l, algo), func(b *testing.B) {
+				e := setupEnv(b, benchWorkload(dataset.Synthetic, 0))
+				runRKNN(b, e, bench.DefaultK, as, ae, algo)
+			})
+		}
+	}
+}
+
+// --- Figure 15: effect of dataset (synthetic vs simulated cells). ---
+
+func BenchmarkFig15a_AKNNDatasetAccess(b *testing.B) {
+	for _, kind := range []dataset.Kind{dataset.Synthetic, dataset.Cells} {
+		for _, algo := range bench.AKNNAlgos() {
+			b.Run(fmt.Sprintf("dataset=%s/algo=%s", kind, algo), func(b *testing.B) {
+				e := setupEnv(b, benchWorkload(kind, 0))
+				runAKNN(b, e, bench.DefaultK, bench.DefaultAlpha, algo)
+			})
+		}
+	}
+}
+
+func BenchmarkFig15b_AKNNDatasetTime(b *testing.B) {
+	for _, kind := range []dataset.Kind{dataset.Synthetic, dataset.Cells} {
+		for _, algo := range bench.AKNNAlgos() {
+			b.Run(fmt.Sprintf("dataset=%s/algo=%s", kind, algo), func(b *testing.B) {
+				e := setupEnv(b, benchWorkload(kind, 0))
+				runAKNN(b, e, bench.DefaultK, bench.DefaultAlpha, algo)
+			})
+		}
+	}
+}
+
+// --- §5: cost-model validation on ideal fuzzy objects. The objacc/op
+// metric is the measurement; predicted/op carries equation 8's prediction
+// for side-by-side reading in the bench output. ---
+
+func BenchmarkSec5_CostModelValidation(b *testing.B) {
+	for _, alpha := range benchScale.AlphaSweep() {
+		b.Run(fmt.Sprintf("alpha=%.1f", alpha), func(b *testing.B) {
+			e := setupEnv(b, benchWorkload(dataset.Ideal, 0))
+			model := bench.CostModel(e, bench.DefaultK)
+			runAKNN(b, e, bench.DefaultK, alpha, query.Basic)
+			b.ReportMetric(model.ObjectAccesses(alpha), "predicted/op")
+		})
+	}
+}

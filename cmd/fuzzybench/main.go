@@ -1,0 +1,77 @@
+// Command fuzzybench regenerates the paper's evaluation figures as text
+// tables. Each experiment id names one figure panel (fig11a … fig15b) or
+// the §5 cost-model validation (sec5).
+//
+// Examples:
+//
+//	fuzzybench -list
+//	fuzzybench -experiment fig11a
+//	fuzzybench -experiment all -scale paper   # Table 2 scale; slow
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fuzzyknn/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment id (figNNx, sec5) or 'all'")
+		scaleName  = flag.String("scale", "small", "workload scale: small | paper")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var scale bench.Scale
+	switch *scaleName {
+	case "small":
+		scale = bench.ScaleSmall
+	case "paper":
+		scale = bench.ScalePaper
+		fmt.Fprintln(os.Stderr, "fuzzybench: paper scale selected; dataset generation and index builds will take a while")
+	default:
+		fatal(fmt.Errorf("unknown scale %q", *scaleName))
+	}
+
+	var exps []bench.Experiment
+	if *experiment == "all" {
+		exps = bench.Experiments()
+	} else {
+		e, err := bench.Lookup(*experiment)
+		if err != nil {
+			fatal(err)
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	for i, e := range exps {
+		if i > 0 {
+			fmt.Println()
+		}
+		started := time.Now()
+		tbl, err := e.Run(scale)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+		if err := bench.WriteTable(os.Stdout, tbl); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("(completed in %v)\n", time.Since(started).Round(time.Millisecond))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fuzzybench:", err)
+	os.Exit(1)
+}

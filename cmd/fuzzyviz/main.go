@@ -1,0 +1,121 @@
+// Command fuzzyviz renders a store file — and optionally an AKNN query over
+// it — as an SVG image. Point opacity encodes membership, so fuzzy cores
+// and fringes are directly visible (compare the paper's Figure 1).
+//
+// Examples:
+//
+//	fuzzyviz -store objects.fzs -out map.svg
+//	fuzzyviz -store objects.fzs -out knn.svg -k 10 -alpha 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fuzzyknn/internal/dataset"
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/geom"
+	"fuzzyknn/internal/query"
+	"fuzzyknn/internal/store"
+	"fuzzyknn/internal/viz"
+)
+
+func main() {
+	var (
+		storePath = flag.String("store", "objects.fzs", "store file to render")
+		out       = flag.String("out", "fuzzy.svg", "output SVG file")
+		pixels    = flag.Int("pixels", 900, "image size of the longer side")
+		k         = flag.Int("k", 0, "run an AKNN query and highlight the k results (0 = no query)")
+		alpha     = flag.Float64("alpha", 0.5, "probability threshold for the query")
+		querySeed = flag.Uint64("query-seed", 7, "seed for the generated query object")
+		space     = flag.Float64("space", 100, "data space edge for the generated query")
+		points    = flag.Int("points", 256, "points in the generated query object")
+		maxDraw   = flag.Int("max-objects", 1500, "cap on rendered background objects")
+	)
+	flag.Parse()
+
+	st, err := store.Open(*storePath)
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+
+	ix, err := query.Build(st, query.Options{})
+	if err != nil {
+		fatal(err)
+	}
+
+	canvas := viz.New(ix.Tree().Bounds(), *pixels)
+
+	// Background objects in gray (capped to keep files manageable).
+	ids := st.IDs()
+	drawn := 0
+	for _, id := range ids {
+		if drawn >= *maxDraw {
+			break
+		}
+		o, err := st.Get(id)
+		if err != nil {
+			fatal(err)
+		}
+		canvas.Object(o, "#9aa0a6")
+		drawn++
+	}
+	fmt.Printf("rendered %d of %d objects\n", drawn, len(ids))
+
+	if *k > 0 {
+		p := dataset.Default(dataset.Synthetic)
+		p.Space = *space
+		p.PointsPerObject = *points
+		p.Seed = *querySeed
+		q, err := dataset.GenerateQuery(p, 0)
+		if err != nil {
+			fatal(err)
+		}
+		results, stats, err := ix.AKNN(q, *k, *alpha, query.LB)
+		if err != nil {
+			fatal(err)
+		}
+		// Results in blue with their α-cut MBRs; query in red.
+		for rank, r := range results {
+			o, err := st.Get(r.ID)
+			if err != nil {
+				fatal(err)
+			}
+			canvas.Object(o, "#1a73e8")
+			canvas.MBR(o.MBR(*alpha), "#1a73e8")
+			labelAt := o.SupportMBR().Center()
+			canvas.Label(labelAt, fmt.Sprintf("#%d d=%.2f", rank+1, r.Dist), "#174ea6")
+			canvas.Segment(nearestAnchor(q, *alpha), labelAt, "#c5d4f7")
+		}
+		canvas.Object(q, "#d93025")
+		canvas.MBR(q.MBR(*alpha), "#d93025")
+		canvas.Label(q.SupportMBR().Center(), "Q", "#a50e0e")
+		fmt.Printf("AKNN k=%d α=%v: %d results, %d object accesses\n",
+			*k, *alpha, len(results), stats.ObjectAccesses)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := canvas.WriteTo(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// nearestAnchor returns a representative point of the query's α-cut for
+// drawing connector lines.
+func nearestAnchor(q *fuzzy.Object, alpha float64) geom.Point {
+	return q.MBR(alpha).Center()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fuzzyviz:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// GIS with vague regions: fuzzy objects have a long history in geographic
+// information systems (§1, §7 of the paper) — think flood zones, habitat
+// extents or pollution plumes, where the boundary is a matter of confidence
+// rather than a crisp line. Each zone is modeled as a fuzzy region: points
+// near its core are certain members, points on the fringe carry lower
+// membership.
+//
+// This example builds a map of fuzzy hazard zones and asks, for a proposed
+// facility site: "which are the 3 closest hazard zones — and how does the
+// answer depend on how conservatively we draw the zones?" The RKNN query
+// answers all confidence levels at once, with exact qualifying ranges.
+//
+// Run with:
+//
+//	go run ./examples/gis
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand/v2"
+
+	"fuzzyknn"
+)
+
+// fuzzyZone builds an irregular fuzzy region around (cx, cy): a jagged
+// polygon-ish cloud whose membership decays from the core to the fringe,
+// with per-zone size and decay character.
+func fuzzyZone(id uint64, cx, cy, size float64, rng *rand.Rand) *fuzzyknn.Object {
+	// Irregular radius per direction (a wobbly contour).
+	const spokes = 12
+	radii := make([]float64, spokes)
+	for i := range radii {
+		radii[i] = size * (0.6 + 0.8*rng.Float64())
+	}
+	var pts []fuzzyknn.WeightedPoint
+	pts = append(pts, fuzzyknn.WeightedPoint{P: fuzzyknn.Point{cx, cy}, Mu: 1})
+	for i := 0; i < 240; i++ {
+		angle := rng.Float64() * 2 * math.Pi
+		spoke := int(angle / (2 * math.Pi) * spokes)
+		maxR := radii[spoke]
+		frac := math.Sqrt(rng.Float64()) // uniform over the area
+		r := frac * maxR
+		// Membership decays outward with zone-specific sharpness plus noise.
+		mu := math.Pow(1-frac, 0.5+rng.Float64()) // fringe ≈ 0, core ≈ 1
+		mu = math.Max(mu+0.05*(rng.Float64()-0.5), 1e-3)
+		mu = math.Min(mu, 1)
+		// Quantize to 100 confidence levels like a published hazard raster.
+		mu = math.Ceil(mu*100) / 100
+		pts = append(pts, fuzzyknn.WeightedPoint{
+			P:  fuzzyknn.Point{cx + r*math.Cos(angle), cy + r*math.Sin(angle)},
+			Mu: mu,
+		})
+	}
+	zone, err := fuzzyknn.NewObject(id, pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return zone
+}
+
+func main() {
+	rng := rand.New(rand.NewPCG(7, 11))
+	// 60 hazard zones over a 50 km × 50 km region.
+	var zones []*fuzzyknn.Object
+	for i := 0; i < 60; i++ {
+		zones = append(zones, fuzzyZone(
+			uint64(i+1),
+			rng.Float64()*50, rng.Float64()*50,
+			0.8+rng.Float64()*1.6,
+			rng,
+		))
+	}
+	idx, err := fuzzyknn.NewIndex(zones, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	// The proposed facility footprint: a small, crisp-ish site (tight
+	// membership decay).
+	site := fuzzyZone(1000, 25, 25, 0.3, rng)
+
+	fmt.Println("proposed site at (25, 25); hazard zones indexed:", idx.Len())
+
+	// Planning at a fixed standard: zones drawn at 50% confidence.
+	res, _, err := idx.AKNN(site, 3, 0.5, fuzzyknn.LBLPUB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n3 nearest hazard zones with boundaries drawn at α=0.5:")
+	for i, r := range res {
+		fmt.Printf("  %d. zone %-3d distance %.2f km\n", i+1, r.ID, r.Dist)
+	}
+
+	// Regulatory sweep: every boundary standard from permissive (α=0.2,
+	// wide zones) to strict (α=0.95, only the certain cores). One RKNN
+	// query returns each zone's qualifying range of standards.
+	ranged, stats, err := idx.RKNN(site, 3, 0.2, 0.95, fuzzyknn.RSSICR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nzones among the 3 closest for some standard α ∈ [0.2, 0.95]:")
+	for _, r := range ranged {
+		fmt.Printf("  zone %-3d %s  %v\n", r.ID, confidenceBar(r.Qualifying), r.Qualifying)
+	}
+	fmt.Printf("\n(answered with %d zone reads and %d candidates — out of %d zones)\n",
+		stats.ObjectAccesses, stats.Candidates, idx.Len())
+
+	// The full distance profile of the closest zone shows exactly when it
+	// stops touching the site as the standard tightens.
+	prof := fuzzyknn.DistanceProfile(zones[res[0].ID-1], site)
+	fmt.Printf("\ndistance of zone %d to the site, by boundary standard:\n", res[0].ID)
+	for _, alpha := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		fmt.Printf("  α=%.1f → %.2f km\n", alpha, prof.Dist(alpha))
+	}
+}
+
+// confidenceBar renders the qualifying set over [0,1] as a 20-char bar,
+// sampling each cell's midpoint (gaps in fragmented ranges stay visible).
+func confidenceBar(s fuzzyknn.IntervalSet) string {
+	const width = 20
+	b := []byte("....................")
+	for i := 0; i < width; i++ {
+		x := (float64(i) + 0.5) / width
+		if s.Contains(x) {
+			b[i] = '#'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,101 @@
+// Quickstart: build a handful of fuzzy objects by hand, index them, and run
+// both query types of the paper — an ad-hoc kNN query (AKNN) at a single
+// probability threshold and a range kNN query (RKNN) over a threshold range.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"fuzzyknn"
+)
+
+// blob builds a small fuzzy object: a kernel point at (cx, cy) surrounded by
+// rings of points whose membership decreases outward — the discrete analogue
+// of the probabilistic cell masks in the paper's Figure 1.
+func blob(id uint64, cx, cy float64) *fuzzyknn.Object {
+	pts := []fuzzyknn.WeightedPoint{{P: fuzzyknn.Point{cx, cy}, Mu: 1.0}}
+	for ring := 1; ring <= 3; ring++ {
+		r := 0.3 * float64(ring)
+		mu := 1.0 - 0.3*float64(ring) // 0.7, 0.4, 0.1
+		for i := 0; i < 8; i++ {
+			angle := 2 * math.Pi * float64(i) / 8
+			pts = append(pts, fuzzyknn.WeightedPoint{
+				P:  fuzzyknn.Point{cx + r*math.Cos(angle), cy + r*math.Sin(angle)},
+				Mu: mu,
+			})
+		}
+	}
+	o, err := fuzzyknn.NewObject(id, pts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return o
+}
+
+func main() {
+	// A small scene: four fuzzy objects at increasing distance from the
+	// query, with overlapping fuzzy fringes.
+	objects := []*fuzzyknn.Object{
+		blob(1, 2.0, 0.0),
+		blob(2, 3.0, 0.5),
+		blob(3, 4.0, -1.0),
+		blob(4, 8.0, 2.0),
+	}
+	query := blob(100, 0.0, 0.0)
+
+	idx, err := fuzzyknn.NewIndex(objects, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	// --- AKNN: "give me the 2 nearest objects, counting only points with
+	// membership at least α". Raising α shrinks every object toward its
+	// kernel, so distances grow and the ranking can change.
+	//
+	// The LBLPUB variant may identify winners purely from distance bounds
+	// without reading them from storage (Exact == false); Refine resolves
+	// those to exact distances when the application needs them.
+	for _, alpha := range []float64{0.4, 1.0} {
+		results, stats, err := idx.AKNN(query, 2, alpha, fuzzyknn.LBLPUB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exact, _, err := idx.Refine(query, alpha, results)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("AKNN k=2 at α=%.1f (search itself read %d of %d objects):\n",
+			alpha, stats.ObjectAccesses, idx.Len())
+		for i, r := range exact {
+			fmt.Printf("  %d. object %d at d_α=%.3f\n", i+1, r.ID, r.Dist)
+		}
+		fmt.Println()
+	}
+
+	// --- RKNN: "for every α in [0.3, 1.0], which objects are 2NN, and on
+	// which sub-ranges?" Each result reports its exact qualifying range.
+	ranged, stats, err := idx.RKNN(query, 2, 0.3, 1.0, fuzzyknn.RSSICR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("RKNN k=2 over α ∈ [0.3, 1.0]:")
+	for _, r := range ranged {
+		fmt.Printf("  object %d qualifies on %v\n", r.ID, r.Qualifying)
+	}
+	fmt.Printf("  (%d object accesses, %d candidates after pruning)\n",
+		stats.ObjectAccesses, stats.Candidates)
+
+	// --- The distance profile behind it all: d_α as a step function of α.
+	prof := fuzzyknn.DistanceProfile(objects[0], query)
+	fmt.Println("\nDistance profile of object 1 vs the query:")
+	for i, level := range prof.Levels {
+		fmt.Printf("  α ≤ %.2f: d_α = %.3f\n", level, prof.Dists[i])
+	}
+}

@@ -1,0 +1,313 @@
+// Package fuzzyknn is a library for k-nearest-neighbor search over fuzzy
+// objects — point clouds whose members carry membership probabilities — as
+// introduced by Zheng, Fung and Zhou, "K-Nearest Neighbor Search for Fuzzy
+// Objects", SIGMOD 2010.
+//
+// A fuzzy object A is a finite set of weighted points ⟨a, µ(a)⟩ with
+// µ ∈ (0, 1] and a non-empty kernel (µ = 1). Its α-cut A_α keeps the points
+// with µ ≥ α, and the α-distance between two objects is the closest-pair
+// distance of their α-cuts. Two query types are supported:
+//
+//   - AKNN(q, k, α): the k objects with smallest α-distance to q, at one
+//     user-chosen confidence threshold α.
+//   - RKNN(q, k, [αs, αe]): every object belonging to some kNN set within
+//     the threshold range, together with its exact qualifying range.
+//
+// Basic usage:
+//
+//	objs := ...                                  // []*fuzzyknn.Object
+//	idx, err := fuzzyknn.NewIndex(objs, nil)     // in-memory index
+//	res, stats, err := idx.AKNN(q, 10, 0.5, fuzzyknn.LBLPUB)
+//
+// Datasets can also be persisted with SaveObjects and served from disk via
+// OpenIndex, in which case the Stats.ObjectAccesses metric counts real
+// storage probes, matching the cost model of the paper.
+package fuzzyknn
+
+import (
+	"fmt"
+
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/geom"
+	"fuzzyknn/internal/interval"
+	"fuzzyknn/internal/query"
+	"fuzzyknn/internal/store"
+)
+
+// Point is a point in d-dimensional Euclidean space.
+type Point = geom.Point
+
+// WeightedPoint is a point with its membership probability µ ∈ (0, 1].
+type WeightedPoint = fuzzy.WeightedPoint
+
+// Object is an immutable fuzzy object. Construct with NewObject.
+type Object = fuzzy.Object
+
+// Interval is a range of probability thresholds with open/closed endpoints.
+type Interval = interval.Interval
+
+// IntervalSet is a canonical union of intervals — the type of qualifying
+// ranges returned by RKNN.
+type IntervalSet = interval.Set
+
+// Result is one AKNN answer; see the Exact field for lazy-probe semantics.
+type Result = query.Result
+
+// RangedResult is one RKNN answer with its qualifying range.
+type RangedResult = query.RangedResult
+
+// Stats reports the cost of a query (object accesses, node accesses,
+// distance evaluations, wall time, ...).
+type Stats = query.Stats
+
+// AKNNAlgorithm selects the AKNN search variant.
+type AKNNAlgorithm = query.AKNNAlgorithm
+
+// AKNN variants in the paper's order: the baseline best-first search, the
+// improved lower bound, lazy probing, and the improved upper bound.
+const (
+	Basic  = query.Basic
+	LB     = query.LB
+	LBLP   = query.LBLP
+	LBLPUB = query.LBLPUB
+)
+
+// RKNNAlgorithm selects the RKNN search variant.
+type RKNNAlgorithm = query.RKNNAlgorithm
+
+// RKNN variants in the paper's order.
+const (
+	Naive     = query.Naive
+	BasicRKNN = query.BasicRKNN
+	RSS       = query.RSS
+	RSSICR    = query.RSSICR
+)
+
+// NewObject validates and builds a fuzzy object from weighted points:
+// memberships in (0, 1], at least one µ = 1 point, consistent dimensions.
+func NewObject(id uint64, points []WeightedPoint) (*Object, error) {
+	return fuzzy.New(id, points)
+}
+
+// AlphaDistance computes d_α(a, b), the closest-pair distance between the
+// two α-cuts.
+func AlphaDistance(a, b *Object, alpha float64) float64 {
+	return fuzzy.AlphaDist(a, b, alpha)
+}
+
+// Profile is the full step function α ↦ d_α(A, Q) for one object pair.
+type Profile = fuzzy.Profile
+
+// DistanceProfile computes the complete distance profile between two
+// objects in one incremental pass.
+func DistanceProfile(a, q *Object) *Profile {
+	return fuzzy.ComputeProfile(a, q)
+}
+
+// Config tunes index construction. The zero value (or a nil pointer) picks
+// sensible defaults.
+type Config struct {
+	// NodeMin / NodeMax are R-tree node capacities (defaults 25/64).
+	NodeMin, NodeMax int
+	// SampleSize is the number of points sampled from the query's α-cut for
+	// the improved upper bound (default 16).
+	SampleSize int
+	// SampleSeed fixes the sampling for reproducible experiments.
+	SampleSeed uint64
+	// CacheSize, when positive, interposes an LRU object cache of that many
+	// objects between the index and storage. Accesses are still counted
+	// before the cache, preserving the paper's cost accounting.
+	CacheSize int
+	// Incremental builds the R-tree by repeated insertion instead of STR
+	// bulk loading.
+	Incremental bool
+	// SummaryFile, when set on OpenIndex, rebuilds the index from a
+	// persisted summary file (written by SaveSummaries) instead of scanning
+	// and decoding every stored object. The file must describe exactly the
+	// store's objects.
+	SummaryFile string
+	// StaircaseSteps, when at least 2, replaces the paper's linear boundary
+	// approximation with a conservative staircase over that many membership
+	// levels (the future-work variant of §3.2): tighter bounds, more memory
+	// per object. Indexes built this way cannot persist summaries.
+	StaircaseSteps int
+}
+
+func (c *Config) orDefault() Config {
+	if c == nil {
+		return Config{}
+	}
+	return *c
+}
+
+// Index answers AKNN and RKNN queries over a fixed set of fuzzy objects.
+type Index struct {
+	inner    *query.Index
+	counting *store.Counting
+	disk     *store.DiskStore // non-nil when backed by OpenIndex
+}
+
+// NewIndex builds an in-memory index over the given objects.
+func NewIndex(objs []*Object, cfg *Config) (*Index, error) {
+	ms, err := store.NewMemStore(objs)
+	if err != nil {
+		return nil, fmt.Errorf("fuzzyknn: %w", err)
+	}
+	return buildIndex(ms, nil, cfg.orDefault())
+}
+
+// SaveObjects persists objects into a single store file that OpenIndex can
+// serve queries from. All objects must share the given dimensionality.
+func SaveObjects(path string, dims int, objs []*Object) error {
+	return store.WriteAll(path, dims, objs)
+}
+
+// OpenIndex opens a store file written by SaveObjects and builds an index
+// over it. Object probes during queries read from disk (optionally through
+// an LRU cache, see Config.CacheSize). Close the index when done.
+func OpenIndex(path string, cfg *Config) (*Index, error) {
+	ds, err := store.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("fuzzyknn: %w", err)
+	}
+	ix, err := buildIndex(ds, ds, cfg.orDefault())
+	if err != nil {
+		ds.Close()
+		return nil, err
+	}
+	return ix, nil
+}
+
+func buildIndex(r store.Reader, disk *store.DiskStore, cfg Config) (*Index, error) {
+	var reader store.Reader = r
+	if cfg.CacheSize > 0 {
+		reader = store.NewLRU(reader, cfg.CacheSize)
+	}
+	counting := store.NewCounting(reader)
+	opts := query.Options{
+		MinEntries:  cfg.NodeMin,
+		MaxEntries:  cfg.NodeMax,
+		SampleSize:  cfg.SampleSize,
+		SampleSeed:  cfg.SampleSeed,
+		Incremental: cfg.Incremental,
+	}
+	if cfg.StaircaseSteps >= 2 {
+		steps := cfg.StaircaseSteps
+		opts.Estimator = func(o *fuzzy.Object) fuzzy.MBREstimator {
+			return fuzzy.NewStaircaseApprox(o, steps)
+		}
+	}
+	var inner *query.Index
+	var err error
+	if cfg.SummaryFile != "" {
+		inner, err = query.BuildFromSummaryFile(counting, cfg.SummaryFile, opts)
+	} else {
+		inner, err = query.Build(counting, opts)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fuzzyknn: %w", err)
+	}
+	counting.Reset() // exclude index construction from query accounting
+	return &Index{inner: inner, counting: counting, disk: disk}, nil
+}
+
+// SaveSummaries persists the index's per-object summaries (MBRs,
+// conservative boundary lines, representative points) so a later OpenIndex
+// with Config.SummaryFile can skip the full store scan.
+func (ix *Index) SaveSummaries(path string) error {
+	return ix.inner.SaveSummaries(path)
+}
+
+// Close releases the underlying store file, if any. The index must not be
+// used afterwards. Closing an in-memory index is a no-op.
+func (ix *Index) Close() error {
+	if ix.disk != nil {
+		return ix.disk.Close()
+	}
+	return nil
+}
+
+// Len returns the number of indexed objects.
+func (ix *Index) Len() int { return ix.inner.Len() }
+
+// Dims returns the dimensionality of the indexed objects.
+func (ix *Index) Dims() int { return ix.inner.Dims() }
+
+// TotalObjectAccesses returns the cumulative number of object probes since
+// the index was built (all queries combined).
+func (ix *Index) TotalObjectAccesses() int64 { return ix.counting.Count() }
+
+// AKNN answers the ad-hoc kNN query: the k objects with smallest α-distance
+// to q. Results come ordered by ascending distance. With the lazy-probe
+// variants (LBLP, LBLPUB) some results may carry distance bounds instead of
+// exact distances; use Refine to resolve them.
+func (ix *Index) AKNN(q *Object, k int, alpha float64, algo AKNNAlgorithm) ([]Result, Stats, error) {
+	return ix.inner.AKNN(q, k, alpha, algo)
+}
+
+// LinearScanAKNN is the exhaustive baseline; useful for verification.
+func (ix *Index) LinearScanAKNN(q *Object, k int, alpha float64) ([]Result, Stats, error) {
+	return ix.inner.LinearScanAKNN(q, k, alpha)
+}
+
+// Refine probes any non-exact results and re-sorts by exact distance.
+func (ix *Index) Refine(q *Object, alpha float64, rs []Result) ([]Result, Stats, error) {
+	return ix.inner.Refine(q, alpha, rs)
+}
+
+// RKNN answers the range kNN query over [alphaStart, alphaEnd]: every
+// object that is a kNN member somewhere in the range, with its exact
+// qualifying range. Results come ordered by object id.
+func (ix *Index) RKNN(q *Object, k int, alphaStart, alphaEnd float64, algo RKNNAlgorithm) ([]RangedResult, Stats, error) {
+	return ix.inner.RKNN(q, k, alphaStart, alphaEnd, algo)
+}
+
+// RangeSearch answers the α-range query: every object whose α-distance to q
+// is at most radius, with exact distances, ordered by (distance, id).
+func (ix *Index) RangeSearch(q *Object, alpha, radius float64) ([]Result, Stats, error) {
+	return ix.inner.RangeSearch(q, alpha, radius)
+}
+
+// ExpectedDistance returns the integrated distance ∫₀¹ d_α(a, b) dα — the
+// classical fuzzy-set metric the paper contrasts with its α-distance
+// (§2.1). Provided as an extension for single-number summaries.
+func ExpectedDistance(a, b *Object) float64 {
+	return fuzzy.ExpectedDist(a, b)
+}
+
+// JoinPair is one result of a join query between two indexes.
+type JoinPair = query.JoinPair
+
+// DistanceJoin returns every pair (a ∈ left, b ∈ right) with
+// d_α(a, b) ≤ eps, ordered by (distance, ids) — the fuzzy ε-distance join
+// the paper names as future work (§8). Pass the same index twice for a
+// self-join; each unordered pair is then reported once.
+func DistanceJoin(left, right *Index, alpha, eps float64) ([]JoinPair, Stats, error) {
+	return query.DistanceJoin(left.inner, right.inner, alpha, eps)
+}
+
+// KClosestPairs returns the k pairs with the smallest α-distances between
+// two indexes, ascending — the fuzzy k-closest-pairs query.
+func KClosestPairs(left, right *Index, k int, alpha float64) ([]JoinPair, Stats, error) {
+	return query.KClosestPairs(left.inner, right.inner, k, alpha)
+}
+
+// ReverseKNN returns every object that would count q among its own k
+// nearest neighbors at threshold α — the reverse kNN query the paper names
+// as future work (§8). Results are ordered by (distance to q, id).
+func (ix *Index) ReverseKNN(q *Object, k int, alpha float64) ([]Result, Stats, error) {
+	return query.ReverseKNN(ix.inner, q, k, alpha)
+}
+
+// ExpectedDistKNN ranks objects by the integrated distance ∫₀¹ d_α dα
+// instead of a single-threshold α-distance — the classical semantics the
+// paper contrasts with its queries (§2.1). Result Dist fields carry the
+// expected distance. This baseline scans every object.
+func (ix *Index) ExpectedDistKNN(q *Object, k int) ([]Result, Stats, error) {
+	return query.ExpectedDistKNN(ix.inner, q, k)
+}
+
+// Object fetches a stored object by id (counted as an access).
+func (ix *Index) Object(id uint64) (*Object, error) {
+	return ix.counting.Get(id)
+}

@@ -1,0 +1,118 @@
+// Package analysis implements the paper's §5 cost model: a closed-form
+// estimate of the number of objects accessed by a basic AKNN search over a
+// space of ideal fuzzy objects (Definition 8 — spheres whose α-cut radius is
+// R(α)).
+//
+// The derivation follows the paper exactly:
+//
+//  1. Representing every object by its center turns the dataset into a point
+//     set; fractal-dimension results of Papadopoulos & Manolopoulos (ICDT
+//     1997, cited as [16]) estimate the radius ε that encloses the k nearest
+//     centers (equation 6).
+//  2. The k-th neighbor's α-distance is then d_knn(α) = ε − 2·R(α).
+//  3. A range query of radius d_knn(α) + R(α) around the query object covers
+//     every object the best-first search must access; equation 7 estimates
+//     the number of leaf/object accesses L of such a range query, giving
+//     equation 8.
+package analysis
+
+import (
+	"errors"
+	"math"
+)
+
+// Model holds the §5 cost-model parameters.
+type Model struct {
+	// N is the number of objects in the dataset.
+	N int
+	// K is the number of neighbors requested.
+	K int
+	// D2 is the correlation fractal dimension of the center point set
+	// (2 for uniformly distributed 2-d data).
+	D2 float64
+	// D0 is the Hausdorff fractal dimension (≈ 2 for uniform 2-d data).
+	D0 float64
+	// Cmax is the R-tree node capacity; Uavg the average node utilization.
+	Cmax int
+	Uavg float64
+	// Radius is R₀, the ideal object's support radius; the α-cut radius is
+	// R(α) = R₀·(1 − α).
+	Radius float64
+	// Space is the edge length of the square data space. The paper's
+	// formulas assume a unit space; distances are normalized by it.
+	Space float64
+}
+
+// Validate reports whether the model parameters are usable.
+func (m Model) Validate() error {
+	switch {
+	case m.N < 2, m.K < 1:
+		return errors.New("analysis: need N >= 2 and K >= 1")
+	case m.D2 <= 0, m.D0 <= 0:
+		return errors.New("analysis: fractal dimensions must be positive")
+	case m.Cmax < 2, m.Uavg <= 0 || m.Uavg > 1:
+		return errors.New("analysis: invalid node capacity or utilization")
+	case m.Radius <= 0, m.Space <= 0:
+		return errors.New("analysis: radius and space must be positive")
+	}
+	return nil
+}
+
+// DefaultModel mirrors the paper's experimental defaults for a uniform
+// synthetic dataset.
+func DefaultModel(n, k int, cmax int, radius, space float64) Model {
+	return Model{
+		N: n, K: k,
+		D2: 2, D0: 2,
+		Cmax: cmax, Uavg: 0.7,
+		Radius: radius, Space: space,
+	}
+}
+
+// Epsilon returns ε of equation 6 — the estimated distance from the query
+// center to its k-th nearest object center — scaled back to world
+// coordinates (the derivation normalizes the space to the unit square).
+func (m Model) Epsilon() float64 {
+	return m.Space / math.SqrtPi * math.Sqrt(float64(m.K)/float64(m.N-1))
+}
+
+// CutRadius returns R(α) for the ideal object family.
+func (m Model) CutRadius(alpha float64) float64 { return m.Radius * (1 - alpha) }
+
+// DKNN returns d_knn(α) = ε − 2·R(α), the estimated α-distance between the
+// query and its k-th nearest neighbor. Clamped at 0: overlapping cuts have
+// zero α-distance.
+func (m Model) DKNN(alpha float64) float64 {
+	d := m.Epsilon() - 2*m.CutRadius(alpha)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// LeafAccesses evaluates equation 8: the expected number of object (leaf)
+// accesses of the basic AKNN search at threshold α, i.e. a range query of
+// radius d_knn(α) + R(α) over the center point set:
+//
+//	L = (N−1)/C_avg · ( (C_avg/N)^(1/D0) + 2·d )^D2,   C_avg = C_max·U_avg
+//
+// with d normalized by the space edge.
+func (m Model) LeafAccesses(alpha float64) float64 {
+	cavg := float64(m.Cmax) * m.Uavg
+	d := (m.DKNN(alpha) + m.CutRadius(alpha)) / m.Space
+	base := math.Pow(cavg/float64(m.N), 1/m.D0) + 2*d
+	return (float64(m.N) - 1) / cavg * math.Pow(base, m.D2)
+}
+
+// ObjectAccesses is LeafAccesses clamped to the dataset size and floored at
+// k (at least the k results must be read).
+func (m Model) ObjectAccesses(alpha float64) float64 {
+	l := m.LeafAccesses(alpha)
+	if l < float64(m.K) {
+		l = float64(m.K)
+	}
+	if l > float64(m.N) {
+		l = float64(m.N)
+	}
+	return l
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"fuzzyknn/internal/geom"
+)
+
+// The §5 cost model takes two fractal dimensions of the object-center point
+// set as parameters: the Hausdorff (box-counting) dimension D0 and the
+// correlation dimension D2, following Papadopoulos & Manolopoulos (the
+// paper's [16]). The paper plugs in D0 = D2 = 2 for uniform 2-d data; this
+// file estimates both from actual data so the model can be applied to
+// non-uniform datasets.
+
+// EstimateD0 estimates the box-counting dimension of a point set: occupied
+// grid cells are counted at geometrically shrinking cell sizes and the
+// slope of log N(r) versus log(1/r) is fit by least squares over the
+// central scales. At least 2 distinct points are required; degenerate
+// inputs return 0.
+func EstimateD0(pts []geom.Point) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	bounds := geom.BoundingRect(pts)
+	extent := 0.0
+	for i := 0; i < bounds.Dims(); i++ {
+		if e := bounds.Hi[i] - bounds.Lo[i]; e > extent {
+			extent = e
+		}
+	}
+	if extent == 0 {
+		return 0
+	}
+	var xs, ys []float64
+	var fallbackXs, fallbackYs []float64
+	// Cell sizes from extent/2 down. Counts below ~8 boxes are too coarse
+	// to carry slope information and counts approaching the sample size
+	// saturate (every point alone in its box), so the fit uses the central
+	// window 8 ≤ N(r) ≤ |pts|/4; the full curve is kept as a fallback for
+	// tiny inputs.
+	for level := 1; level <= 20; level++ {
+		cell := extent / math.Pow(2, float64(level))
+		n := countOccupied(pts, bounds.Lo, cell)
+		fallbackXs = append(fallbackXs, math.Log(1/cell))
+		fallbackYs = append(fallbackYs, math.Log(float64(n)))
+		if n >= len(pts) {
+			break
+		}
+		if n >= 8 && n*4 <= len(pts) {
+			xs = append(xs, math.Log(1/cell))
+			ys = append(ys, math.Log(float64(n)))
+		}
+	}
+	if len(xs) < 2 {
+		return fitSlope(fallbackXs, fallbackYs)
+	}
+	return fitSlope(xs, ys)
+}
+
+func countOccupied(pts []geom.Point, lo geom.Point, cell float64) int {
+	seen := make(map[uint64]struct{}, len(pts))
+	for _, p := range pts {
+		h := uint64(1469598103934665603)
+		for i, v := range p {
+			c := uint64(int64(math.Floor((v - lo[i]) / cell)))
+			c ^= c >> 33
+			c *= 0xFF51AFD7ED558CCD
+			h = (h ^ c) * 1099511628211
+		}
+		seen[h] = struct{}{}
+	}
+	return len(seen)
+}
+
+// EstimateD2 estimates the correlation dimension: the slope of the
+// log-log correlation sum C(r) = #{pairs with dist ≤ r} / (N·(N−1)/2)
+// across geometrically spaced radii. The pair distances are computed
+// exactly (O(N²)); callers with large N should pass a random sample.
+func EstimateD2(pts []geom.Point) float64 {
+	n := len(pts)
+	if n < 3 {
+		return 0
+	}
+	dists := make([]float64, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if d := geom.Dist(pts[i], pts[j]); d > 0 {
+				dists = append(dists, d)
+			}
+		}
+	}
+	if len(dists) == 0 {
+		return 0
+	}
+	sort.Float64s(dists)
+	total := float64(len(dists))
+	// Radii spanning the central part of the distance distribution; the
+	// extreme tails flatten the curve and are excluded.
+	rLo := dists[int(0.02*total)]
+	rHi := dists[int(0.5*total)]
+	if rLo <= 0 || rHi <= rLo {
+		return 0
+	}
+	var xs, ys []float64
+	const steps = 10
+	for s := 0; s <= steps; s++ {
+		r := rLo * math.Pow(rHi/rLo, float64(s)/steps)
+		// C(r) by binary search over the sorted distances.
+		c := float64(sort.SearchFloat64s(dists, math.Nextafter(r, math.Inf(1)))) / total
+		if c <= 0 {
+			continue
+		}
+		xs = append(xs, math.Log(r))
+		ys = append(ys, math.Log(c))
+	}
+	return fitSlope(xs, ys)
+}
+
+// fitSlope is the least-squares slope of y on x.
+func fitSlope(xs, ys []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// ModelFromData builds a §5 model with fractal dimensions estimated from
+// the dataset's object centers instead of the uniform-data assumption.
+// Estimates are clamped to [0.5, dims] to keep the closed forms stable on
+// small samples.
+func ModelFromData(centers []geom.Point, k, cmax int, radius, space float64) Model {
+	m := DefaultModel(len(centers), k, cmax, radius, space)
+	if len(centers) >= 16 {
+		dims := float64(centers[0].Dims())
+		if d0 := clampDim(EstimateD0(centers), dims); d0 > 0 {
+			m.D0 = d0
+		}
+		if d2 := clampDim(EstimateD2(centers), dims); d2 > 0 {
+			m.D2 = d2
+		}
+	}
+	return m
+}
+
+func clampDim(d, max float64) float64 {
+	if math.IsNaN(d) || d <= 0 {
+		return 0
+	}
+	if d < 0.5 {
+		d = 0.5
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}

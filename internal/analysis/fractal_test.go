@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"fuzzyknn/internal/geom"
+)
+
+func uniformPoints(rng *rand.Rand, n, dims int, scale float64) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, dims)
+		for j := range p {
+			p[j] = rng.Float64() * scale
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func linePoints(rng *rand.Rand, n int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		x := rng.Float64() * 100
+		pts[i] = geom.Point{x, 0.3 * x} // a 1-d manifold embedded in 2-d
+	}
+	return pts
+}
+
+func TestEstimateD0Uniform2D(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	pts := uniformPoints(rng, 4000, 2, 100)
+	d0 := EstimateD0(pts)
+	if d0 < 1.6 || d0 > 2.2 {
+		t.Fatalf("D0 for uniform 2-d data = %v, want ≈ 2", d0)
+	}
+}
+
+func TestEstimateD0Line(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	pts := linePoints(rng, 4000)
+	d0 := EstimateD0(pts)
+	if d0 < 0.7 || d0 > 1.3 {
+		t.Fatalf("D0 for a line = %v, want ≈ 1", d0)
+	}
+}
+
+func TestEstimateD2Uniform2D(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	pts := uniformPoints(rng, 800, 2, 100)
+	d2 := EstimateD2(pts)
+	if d2 < 1.6 || d2 > 2.3 {
+		t.Fatalf("D2 for uniform 2-d data = %v, want ≈ 2", d2)
+	}
+}
+
+func TestEstimateD2Line(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	pts := linePoints(rng, 800)
+	d2 := EstimateD2(pts)
+	if d2 < 0.7 || d2 > 1.3 {
+		t.Fatalf("D2 for a line = %v, want ≈ 1", d2)
+	}
+}
+
+func TestEstimateDegenerateInputs(t *testing.T) {
+	if EstimateD0(nil) != 0 || EstimateD2(nil) != 0 {
+		t.Error("empty inputs should estimate 0")
+	}
+	one := []geom.Point{{1, 1}}
+	if EstimateD0(one) != 0 || EstimateD2(one) != 0 {
+		t.Error("single point should estimate 0")
+	}
+	same := []geom.Point{{1, 1}, {1, 1}, {1, 1}}
+	if d := EstimateD0(same); d != 0 {
+		t.Errorf("coincident points D0 = %v", d)
+	}
+	if d := EstimateD2(same); d != 0 {
+		t.Errorf("coincident points D2 = %v", d)
+	}
+}
+
+func TestModelFromDataUniform(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	centers := uniformPoints(rng, 600, 2, 100)
+	m := ModelFromData(centers, 20, 64, 0.5, 100)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.D0 < 1.4 || m.D0 > 2 || m.D2 < 1.4 || m.D2 > 2 {
+		t.Fatalf("estimated dims D0=%v D2=%v, want near 2 (clamped)", m.D0, m.D2)
+	}
+	// Predictions from estimated dimensions stay in the same ballpark as
+	// the uniform-assumption model.
+	uniform := DefaultModel(600, 20, 64, 0.5, 100)
+	a, b := m.ObjectAccesses(0.5), uniform.ObjectAccesses(0.5)
+	if a > 5*b+1 || b > 5*a+1 {
+		t.Fatalf("estimated model diverges: %v vs %v", a, b)
+	}
+}
+
+func TestModelFromDataSmallSampleKeepsDefaults(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	centers := uniformPoints(rng, 8, 2, 100) // below the 16-point threshold
+	m := ModelFromData(centers, 2, 64, 0.5, 100)
+	if m.D0 != 2 || m.D2 != 2 {
+		t.Fatalf("small sample should keep defaults, got D0=%v D2=%v", m.D0, m.D2)
+	}
+}
+
+func TestFitSlope(t *testing.T) {
+	// Perfect line y = 3x + 1.
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 4, 7, 10}
+	if got := fitSlope(xs, ys); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("fitSlope = %v, want 3", got)
+	}
+	if got := fitSlope([]float64{1}, []float64{1}); got != 0 {
+		t.Fatalf("degenerate fit = %v", got)
+	}
+	if got := fitSlope([]float64{2, 2}, []float64{1, 5}); got != 0 {
+		t.Fatalf("vertical fit = %v", got)
+	}
+}

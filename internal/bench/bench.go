@@ -1,0 +1,237 @@
+// Package bench is the experiment harness shared by cmd/fuzzybench and the
+// repository-level Go benchmarks. It regenerates every figure of the
+// paper's evaluation (§6) — and the §5 cost-model validation — as data
+// tables: same series, same sweeps, at a configurable scale.
+//
+// Two scales are provided. ScaleSmall keeps `go test -bench` runs tractable
+// (N up to a few thousand objects with 256-point objects); ScalePaper uses
+// the paper's Table 2 defaults (N = 50000, 1000-point objects). Relative
+// algorithm behaviour — who wins, how trends move with N, k, α and L — is
+// preserved at both scales; see EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"fuzzyknn/internal/analysis"
+	"fuzzyknn/internal/dataset"
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/query"
+	"fuzzyknn/internal/store"
+)
+
+// Scale selects experiment sizing.
+type Scale int
+
+// Available scales.
+const (
+	ScaleSmall Scale = iota // bench-friendly, default
+	ScalePaper              // the paper's Table 2 defaults
+)
+
+// Defaults returns the default workload parameters for a scale: (N, points
+// per object, number of query repetitions).
+func (s Scale) Defaults() (n, pts, queries int) {
+	if s == ScalePaper {
+		return 50000, 1000, 10
+	}
+	return 2000, 256, 8
+}
+
+// Space returns the data-space edge for a scale. The paper uses 100×100 at
+// N = 50000; the small scale shrinks the space to 20×20 so the default
+// N = 2000 keeps the same object density (5 objects per unit area), which
+// preserves the pruning behaviour the figures measure.
+func (s Scale) Space() float64 {
+	if s == ScalePaper {
+		return 100
+	}
+	return 20
+}
+
+// NSweep returns the dataset-size sweep (Figures 11a/12a/13a/14a).
+func (s Scale) NSweep() []int {
+	if s == ScalePaper {
+		return []int{1000, 5000, 10000, 50000}
+	}
+	return []int{250, 500, 1000, 2000, 4000}
+}
+
+// KSweep returns the k sweep (Figures 11b/12b/13b/14b).
+func (s Scale) KSweep() []int { return []int{5, 10, 20, 50} }
+
+// AlphaSweep returns the α sweep (Figures 11c/12c).
+func (s Scale) AlphaSweep() []float64 { return []float64{0.3, 0.5, 0.7, 0.9} }
+
+// LSweep returns the probability-range-length sweep (Figures 13c/14c).
+func (s Scale) LSweep() []float64 { return []float64{0.05, 0.1, 0.2, 0.5} }
+
+// Defaults mirroring the paper's Table 2.
+const (
+	DefaultK     = 20
+	DefaultAlpha = 0.5
+	DefaultL     = 0.2
+)
+
+// RangeForL centers a probability range of length l on the default α.
+func RangeForL(l float64) (float64, float64) {
+	return DefaultAlpha - l/2, DefaultAlpha + l/2
+}
+
+// Workload identifies one dataset + index configuration.
+type Workload struct {
+	Kind    dataset.Kind
+	N       int
+	Pts     int
+	Space   float64 // 0 = dataset default (100)
+	Seed    uint64
+	Queries int
+}
+
+// Env is a built workload: index, query objects, and the store behind it.
+type Env struct {
+	Workload Workload
+	Index    *query.Index
+	QueryObj []*fuzzy.Object
+	Params   dataset.Params
+}
+
+var (
+	envMu    sync.Mutex
+	envCache = map[string]*Env{}
+)
+
+// Setup generates (or reuses) the dataset and index for a workload.
+// Environments are cached per process because index construction dominates
+// bench setup time.
+func Setup(w Workload) (*Env, error) {
+	key := fmt.Sprintf("%s/%d/%d/%g/%d/%d", w.Kind, w.N, w.Pts, w.Space, w.Seed, w.Queries)
+	envMu.Lock()
+	defer envMu.Unlock()
+	if e, ok := envCache[key]; ok {
+		return e, nil
+	}
+	p := dataset.Default(w.Kind)
+	p.N = w.N
+	p.PointsPerObject = w.Pts
+	if w.Space > 0 {
+		p.Space = w.Space
+	}
+	p.Seed = w.Seed
+	objs, err := dataset.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := store.NewMemStore(objs)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := query.Build(ms, query.Options{})
+	if err != nil {
+		return nil, err
+	}
+	e := &Env{Workload: w, Index: ix, Params: p}
+	for i := 0; i < w.Queries; i++ {
+		q, err := dataset.GenerateQuery(p, i)
+		if err != nil {
+			return nil, err
+		}
+		e.QueryObj = append(e.QueryObj, q)
+	}
+	envCache[key] = e
+	return e, nil
+}
+
+// ResetCache drops all cached environments (tests use this to bound memory).
+func ResetCache() {
+	envMu.Lock()
+	defer envMu.Unlock()
+	envCache = map[string]*Env{}
+}
+
+// Measurement is an averaged query cost.
+type Measurement struct {
+	ObjectAccesses float64
+	NodeAccesses   float64
+	Time           time.Duration
+	Pieces         float64
+}
+
+// MeasureAKNN averages AKNN cost over the environment's query objects.
+func MeasureAKNN(e *Env, k int, alpha float64, algo query.AKNNAlgorithm) (Measurement, error) {
+	var m Measurement
+	for _, q := range e.QueryObj {
+		_, st, err := e.Index.AKNN(q, k, alpha, algo)
+		if err != nil {
+			return m, err
+		}
+		m.ObjectAccesses += float64(st.ObjectAccesses)
+		m.NodeAccesses += float64(st.NodeAccesses)
+		m.Time += st.Duration
+	}
+	n := float64(len(e.QueryObj))
+	m.ObjectAccesses /= n
+	m.NodeAccesses /= n
+	m.Time = time.Duration(float64(m.Time) / n)
+	return m, nil
+}
+
+// MeasureRKNN averages RKNN cost over the environment's query objects.
+func MeasureRKNN(e *Env, k int, as, ae float64, algo query.RKNNAlgorithm) (Measurement, error) {
+	var m Measurement
+	for _, q := range e.QueryObj {
+		_, st, err := e.Index.RKNN(q, k, as, ae, algo)
+		if err != nil {
+			return m, err
+		}
+		m.ObjectAccesses += float64(st.ObjectAccesses)
+		m.NodeAccesses += float64(st.NodeAccesses)
+		m.Time += st.Duration
+		m.Pieces += float64(st.Pieces)
+	}
+	n := float64(len(e.QueryObj))
+	m.ObjectAccesses /= n
+	m.NodeAccesses /= n
+	m.Pieces /= n
+	m.Time = time.Duration(float64(m.Time) / n)
+	return m, nil
+}
+
+// Series is one labeled line of a figure.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// Table is one reproduced figure: column headers (the x sweep) and one
+// series per algorithm.
+type Table struct {
+	ID     string
+	Title  string
+	XLabel string
+	X      []string
+	YLabel string
+	Series []Series
+}
+
+// AKNNAlgos is the paper's Figure 11/12/15 line-up.
+func AKNNAlgos() []query.AKNNAlgorithm {
+	return []query.AKNNAlgorithm{query.Basic, query.LB, query.LBLP, query.LBLPUB}
+}
+
+// RKNNAlgos is the paper's Figure 13/14 line-up (the naive method is not
+// plotted in the paper either).
+func RKNNAlgos() []query.RKNNAlgorithm {
+	return []query.RKNNAlgorithm{query.BasicRKNN, query.RSS, query.RSSICR}
+}
+
+// CostModel builds the §5 model matching a workload and R-tree geometry.
+func CostModel(e *Env, k int) analysis.Model {
+	return analysis.DefaultModel(
+		e.Workload.N, k,
+		e.Index.Tree().MaxEntries(),
+		e.Params.Radius, e.Params.Space,
+	)
+}

@@ -1,0 +1,307 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fuzzyknn/internal/dataset"
+	"fuzzyknn/internal/query"
+)
+
+// Experiment regenerates one figure of the paper.
+type Experiment struct {
+	ID    string // e.g. "fig11a"
+	Title string
+	Run   func(Scale) (*Table, error)
+}
+
+// Experiments returns every reproduced figure, keyed like the paper.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig11a", "Object access of AKNN search — varying N (Fig. 11a)", fig11a},
+		{"fig11b", "Object access of AKNN search — varying k (Fig. 11b)", fig11b},
+		{"fig11c", "Object access of AKNN search — varying α (Fig. 11c)", fig11c},
+		{"fig12a", "Running time of AKNN search — varying N (Fig. 12a)", fig12a},
+		{"fig12b", "Running time of AKNN search — varying k (Fig. 12b)", fig12b},
+		{"fig12c", "Running time of AKNN search — varying α (Fig. 12c)", fig12c},
+		{"fig13a", "Object access of RKNN search — varying N (Fig. 13a)", fig13a},
+		{"fig13b", "Object access of RKNN search — varying k (Fig. 13b)", fig13b},
+		{"fig13c", "Object access of RKNN search — varying L (Fig. 13c)", fig13c},
+		{"fig14a", "Running time of RKNN search — varying N (Fig. 14a)", fig14a},
+		{"fig14b", "Running time of RKNN search — varying k (Fig. 14b)", fig14b},
+		{"fig14c", "Running time of RKNN search — varying L (Fig. 14c)", fig14c},
+		{"fig15a", "Effect of dataset on AKNN — object access (Fig. 15a)", fig15a},
+		{"fig15b", "Effect of dataset on AKNN — running time (Fig. 15b)", fig15b},
+		{"sec5", "Cost model validation — measured vs. predicted accesses (§5)", sec5},
+	}
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ids)
+}
+
+func defaultWorkload(s Scale, kind dataset.Kind) Workload {
+	n, pts, queries := s.Defaults()
+	return Workload{Kind: kind, N: n, Pts: pts, Space: s.Space(), Seed: 1, Queries: queries}
+}
+
+// aknnSweep runs all AKNN algorithms over a workload sweep, selecting the
+// metric with pick.
+func aknnSweep(xs []string, envs []*Env, ks []int, alphas []float64,
+	pick func(Measurement) float64) ([]Series, error) {
+	var series []Series
+	for _, algo := range AKNNAlgos() {
+		ys := make([]float64, len(envs))
+		for i, e := range envs {
+			m, err := MeasureAKNN(e, ks[i], alphas[i], algo)
+			if err != nil {
+				return nil, err
+			}
+			ys[i] = pick(m)
+		}
+		series = append(series, Series{Label: algo.String(), Y: ys})
+	}
+	_ = xs
+	return series, nil
+}
+
+// rknnSweep is the RKNN analogue of aknnSweep.
+func rknnSweep(envs []*Env, ks []int, ranges [][2]float64,
+	pick func(Measurement) float64) ([]Series, error) {
+	var series []Series
+	for _, algo := range RKNNAlgos() {
+		ys := make([]float64, len(envs))
+		for i, e := range envs {
+			m, err := MeasureRKNN(e, ks[i], ranges[i][0], ranges[i][1], algo)
+			if err != nil {
+				return nil, err
+			}
+			ys[i] = pick(m)
+		}
+		series = append(series, Series{Label: algo.String(), Y: ys})
+	}
+	return series, nil
+}
+
+func accesses(m Measurement) float64 { return m.ObjectAccesses }
+func millis(m Measurement) float64   { return float64(m.Time.Microseconds()) / 1000 }
+
+// varyN builds one environment per dataset size.
+func varyN(s Scale) ([]*Env, []string, error) {
+	var envs []*Env
+	var xs []string
+	_, pts, queries := s.Defaults()
+	for _, n := range s.NSweep() {
+		e, err := Setup(Workload{Kind: dataset.Synthetic, N: n, Pts: pts, Space: s.Space(), Seed: 1, Queries: queries})
+		if err != nil {
+			return nil, nil, err
+		}
+		envs = append(envs, e)
+		xs = append(xs, fmt.Sprint(n))
+	}
+	return envs, xs, nil
+}
+
+func repeat[T any](v T, n int) []T {
+	out := make([]T, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func fig11a(s Scale) (*Table, error) { return aknnVaryN(s, "fig11a", accesses, "object accesses") }
+func fig12a(s Scale) (*Table, error) { return aknnVaryN(s, "fig12a", millis, "running time [ms]") }
+
+func aknnVaryN(s Scale, id string, pick func(Measurement) float64, ylabel string) (*Table, error) {
+	envs, xs, err := varyN(s)
+	if err != nil {
+		return nil, err
+	}
+	series, err := aknnSweep(xs, envs, repeat(DefaultK, len(envs)), repeat(DefaultAlpha, len(envs)), pick)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{ID: id, Title: "AKNN, synthetic dataset, k=20, α=0.5",
+		XLabel: "N", X: xs, YLabel: ylabel, Series: series}, nil
+}
+
+func fig11b(s Scale) (*Table, error) { return aknnVaryK(s, "fig11b", accesses, "object accesses") }
+func fig12b(s Scale) (*Table, error) { return aknnVaryK(s, "fig12b", millis, "running time [ms]") }
+
+func aknnVaryK(s Scale, id string, pick func(Measurement) float64, ylabel string) (*Table, error) {
+	e, err := Setup(defaultWorkload(s, dataset.Synthetic))
+	if err != nil {
+		return nil, err
+	}
+	ks := s.KSweep()
+	envs := repeat(e, len(ks))
+	xs := make([]string, len(ks))
+	for i, k := range ks {
+		xs[i] = fmt.Sprint(k)
+	}
+	series, err := aknnSweep(xs, envs, ks, repeat(DefaultAlpha, len(ks)), pick)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{ID: id, Title: "AKNN, synthetic dataset, default N, α=0.5",
+		XLabel: "k", X: xs, YLabel: ylabel, Series: series}, nil
+}
+
+func fig11c(s Scale) (*Table, error) { return aknnVaryAlpha(s, "fig11c", accesses, "object accesses") }
+func fig12c(s Scale) (*Table, error) { return aknnVaryAlpha(s, "fig12c", millis, "running time [ms]") }
+
+func aknnVaryAlpha(s Scale, id string, pick func(Measurement) float64, ylabel string) (*Table, error) {
+	e, err := Setup(defaultWorkload(s, dataset.Synthetic))
+	if err != nil {
+		return nil, err
+	}
+	alphas := s.AlphaSweep()
+	envs := repeat(e, len(alphas))
+	xs := make([]string, len(alphas))
+	for i, a := range alphas {
+		xs[i] = fmt.Sprint(a)
+	}
+	series, err := aknnSweep(xs, envs, repeat(DefaultK, len(alphas)), alphas, pick)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{ID: id, Title: "AKNN, synthetic dataset, default N, k=20",
+		XLabel: "α", X: xs, YLabel: ylabel, Series: series}, nil
+}
+
+func fig13a(s Scale) (*Table, error) { return rknnVaryN(s, "fig13a", accesses, "object accesses") }
+func fig14a(s Scale) (*Table, error) { return rknnVaryN(s, "fig14a", millis, "running time [ms]") }
+
+func rknnVaryN(s Scale, id string, pick func(Measurement) float64, ylabel string) (*Table, error) {
+	envs, xs, err := varyN(s)
+	if err != nil {
+		return nil, err
+	}
+	as, ae := RangeForL(DefaultL)
+	series, err := rknnSweep(envs, repeat(DefaultK, len(envs)),
+		repeat([2]float64{as, ae}, len(envs)), pick)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{ID: id, Title: "RKNN, synthetic dataset, k=20, L=0.2",
+		XLabel: "N", X: xs, YLabel: ylabel, Series: series}, nil
+}
+
+func fig13b(s Scale) (*Table, error) { return rknnVaryK(s, "fig13b", accesses, "object accesses") }
+func fig14b(s Scale) (*Table, error) { return rknnVaryK(s, "fig14b", millis, "running time [ms]") }
+
+func rknnVaryK(s Scale, id string, pick func(Measurement) float64, ylabel string) (*Table, error) {
+	e, err := Setup(defaultWorkload(s, dataset.Synthetic))
+	if err != nil {
+		return nil, err
+	}
+	ks := s.KSweep()
+	xs := make([]string, len(ks))
+	for i, k := range ks {
+		xs[i] = fmt.Sprint(k)
+	}
+	as, ae := RangeForL(DefaultL)
+	series, err := rknnSweep(repeat(e, len(ks)), ks, repeat([2]float64{as, ae}, len(ks)), pick)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{ID: id, Title: "RKNN, synthetic dataset, default N, L=0.2",
+		XLabel: "k", X: xs, YLabel: ylabel, Series: series}, nil
+}
+
+func fig13c(s Scale) (*Table, error) { return rknnVaryL(s, "fig13c", accesses, "object accesses") }
+func fig14c(s Scale) (*Table, error) { return rknnVaryL(s, "fig14c", millis, "running time [ms]") }
+
+func rknnVaryL(s Scale, id string, pick func(Measurement) float64, ylabel string) (*Table, error) {
+	e, err := Setup(defaultWorkload(s, dataset.Synthetic))
+	if err != nil {
+		return nil, err
+	}
+	ls := s.LSweep()
+	xs := make([]string, len(ls))
+	ranges := make([][2]float64, len(ls))
+	for i, l := range ls {
+		xs[i] = fmt.Sprint(l)
+		as, ae := RangeForL(l)
+		ranges[i] = [2]float64{as, ae}
+	}
+	series, err := rknnSweep(repeat(e, len(ls)), repeat(DefaultK, len(ls)), ranges, pick)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{ID: id, Title: "RKNN, synthetic dataset, default N, k=20",
+		XLabel: "L", X: xs, YLabel: ylabel, Series: series}, nil
+}
+
+func fig15a(s Scale) (*Table, error) { return datasetCompare(s, "fig15a", accesses, "object accesses") }
+func fig15b(s Scale) (*Table, error) { return datasetCompare(s, "fig15b", millis, "running time [ms]") }
+
+func datasetCompare(s Scale, id string, pick func(Measurement) float64, ylabel string) (*Table, error) {
+	kinds := []dataset.Kind{dataset.Synthetic, dataset.Cells}
+	xs := []string{"Synthetic", "Real (simulated cells)"}
+	var envs []*Env
+	for _, kind := range kinds {
+		e, err := Setup(defaultWorkload(s, kind))
+		if err != nil {
+			return nil, err
+		}
+		envs = append(envs, e)
+	}
+	series, err := aknnSweep(xs, envs, repeat(DefaultK, len(envs)), repeat(DefaultAlpha, len(envs)), pick)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{ID: id, Title: "AKNN at defaults (k=20, α=0.5) across datasets",
+		XLabel: "dataset", X: xs, YLabel: ylabel, Series: series}, nil
+}
+
+// sec5 validates equation 8 on ideal fuzzy objects (Definition 8): measured
+// basic-AKNN object accesses vs the model's prediction across α.
+func sec5(s Scale) (*Table, error) {
+	w := defaultWorkload(s, dataset.Ideal)
+	e, err := Setup(w)
+	if err != nil {
+		return nil, err
+	}
+	alphas := s.AlphaSweep()
+	xs := make([]string, len(alphas))
+	measured := make([]float64, len(alphas))
+	predicted := make([]float64, len(alphas))
+	perLeaf := make([]float64, len(alphas))
+	model := CostModel(e, DefaultK)
+	cavg := float64(model.Cmax) * model.Uavg
+	for i, a := range alphas {
+		xs[i] = fmt.Sprint(a)
+		m, err := MeasureAKNN(e, DefaultK, a, query.Basic)
+		if err != nil {
+			return nil, err
+		}
+		measured[i] = m.ObjectAccesses
+		predicted[i] = model.ObjectAccesses(a)
+		// Equation 8 literally counts accessed leaf *nodes*; with one object
+		// per leaf entry, multiplying by the average node fill C_avg gives
+		// the object-level reading. The two predictions bracket the
+		// measurement; see EXPERIMENTS.md.
+		perLeaf[i] = math.Min(model.LeafAccesses(a)*cavg, float64(model.N))
+	}
+	return &Table{ID: "sec5", Title: "Basic AKNN on ideal fuzzy objects, k=20",
+		XLabel: "α", X: xs, YLabel: "object accesses",
+		Series: []Series{
+			{Label: "measured", Y: measured},
+			{Label: "predicted (Eq. 8)", Y: predicted},
+			{Label: "predicted (Eq. 8 × C_avg)", Y: perLeaf},
+		}}, nil
+}

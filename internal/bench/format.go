@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTable renders a reproduced figure as an aligned text table.
+func WriteTable(w io.Writer, t *Table) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", strings.ToUpper(t.ID), t.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "metric: %s\n", t.YLabel); err != nil {
+		return err
+	}
+	// Column widths: x label column then one column per series.
+	headers := append([]string{t.XLabel}, labels(t)...)
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	rows := make([][]string, len(t.X))
+	for r, x := range t.X {
+		row := make([]string, len(headers))
+		row[0] = x
+		for c, s := range t.Series {
+			row[c+1] = formatValue(s.Y[r])
+		}
+		rows[r] = row
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) error {
+		var b strings.Builder
+		for c, cell := range cells {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[c], cell)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := printRow(headers); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", sum(widths)+2*(len(widths)-1))); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := printRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func labels(t *Table) []string {
+	out := make([]string, len(t.Series))
+	for i, s := range t.Series {
+		out[i] = s.Label
+	}
+	return out
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -1,0 +1,254 @@
+// Package dataset generates the workloads of the paper's evaluation (§6.1)
+// plus the ideal fuzzy objects of the §5 cost model:
+//
+//   - Synthetic: circles of radius 0.5 holding uniformly distributed points
+//     whose memberships follow a 2-d Gaussian centered at the circle center
+//     with σ = 0.5, normalized to (0, 1].
+//   - Cells: the substitute for the paper's real horizontal-cell data —
+//     fuzzy objects extracted by the probabilistic-segmentation simulator in
+//     internal/segment, with irregular supports and 8-bit membership levels.
+//   - Ideal: Definition 8 objects — spheres whose α-cut radius follows
+//     R(α) = R₀·(1 − α) — used to validate the access cost model.
+//
+// Objects are distributed uniformly over a Space × Space square (the paper
+// uses 100 × 100). All generation is deterministic given Params.Seed.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/geom"
+	"fuzzyknn/internal/segment"
+)
+
+// Kind selects a generator family.
+type Kind string
+
+// Generator families.
+const (
+	Synthetic Kind = "synthetic"
+	Cells     Kind = "cells"
+	Ideal     Kind = "ideal"
+)
+
+// Params controls generation. The zero value is not valid; start from
+// Default.
+type Params struct {
+	Kind            Kind
+	N               int     // number of objects
+	PointsPerObject int     // support size per object (paper: 1000)
+	Space           float64 // edge of the square data space (paper: 100)
+	Radius          float64 // object radius (paper: 0.5)
+	Sigma           float64 // membership Gaussian σ for Synthetic (paper: 0.5)
+	Quantize        int     // membership levels; 0 = continuous (Cells forces 255)
+	Seed            uint64  // master seed; same seed ⇒ same dataset
+}
+
+// Default returns the paper's Table 2 defaults for the given kind, at the
+// paper's scale (N = 50000). Benchmarks override N downward.
+func Default(kind Kind) Params {
+	return Params{
+		Kind:            kind,
+		N:               50000,
+		PointsPerObject: 1000,
+		Space:           100,
+		Radius:          0.5,
+		Sigma:           0.5,
+		Seed:            1,
+	}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch p.Kind {
+	case Synthetic, Cells, Ideal:
+	default:
+		return fmt.Errorf("dataset: unknown kind %q", p.Kind)
+	}
+	if p.N < 0 || p.PointsPerObject < 1 || p.Space <= 0 || p.Radius <= 0 {
+		return fmt.Errorf("dataset: invalid params %+v", p)
+	}
+	if p.Kind == Synthetic && p.Sigma <= 0 {
+		return fmt.Errorf("dataset: sigma must be positive for synthetic data")
+	}
+	return nil
+}
+
+// Generate produces the dataset: objects with ids 1..N.
+func Generate(p Params) ([]*fuzzy.Object, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	objs := make([]*fuzzy.Object, p.N)
+	rng := rand.New(rand.NewPCG(p.Seed, 0xDA7A5E7))
+	for i := range objs {
+		center := geom.Point{rng.Float64() * p.Space, rng.Float64() * p.Space}
+		objs[i] = generateOne(p, uint64(i+1), center, rng)
+	}
+	return objs, nil
+}
+
+// GenerateQuery produces an extra object of the same family, centered
+// uniformly in space, to use as the query object Q. It is deterministic
+// given the dataset seed and the query index.
+func GenerateQuery(p Params, queryIdx int) (*fuzzy.Object, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewPCG(p.Seed^0xC0FFEE, uint64(queryIdx)+1))
+	center := geom.Point{rng.Float64() * p.Space, rng.Float64() * p.Space}
+	return generateOne(p, uint64(1_000_000_000+queryIdx), center, rng), nil
+}
+
+func generateOne(p Params, id uint64, center geom.Point, rng *rand.Rand) *fuzzy.Object {
+	switch p.Kind {
+	case Synthetic:
+		return genSynthetic(p, id, center, rng)
+	case Cells:
+		return genCell(p, id, center, rng)
+	case Ideal:
+		return genIdeal(p, id, center, rng)
+	}
+	panic("unreachable")
+}
+
+// genSynthetic implements §6.1: uniform points in a radius-p.Radius circle,
+// Gaussian memberships normalized across (0, 1].
+func genSynthetic(p Params, id uint64, center geom.Point, rng *rand.Rand) *fuzzy.Object {
+	n := p.PointsPerObject
+	pts := make([]fuzzy.WeightedPoint, n)
+	raw := make([]float64, n)
+	minMu, maxMu := math.Inf(1), math.Inf(-1)
+	for i := 0; i < n; i++ {
+		// Uniform in the disk via rejection-free polar sampling.
+		r := p.Radius * math.Sqrt(rng.Float64())
+		theta := rng.Float64() * 2 * math.Pi
+		dx, dy := r*math.Cos(theta), r*math.Sin(theta)
+		pts[i].P = geom.Point{center[0] + dx, center[1] + dy}
+		mu := math.Exp(-(dx*dx + dy*dy) / (2 * p.Sigma * p.Sigma))
+		raw[i] = mu
+		if mu < minMu {
+			minMu = mu
+		}
+		if mu > maxMu {
+			maxMu = mu
+		}
+	}
+	normalize(pts, raw, minMu, maxMu, p.Quantize)
+	return fuzzy.MustNew(id, pts)
+}
+
+// genIdeal implements Definition 8 with R(α) = R₀·(1 − α): a point at
+// distance r from the center has µ = 1 − r/R₀, so the α-cut is exactly the
+// disk of radius R₀·(1 − α).
+func genIdeal(p Params, id uint64, center geom.Point, rng *rand.Rand) *fuzzy.Object {
+	n := p.PointsPerObject
+	pts := make([]fuzzy.WeightedPoint, 0, n+1)
+	// Guarantee the kernel: one point exactly at the center.
+	pts = append(pts, fuzzy.WeightedPoint{P: center.Clone(), Mu: 1})
+	for i := 0; i < n; i++ {
+		r := p.Radius * math.Sqrt(rng.Float64())
+		theta := rng.Float64() * 2 * math.Pi
+		mu := 1 - r/p.Radius
+		if mu <= 0 {
+			mu = 1e-9
+		}
+		if q := p.Quantize; q > 0 {
+			mu = math.Ceil(mu*float64(q)) / float64(q)
+		}
+		pts = append(pts, fuzzy.WeightedPoint{
+			P:  geom.Point{center[0] + r*math.Cos(theta), center[1] + r*math.Sin(theta)},
+			Mu: mu,
+		})
+	}
+	return fuzzy.MustNew(id, pts)
+}
+
+// genCell renders one synthetic microscope crop, segments it, takes the
+// largest component and rescales it to object size. Membership levels come
+// out quantized to 255 like 8-bit probabilistic masks; the maximum is
+// re-normalized to 1 so the kernel is non-empty (the paper normalizes
+// probabilities "across 0 to 1" the same way).
+func genCell(p Params, id uint64, center geom.Point, rng *rand.Rand) *fuzzy.Object {
+	cp := segment.DefaultCellParams()
+	for {
+		img := segment.RenderCell(cp, rng)
+		mask := segment.Segment(img, 0.15, 255)
+		comps := segment.Components(mask, 32)
+		if len(comps) == 0 {
+			continue // noise-only frame; re-render
+		}
+		comp := comps[0]
+		maxMu := comp.MaxMu()
+		// Rescale pixel coordinates into a 2·Radius box around center with
+		// subpixel jitter so points do not sit on an exact lattice.
+		scale := 2 * p.Radius / float64(cp.Size)
+		half := float64(cp.Size) / 2
+		n := len(comp.Pixels)
+		order := rng.Perm(n)
+		take := p.PointsPerObject
+		if take > n {
+			take = n
+		}
+		pts := make([]fuzzy.WeightedPoint, 0, take)
+		bestIdx := -1
+		for _, oi := range order[:take] {
+			px := comp.Pixels[oi]
+			mu := px.Mu / maxMu
+			mu = math.Ceil(mu*255) / 255
+			if mu > 1 {
+				mu = 1
+			}
+			x := center[0] + (float64(px.X)+rng.Float64()-half)*scale
+			y := center[1] + (float64(px.Y)+rng.Float64()-half)*scale
+			pts = append(pts, fuzzy.WeightedPoint{P: geom.Point{x, y}, Mu: mu})
+			if mu == 1 {
+				bestIdx = len(pts) - 1
+			}
+		}
+		if bestIdx < 0 {
+			// The sampled subset may have missed every maximal pixel;
+			// promote the highest sampled membership to the kernel.
+			hi := 0
+			for i := range pts {
+				if pts[i].Mu > pts[hi].Mu {
+					hi = i
+				}
+			}
+			pts[hi].Mu = 1
+		}
+		return fuzzy.MustNew(id, pts)
+	}
+}
+
+// normalize rescales raw memberships onto (lo, 1] and applies optional
+// quantization, mirroring the paper's "normalize the probability values
+// across 0 to 1" with the (0,1] domain the model requires.
+func normalize(pts []fuzzy.WeightedPoint, raw []float64, minMu, maxMu float64, quantize int) {
+	span := maxMu - minMu
+	for i := range pts {
+		var mu float64
+		if span <= 0 {
+			mu = 1 // all memberships equal: everything is kernel
+		} else {
+			mu = (raw[i] - minMu) / span
+			if mu <= 0 {
+				mu = 1e-9 // membership must stay positive
+			}
+		}
+		if quantize > 0 {
+			mu = math.Ceil(mu*float64(quantize)) / float64(quantize)
+			if mu > 1 {
+				mu = 1
+			}
+		}
+		pts[i].Mu = mu
+	}
+}
+
+// RadiusAt returns the ideal-object cut radius R(α) used by genIdeal,
+// exported for the §5 cost model.
+func RadiusAt(radius, alpha float64) float64 { return radius * (1 - alpha) }

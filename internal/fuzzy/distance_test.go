@@ -1,0 +1,218 @@
+package fuzzy
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestAlphaDistMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for iter := 0; iter < 40; iter++ {
+		dims := 1 + rng.IntN(3)
+		a := randObject(rng, 1, 1+rng.IntN(80), dims, 8)
+		b := randObject(rng, 2, 1+rng.IntN(80), dims, 8)
+		for _, alpha := range []float64{0.1, 0.5, 0.9, 1.0} {
+			got := AlphaDist(a, b, alpha)
+			want := AlphaDistBrute(a, b, alpha)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("iter %d alpha %v: AlphaDist = %v, want %v", iter, alpha, got, want)
+			}
+		}
+	}
+}
+
+func TestAlphaDistMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	for iter := 0; iter < 20; iter++ {
+		a := randObject(rng, 1, 60, 2, 0)
+		b := randObject(rng, 2, 60, 2, 0)
+		prev := -1.0
+		for alpha := 0.05; alpha <= 1.0; alpha += 0.05 {
+			d := AlphaDist(a, b, alpha)
+			if d < prev-1e-12 {
+				t.Fatalf("d_alpha decreased at %v: %v < %v", alpha, d, prev)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestAlphaDistIdenticalObjectsZero(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	a := randObject(rng, 1, 50, 2, 4)
+	if d := AlphaDist(a, a, 0.5); d != 0 {
+		t.Fatalf("self distance = %v, want 0", d)
+	}
+}
+
+func TestProfileMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for iter := 0; iter < 30; iter++ {
+		dims := 1 + rng.IntN(3)
+		q := 4 * (1 + iter%4) // quantization makes shared levels likely
+		a := randObject(rng, 1, 1+rng.IntN(60), dims, q)
+		b := randObject(rng, 2, 1+rng.IntN(60), dims, q)
+		got := ComputeProfile(a, b)
+		want := ComputeProfileBrute(a, b)
+		if len(got.Levels) != len(want.Levels) {
+			t.Fatalf("level count %d, want %d", len(got.Levels), len(want.Levels))
+		}
+		for j := range got.Levels {
+			if got.Levels[j] != want.Levels[j] {
+				t.Fatalf("level[%d] = %v, want %v", j, got.Levels[j], want.Levels[j])
+			}
+			if math.Abs(got.Dists[j]-want.Dists[j]) > 1e-9 {
+				t.Fatalf("iter %d: dist[%d] (level %v) = %v, want %v",
+					iter, j, got.Levels[j], got.Dists[j], want.Dists[j])
+			}
+		}
+	}
+}
+
+func TestProfileDistsNonDecreasing(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	for iter := 0; iter < 20; iter++ {
+		a := randObject(rng, 1, 80, 2, 0)
+		b := randObject(rng, 2, 80, 2, 0)
+		p := ComputeProfile(a, b)
+		for j := 1; j < len(p.Dists); j++ {
+			if p.Dists[j] < p.Dists[j-1] {
+				t.Fatalf("profile decreased at %d", j)
+			}
+		}
+		if p.Levels[len(p.Levels)-1] != 1 {
+			t.Fatalf("top level = %v", p.Levels[len(p.Levels)-1])
+		}
+	}
+}
+
+func TestProfileDistMatchesAlphaDist(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 12))
+	a := randObject(rng, 1, 70, 2, 6)
+	b := randObject(rng, 2, 70, 2, 6)
+	p := ComputeProfile(a, b)
+	for alpha := 0.01; alpha <= 1.0; alpha += 0.01 {
+		got := p.Dist(alpha)
+		want := AlphaDistBrute(a, b, alpha)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("Profile.Dist(%v) = %v, want %v", alpha, got, want)
+		}
+	}
+	if !math.IsInf(p.Dist(1.5), 1) {
+		t.Fatal("Dist above 1 should be +Inf")
+	}
+}
+
+func TestCriticalSetDefinition(t *testing.T) {
+	// Critical probabilities are exactly the α ∈ levels with no β > α such
+	// that d_β = d_α (Definition 7).
+	rng := rand.New(rand.NewPCG(13, 14))
+	for iter := 0; iter < 20; iter++ {
+		a := randObject(rng, 1, 50, 2, 5)
+		b := randObject(rng, 2, 50, 2, 5)
+		p := ComputeProfile(a, b)
+		crit := p.Critical()
+		critSet := map[float64]bool{}
+		for _, c := range crit {
+			critSet[c] = true
+		}
+		for j, u := range p.Levels {
+			// u is critical iff it is the last level or the next plateau is
+			// strictly larger.
+			isCrit := j == len(p.Levels)-1 || p.Dists[j+1] > p.Dists[j]
+			if critSet[u] != isCrit {
+				t.Fatalf("level %v critical = %v, want %v", u, critSet[u], isCrit)
+			}
+		}
+		// 1 is always critical.
+		if !critSet[1] {
+			t.Fatal("top level must be critical")
+		}
+	}
+}
+
+func TestNextCriticalAndNextLevel(t *testing.T) {
+	// Handcrafted profile: levels 0.2, 0.5, 0.8, 1.0 with distances
+	// 1, 1, 2, 2 — critical set {0.5, 1.0}.
+	p := &Profile{
+		Levels: []float64{0.2, 0.5, 0.8, 1.0},
+		Dists:  []float64{1, 1, 2, 2},
+	}
+	got := p.Critical()
+	if len(got) != 2 || got[0] != 0.5 || got[1] != 1.0 {
+		t.Fatalf("Critical = %v, want [0.5 1]", got)
+	}
+	for _, tc := range []struct {
+		alpha, want float64
+	}{
+		{0.1, 0.5}, {0.2, 0.5}, {0.5, 0.5}, {0.51, 1.0}, {0.8, 1.0}, {1.0, 1.0},
+	} {
+		if got := p.NextCritical(tc.alpha); got != tc.want {
+			t.Errorf("NextCritical(%v) = %v, want %v", tc.alpha, got, tc.want)
+		}
+	}
+	if l, ok := p.NextLevel(0.5); !ok || l != 0.8 {
+		t.Errorf("NextLevel(0.5) = %v,%v", l, ok)
+	}
+	if l, ok := p.NextLevel(0.1); !ok || l != 0.2 {
+		t.Errorf("NextLevel(0.1) = %v,%v", l, ok)
+	}
+	if _, ok := p.NextLevel(1.0); ok {
+		t.Error("NextLevel(1.0) should report !ok")
+	}
+}
+
+func TestMergeLevels(t *testing.T) {
+	got := mergeLevels([]float64{0.1, 0.5, 1}, []float64{0.3, 0.5, 1})
+	want := []float64{0.1, 0.3, 0.5, 1}
+	if len(got) != len(want) {
+		t.Fatalf("mergeLevels = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mergeLevels = %v, want %v", got, want)
+		}
+	}
+	if out := mergeLevels(nil, []float64{0.2, 1}); len(out) != 2 {
+		t.Fatalf("mergeLevels with empty = %v", out)
+	}
+}
+
+func TestProfileCellSizeDegenerate(t *testing.T) {
+	// All points coincide: zero-volume extent must still give a positive cell.
+	pts := []WeightedPoint{
+		{P: []float64{1, 1}, Mu: 1},
+		{P: []float64{1, 1}, Mu: 0.5},
+	}
+	a := MustNew(1, pts)
+	if c := profileCellSize(a, a); c <= 0 {
+		t.Fatalf("cell size = %v", c)
+	}
+	p := ComputeProfile(a, a)
+	for _, d := range p.Dists {
+		if d != 0 {
+			t.Fatalf("coincident objects should have zero distance everywhere: %v", p.Dists)
+		}
+	}
+}
+
+func BenchmarkAlphaDist1K(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	a := randObject(rng, 1, 1000, 2, 0)
+	q := randObject(rng, 2, 1000, 2, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AlphaDist(a, q, 0.5)
+	}
+}
+
+func BenchmarkProfile1K(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	a := randObject(rng, 1, 1000, 2, 0)
+	q := randObject(rng, 2, 1000, 2, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeProfile(a, q)
+	}
+}

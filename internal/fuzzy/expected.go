@@ -1,0 +1,31 @@
+package fuzzy
+
+// ExpectedDist computes the integrated ("expected") distance between two
+// fuzzy objects:
+//
+//	E(A, B) = ∫₀¹ d_α(A, B) dα
+//
+// This is the classical fuzzy-set distance of Bloch and of Chaudhuri &
+// Rosenfeld that the paper contrasts with its α-distance (§2.1): every
+// α-cut's closest-pair distance contributes, weighted by the plateau it
+// spans. The paper argues against folding probability into one score — an
+// object's low-probability fringe can never make it a nearest neighbor
+// under E — but the metric remains useful as a single-number summary, so it
+// is provided as an extension.
+//
+// The integral is exact: d_α is a step function, so it is the sum of
+// plateau widths times plateau distances, read directly off the profile.
+func ExpectedDist(a, b *Object) float64 {
+	return ComputeProfile(a, b).Integrate()
+}
+
+// Integrate returns ∫₀¹ d_α dα for the profile's step function: plateau j
+// spans (Levels[j-1], Levels[j]] with constant distance Dists[j].
+func (p *Profile) Integrate() float64 {
+	var sum, prev float64
+	for j, u := range p.Levels {
+		sum += (u - prev) * p.Dists[j]
+		prev = u
+	}
+	return sum
+}

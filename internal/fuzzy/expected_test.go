@@ -1,0 +1,136 @@
+package fuzzy
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"fuzzyknn/internal/geom"
+)
+
+func TestExpectedDistHandComputed(t *testing.T) {
+	// Query: point at origin. Object: kernel at x=4 (µ=1), fringe at x=1
+	// (µ=0.5). d_α = 1 on (0, 0.5], 4 on (0.5, 1] ⇒ E = 0.5·1 + 0.5·4 = 2.5.
+	q := MustNew(1, []WeightedPoint{{P: geom.Point{0, 0}, Mu: 1}})
+	a := MustNew(2, []WeightedPoint{
+		{P: geom.Point{4, 0}, Mu: 1},
+		{P: geom.Point{1, 0}, Mu: 0.5},
+	})
+	if got := ExpectedDist(a, q); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("ExpectedDist = %v, want 2.5", got)
+	}
+}
+
+func TestExpectedDistBoundsByEndpoints(t *testing.T) {
+	// d_min-level ≤ E ≤ d_1 for every pair (monotone step function).
+	rng := rand.New(rand.NewPCG(31, 7))
+	for iter := 0; iter < 30; iter++ {
+		a := randObject(rng, 1, 40, 2, 8)
+		b := randObject(rng, 2, 40, 2, 8)
+		e := ExpectedDist(a, b)
+		lo := AlphaDistBrute(a, b, math.Nextafter(0, 1))
+		hi := AlphaDistBrute(a, b, 1)
+		if e < lo-1e-9 || e > hi+1e-9 {
+			t.Fatalf("E = %v outside [%v, %v]", e, lo, hi)
+		}
+	}
+}
+
+func TestExpectedDistMatchesRiemannSum(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 9))
+	a := randObject(rng, 1, 50, 2, 10)
+	b := randObject(rng, 2, 50, 2, 10)
+	exact := ExpectedDist(a, b)
+	// Midpoint Riemann sum over a fine grid; with quantized levels (1/10)
+	// the grid aligns with plateaus and the sum is exact too.
+	const steps = 1000
+	var sum float64
+	for i := 0; i < steps; i++ {
+		alpha := (float64(i) + 0.5) / steps
+		sum += AlphaDistBrute(a, b, alpha) / steps
+	}
+	if math.Abs(exact-sum) > 1e-6 {
+		t.Fatalf("Integrate = %v, Riemann sum = %v", exact, sum)
+	}
+}
+
+func TestExpectedDistSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewPCG(35, 11))
+	for iter := 0; iter < 20; iter++ {
+		a := randObject(rng, 1, 30, 2, 6)
+		b := randObject(rng, 2, 30, 2, 6)
+		if d1, d2 := ExpectedDist(a, b), ExpectedDist(b, a); math.Abs(d1-d2) > 1e-9 {
+			t.Fatalf("not symmetric: %v vs %v", d1, d2)
+		}
+	}
+}
+
+// TestExpectedDominatesAlphaAtLowThresholds is the paper's §2.1 argument in
+// test form: E(A,B) can exceed d_α at low α by an arbitrary margin — an
+// object very close at low confidence "can be easily dominated" under the
+// integrated metric. We verify E ≥ d_α for α = the minimum level and that a
+// fringe-only-close object demonstrates a strict gap.
+func TestExpectedDominatesAlphaAtLowThresholds(t *testing.T) {
+	q := MustNew(1, []WeightedPoint{{P: geom.Point{0, 0}, Mu: 1}})
+	// Fringe almost touching the query, kernel far away.
+	a := MustNew(2, []WeightedPoint{
+		{P: geom.Point{10, 0}, Mu: 1},
+		{P: geom.Point{0.1, 0}, Mu: 0.05},
+	})
+	dLow := AlphaDistBrute(a, q, 0.05)
+	e := ExpectedDist(a, q)
+	if dLow >= 1 {
+		t.Fatalf("setup broken: low-α distance = %v", dLow)
+	}
+	if e < 9 {
+		t.Fatalf("expected metric should be dominated by the far kernel: %v", e)
+	}
+}
+
+// Property-based check via testing/quick: integration of a synthetic valid
+// profile equals the closed-form plateau sum and is bounded by its extremes.
+func TestIntegrateQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		// Build a valid profile from arbitrary fuzz input: levels strictly
+		// ascending in (0,1] ending at 1; dists non-negative non-decreasing.
+		levels := []float64{1}
+		dists := []float64{0}
+		cur := 1.0
+		d := 0.0
+		for _, r := range raw {
+			if math.IsNaN(r) || math.IsInf(r, 0) {
+				continue
+			}
+			frac := math.Abs(r) - math.Floor(math.Abs(r)) // in [0,1)
+			cur *= 0.3 + 0.6*frac                         // strictly shrinking
+			if cur <= 0 {
+				break
+			}
+			d += frac
+			levels = append([]float64{cur}, levels...)
+			dists = append([]float64{0}, dists...)
+		}
+		// Assign non-decreasing distances.
+		for i := range dists {
+			if i > 0 {
+				dists[i] = dists[i-1] + 0.5
+			}
+		}
+		p := &Profile{Levels: levels, Dists: dists}
+		got := p.Integrate()
+		// Reference: direct plateau sum.
+		var want, prev float64
+		for j, u := range levels {
+			want += (u - prev) * dists[j]
+			prev = u
+		}
+		if math.Abs(got-want) > 1e-9 {
+			return false
+		}
+		return got >= dists[0]-1e-9 && got <= dists[len(dists)-1]+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package fuzzy implements the fuzzy object model of Zheng et al. (SIGMOD
+// 2010): objects are finite sets of weighted points ⟨a, µ(a)⟩ with
+// µ(a) ∈ (0, 1], a non-empty kernel (µ = 1), and queries are evaluated on
+// α-cuts — the subsets with µ ≥ α.
+//
+// Internally points are kept sorted by descending membership so that every
+// α-cut is a prefix of the point array. That single invariant makes cut
+// extraction a binary search, per-level MBRs prefix maxima, and the full
+// distance profile (α ↦ d_α) computable in one incremental pass.
+package fuzzy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fuzzyknn/internal/geom"
+)
+
+// WeightedPoint is a spatial point with its membership probability.
+type WeightedPoint struct {
+	P  geom.Point
+	Mu float64
+}
+
+// Object is an immutable fuzzy object. Construct with New.
+type Object struct {
+	id   uint64
+	pts  []geom.Point // sorted by descending membership
+	mus  []float64    // parallel to pts, descending
+	dims int
+
+	levels    []float64   // distinct membership values U_A, ascending (last is 1)
+	levelEnd  []int       // levelEnd[i]: cut size at levels[i] (prefix length)
+	levelMBRs []geom.Rect // levelMBRs[i]: exact MBR of the cut at levels[i]
+}
+
+// Validation errors returned by New.
+var (
+	ErrNoPoints    = errors.New("fuzzy: object has no points")
+	ErrEmptyKernel = errors.New("fuzzy: object kernel is empty (no point with µ = 1)")
+	ErrBadMu       = errors.New("fuzzy: membership values must lie in (0, 1]")
+	ErrDims        = errors.New("fuzzy: inconsistent point dimensionality")
+)
+
+// New constructs a fuzzy object from weighted points. The input slice is
+// copied. Membership values must lie in (0, 1], at least one point must have
+// µ = 1 (the paper's non-empty-kernel assumption, §2.1) and all points must
+// share one dimensionality.
+func New(id uint64, points []WeightedPoint) (*Object, error) {
+	if len(points) == 0 {
+		return nil, ErrNoPoints
+	}
+	dims := points[0].P.Dims()
+	hasKernel := false
+	for _, wp := range points {
+		if wp.Mu <= 0 || wp.Mu > 1 || math.IsNaN(wp.Mu) {
+			return nil, fmt.Errorf("%w: got %v", ErrBadMu, wp.Mu)
+		}
+		if wp.P.Dims() != dims {
+			return nil, fmt.Errorf("%w: %d vs %d", ErrDims, wp.P.Dims(), dims)
+		}
+		if wp.Mu == 1 {
+			hasKernel = true
+		}
+	}
+	if !hasKernel {
+		return nil, ErrEmptyKernel
+	}
+
+	sorted := make([]WeightedPoint, len(points))
+	copy(sorted, points)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Mu > sorted[j].Mu })
+
+	o := &Object{
+		id:   id,
+		pts:  make([]geom.Point, len(sorted)),
+		mus:  make([]float64, len(sorted)),
+		dims: dims,
+	}
+	for i, wp := range sorted {
+		o.pts[i] = wp.P.Clone()
+		o.mus[i] = wp.Mu
+	}
+
+	// Distinct levels in descending prefix order, then reversed to
+	// ascending. levelEnd and levelMBRs are prefix aggregates.
+	var desc []float64
+	var ends []int
+	var mbrs []geom.Rect
+	var cur geom.Rect
+	for i := 0; i < len(o.pts); i++ {
+		cur.ExpandPoint(o.pts[i])
+		if i+1 == len(o.pts) || o.mus[i+1] != o.mus[i] {
+			desc = append(desc, o.mus[i])
+			ends = append(ends, i+1)
+			mbrs = append(mbrs, cur.Clone())
+		}
+	}
+	n := len(desc)
+	o.levels = make([]float64, n)
+	o.levelEnd = make([]int, n)
+	o.levelMBRs = make([]geom.Rect, n)
+	for i := 0; i < n; i++ {
+		o.levels[i] = desc[n-1-i]
+		o.levelEnd[i] = ends[n-1-i]
+		o.levelMBRs[i] = mbrs[n-1-i]
+	}
+	return o, nil
+}
+
+// MustNew is New but panics on error; intended for tests and generators that
+// construct objects from known-valid data.
+func MustNew(id uint64, points []WeightedPoint) *Object {
+	o, err := New(id, points)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// ID returns the object identifier.
+func (o *Object) ID() uint64 { return o.id }
+
+// Len returns the number of points (the support size).
+func (o *Object) Len() int { return len(o.pts) }
+
+// Dims returns the dimensionality of the object's points.
+func (o *Object) Dims() int { return o.dims }
+
+// At returns the i-th point and its membership, in descending-membership
+// order. The returned point must not be modified.
+func (o *Object) At(i int) (geom.Point, float64) { return o.pts[i], o.mus[i] }
+
+// Levels returns the distinct membership values U_A in ascending order. The
+// last level is always 1. The returned slice must not be modified.
+func (o *Object) Levels() []float64 { return o.levels }
+
+// MinLevel returns the smallest membership value of any point.
+func (o *Object) MinLevel() float64 { return o.levels[0] }
+
+// cutLen returns the number of points in the α-cut.
+func (o *Object) cutLen(alpha float64) int {
+	if alpha <= o.levels[0] {
+		return len(o.pts)
+	}
+	// Find the first level >= alpha (levels ascending); the cut at alpha
+	// equals the cut at that level.
+	i := sort.SearchFloat64s(o.levels, alpha)
+	if i == len(o.levels) {
+		return 0 // alpha > 1: no points qualify
+	}
+	return o.levelEnd[i]
+}
+
+// Cut returns the α-cut A_α = {a : µ(a) ≥ α} as a shared sub-slice of the
+// object's points (descending membership). The result must not be modified.
+// For α ≤ min level this is the support; for α > 1 it is empty.
+func (o *Object) Cut(alpha float64) []geom.Point { return o.pts[:o.cutLen(alpha)] }
+
+// CutSize returns |A_α| without materializing the cut.
+func (o *Object) CutSize(alpha float64) int { return o.cutLen(alpha) }
+
+// Support returns all points (µ > 0). The result must not be modified.
+func (o *Object) Support() []geom.Point { return o.pts }
+
+// Kernel returns the points with µ = 1. The result must not be modified.
+func (o *Object) Kernel() []geom.Point { return o.pts[:o.levelEnd[len(o.levelEnd)-1]] }
+
+// SupportMBR returns the exact MBR of the support, M_A(0) in paper notation.
+func (o *Object) SupportMBR() geom.Rect { return o.levelMBRs[0] }
+
+// KernelMBR returns the exact MBR of the kernel, M_A(1).
+func (o *Object) KernelMBR() geom.Rect { return o.levelMBRs[len(o.levelMBRs)-1] }
+
+// MBR returns the exact MBR M_A(α) of the α-cut. For α > 1 it returns the
+// empty rectangle.
+func (o *Object) MBR(alpha float64) geom.Rect {
+	if alpha <= o.levels[0] {
+		return o.levelMBRs[0]
+	}
+	i := sort.SearchFloat64s(o.levels, alpha)
+	if i == len(o.levels) {
+		return geom.Rect{}
+	}
+	return o.levelMBRs[i]
+}
+
+// WeightedPoints returns a copy of the object's points with memberships, in
+// descending-membership order.
+func (o *Object) WeightedPoints() []WeightedPoint {
+	out := make([]WeightedPoint, len(o.pts))
+	for i := range o.pts {
+		out[i] = WeightedPoint{P: o.pts[i].Clone(), Mu: o.mus[i]}
+	}
+	return out
+}
+
+// Rep returns the object's representative kernel point (§3.4): a
+// deterministic pseudo-random pick so that index rebuilds are reproducible.
+func (o *Object) Rep() geom.Point {
+	k := o.Kernel()
+	// SplitMix64 of the id selects the kernel index.
+	x := o.id + 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return k[x%uint64(len(k))]
+}
+
+// SampleCut returns up to n points pseudo-randomly sampled (without
+// replacement) from the α-cut, deterministically from seed. If the cut has
+// at most n points, the whole cut is returned.
+func (o *Object) SampleCut(alpha float64, n int, seed uint64) []geom.Point {
+	cut := o.Cut(alpha)
+	if len(cut) <= n {
+		return cut
+	}
+	// Partial Fisher-Yates over a copy of the index space, driven by
+	// SplitMix64 so results are stable across runs.
+	idx := make([]int, len(cut))
+	for i := range idx {
+		idx[i] = i
+	}
+	state := seed
+	next := func() uint64 {
+		state += 0x9E3779B97F4A7C15
+		z := state
+		z ^= z >> 30
+		z *= 0xBF58476D1CE4E5B9
+		z ^= z >> 27
+		z *= 0x94D049BB133111EB
+		z ^= z >> 31
+		return z
+	}
+	out := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		j := i + int(next()%uint64(len(idx)-i))
+		idx[i], idx[j] = idx[j], idx[i]
+		out[i] = cut[idx[i]]
+	}
+	return out
+}
+
+// String summarizes the object.
+func (o *Object) String() string {
+	return fmt.Sprintf("fuzzy.Object{id=%d, n=%d, dims=%d, levels=%d}",
+		o.id, len(o.pts), o.dims, len(o.levels))
+}

@@ -1,0 +1,273 @@
+package fuzzy
+
+import (
+	"errors"
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"fuzzyknn/internal/geom"
+)
+
+// randObject builds a random valid fuzzy object: n points scattered around a
+// center, memberships quantized to `q` levels (0 = continuous), always at
+// least one kernel point.
+func randObject(rng *rand.Rand, id uint64, n, dims int, q int) *Object {
+	center := make(geom.Point, dims)
+	for i := range center {
+		center[i] = rng.Float64() * 100
+	}
+	pts := make([]WeightedPoint, n)
+	for i := range pts {
+		p := make(geom.Point, dims)
+		for j := range p {
+			p[j] = center[j] + (rng.Float64()-0.5)*2
+		}
+		mu := rng.Float64()
+		if mu == 0 {
+			mu = 0.5
+		}
+		if q > 0 {
+			mu = math.Ceil(mu*float64(q)) / float64(q)
+		}
+		pts[i] = WeightedPoint{P: p, Mu: mu}
+	}
+	pts[0].Mu = 1 // ensure non-empty kernel
+	return MustNew(id, pts)
+}
+
+func TestNewValidation(t *testing.T) {
+	p := geom.Point{0, 0}
+	tests := []struct {
+		name string
+		in   []WeightedPoint
+		want error
+	}{
+		{"empty", nil, ErrNoPoints},
+		{"mu zero", []WeightedPoint{{P: p, Mu: 0}}, ErrBadMu},
+		{"mu negative", []WeightedPoint{{P: p, Mu: -0.5}}, ErrBadMu},
+		{"mu above one", []WeightedPoint{{P: p, Mu: 1.5}}, ErrBadMu},
+		{"mu NaN", []WeightedPoint{{P: p, Mu: math.NaN()}}, ErrBadMu},
+		{"no kernel", []WeightedPoint{{P: p, Mu: 0.9}}, ErrEmptyKernel},
+		{"dims mismatch", []WeightedPoint{{P: p, Mu: 1}, {P: geom.Point{1, 2, 3}, Mu: 0.5}}, ErrDims},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(1, tc.in); !errors.Is(err, tc.want) {
+				t.Errorf("New() error = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustNew(1, nil)
+}
+
+func TestCutIsMembershipFilter(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 3))
+	for iter := 0; iter < 30; iter++ {
+		n := 1 + rng.IntN(100)
+		o := randObject(rng, uint64(iter), n, 2, 10)
+		for _, alpha := range []float64{0.05, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0} {
+			cut := o.Cut(alpha)
+			want := 0
+			for i := 0; i < o.Len(); i++ {
+				if _, mu := o.At(i); mu >= alpha {
+					want++
+				}
+			}
+			if len(cut) != want {
+				t.Fatalf("Cut(%v) size = %d, want %d", alpha, len(cut), want)
+			}
+			for i, p := range cut {
+				q, mu := o.At(i)
+				if !p.Equal(q) || mu < alpha {
+					t.Fatalf("Cut(%v)[%d] inconsistent", alpha, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCutNesting(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 5))
+	o := randObject(rng, 1, 200, 2, 0)
+	prev := o.Len() + 1
+	for alpha := 0.0; alpha <= 1.0; alpha += 0.01 {
+		size := o.CutSize(alpha)
+		if size > prev {
+			t.Fatalf("cut grew as alpha increased at %v: %d > %d", alpha, size, prev)
+		}
+		prev = size
+	}
+	if o.CutSize(1.0) == 0 {
+		t.Fatal("kernel cut empty")
+	}
+	if o.CutSize(1.1) != 0 {
+		t.Fatal("cut above 1 should be empty")
+	}
+}
+
+func TestCutAtExactLevels(t *testing.T) {
+	pts := []WeightedPoint{
+		{P: geom.Point{0, 0}, Mu: 1},
+		{P: geom.Point{1, 0}, Mu: 0.7},
+		{P: geom.Point{2, 0}, Mu: 0.7},
+		{P: geom.Point{3, 0}, Mu: 0.3},
+	}
+	o := MustNew(9, pts)
+	for _, tc := range []struct {
+		alpha float64
+		want  int
+	}{
+		{1.0, 1}, {0.71, 1}, {0.7, 3}, {0.5, 3}, {0.3, 4}, {0.1, 4}, {0.0, 4},
+	} {
+		if got := o.CutSize(tc.alpha); got != tc.want {
+			t.Errorf("CutSize(%v) = %d, want %d", tc.alpha, got, tc.want)
+		}
+	}
+}
+
+func TestLevelsAscendingDistinctEndAtOne(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 7))
+	for iter := 0; iter < 20; iter++ {
+		o := randObject(rng, uint64(iter), 1+rng.IntN(50), 2, 8)
+		ls := o.Levels()
+		for i := 1; i < len(ls); i++ {
+			if ls[i] <= ls[i-1] {
+				t.Fatalf("levels not strictly ascending: %v", ls)
+			}
+		}
+		if ls[len(ls)-1] != 1 {
+			t.Fatalf("top level = %v, want 1", ls[len(ls)-1])
+		}
+		if o.MinLevel() != ls[0] {
+			t.Fatalf("MinLevel mismatch")
+		}
+	}
+}
+
+func TestMBRMatchesCut(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 9))
+	for iter := 0; iter < 20; iter++ {
+		o := randObject(rng, uint64(iter), 1+rng.IntN(80), 1+rng.IntN(3), 6)
+		for alpha := 0.05; alpha <= 1.0; alpha += 0.05 {
+			cut := o.Cut(alpha)
+			got := o.MBR(alpha)
+			want := geom.BoundingRect(cut)
+			if !got.Equal(want) {
+				t.Fatalf("MBR(%v) = %v, want %v", alpha, got, want)
+			}
+		}
+		if !o.MBR(2).IsEmpty() {
+			t.Fatal("MBR above 1 should be empty")
+		}
+		if !o.SupportMBR().Equal(geom.BoundingRect(o.Support())) {
+			t.Fatal("SupportMBR mismatch")
+		}
+		if !o.KernelMBR().Equal(geom.BoundingRect(o.Kernel())) {
+			t.Fatal("KernelMBR mismatch")
+		}
+	}
+}
+
+func TestKernelAllOnes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(10, 11))
+	o := randObject(rng, 3, 60, 2, 4)
+	for i, p := range o.Kernel() {
+		q, mu := o.At(i)
+		if mu != 1 || !p.Equal(q) {
+			t.Fatalf("kernel point %d has mu %v", i, mu)
+		}
+	}
+}
+
+func TestRepDeterministicAndInKernel(t *testing.T) {
+	rng := rand.New(rand.NewPCG(12, 13))
+	o := randObject(rng, 77, 50, 2, 5)
+	r1 := o.Rep()
+	r2 := o.Rep()
+	if !r1.Equal(r2) {
+		t.Fatal("Rep not deterministic")
+	}
+	found := false
+	for _, p := range o.Kernel() {
+		if p.Equal(r1) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("Rep not a kernel point")
+	}
+}
+
+func TestSampleCut(t *testing.T) {
+	rng := rand.New(rand.NewPCG(14, 15))
+	o := randObject(rng, 5, 100, 2, 0)
+	s := o.SampleCut(0.3, 10, 42)
+	if len(s) != 10 {
+		t.Fatalf("sample size = %d, want 10", len(s))
+	}
+	cut := o.Cut(0.3)
+	inCut := func(p geom.Point) bool {
+		for _, q := range cut {
+			if p.Equal(q) {
+				return true
+			}
+		}
+		return false
+	}
+	seen := map[string]bool{}
+	for _, p := range s {
+		if !inCut(p) {
+			t.Fatalf("sample point %v not in cut", p)
+		}
+		if seen[p.String()] {
+			t.Fatalf("duplicate sample point %v", p)
+		}
+		seen[p.String()] = true
+	}
+	// Deterministic under the same seed.
+	s2 := o.SampleCut(0.3, 10, 42)
+	for i := range s {
+		if !s[i].Equal(s2[i]) {
+			t.Fatal("SampleCut not deterministic")
+		}
+	}
+	// Whole cut returned when n >= |cut|.
+	all := o.SampleCut(1.0, 1000, 1)
+	if len(all) != o.CutSize(1.0) {
+		t.Fatalf("oversized sample = %d, want %d", len(all), o.CutSize(1.0))
+	}
+}
+
+func TestWeightedPointsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(16, 17))
+	o := randObject(rng, 8, 40, 3, 7)
+	wps := o.WeightedPoints()
+	o2 := MustNew(o.ID(), wps)
+	if o2.Len() != o.Len() || len(o2.Levels()) != len(o.Levels()) {
+		t.Fatal("round trip changed object shape")
+	}
+	for i := 0; i < o.Len(); i++ {
+		p1, m1 := o.At(i)
+		p2, m2 := o2.At(i)
+		if !p1.Equal(p2) || m1 != m2 {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	o := MustNew(1, []WeightedPoint{{P: geom.Point{0, 0}, Mu: 1}})
+	if o.String() == "" {
+		t.Fatal("empty String")
+	}
+}

@@ -1,0 +1,91 @@
+package fuzzy
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestStaircaseConservative(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 1))
+	for iter := 0; iter < 30; iter++ {
+		o := randObject(rng, uint64(iter), 10+rng.IntN(150), 1+rng.IntN(3), 12*(iter%2))
+		for _, steps := range []int{2, 4, 8, 64} {
+			s := NewStaircaseApprox(o, steps)
+			for alpha := 0.0; alpha <= 1.0; alpha += 0.02 {
+				exact := o.MBR(alpha)
+				if exact.IsEmpty() {
+					continue
+				}
+				est := s.EstimateMBR(alpha)
+				if !est.ContainsRect(exact) {
+					t.Fatalf("steps=%d alpha=%v: staircase %v misses exact %v",
+						steps, alpha, est, exact)
+				}
+				if !o.SupportMBR().ContainsRect(est) {
+					t.Fatalf("staircase escapes support")
+				}
+			}
+		}
+	}
+}
+
+func TestStaircaseExactWithFullBudget(t *testing.T) {
+	rng := rand.New(rand.NewPCG(53, 2))
+	o := randObject(rng, 1, 60, 2, 8) // at most 8 levels
+	s := NewStaircaseApprox(o, 1000)  // budget exceeds level count
+	if s.Steps() != len(o.Levels()) {
+		t.Fatalf("steps = %d, want %d", s.Steps(), len(o.Levels()))
+	}
+	for _, alpha := range o.Levels() {
+		if !s.EstimateMBR(alpha).Equal(o.MBR(alpha)) {
+			t.Fatalf("full-budget staircase not exact at %v", alpha)
+		}
+	}
+}
+
+func TestStaircaseTighterThanLineOnAverage(t *testing.T) {
+	// With a generous budget the staircase should usually beat the linear
+	// approximation in enclosed area (that is its reason to exist).
+	rng := rand.New(rand.NewPCG(55, 3))
+	wins, total := 0, 0
+	for iter := 0; iter < 20; iter++ {
+		o := randObject(rng, uint64(iter), 200, 2, 0)
+		line := NewBoundaryApprox(o)
+		stair := NewStaircaseApprox(o, 32)
+		for alpha := 0.1; alpha <= 1.0; alpha += 0.1 {
+			la := line.EstimateMBR(alpha).Area()
+			sa := stair.EstimateMBR(alpha).Area()
+			if sa <= la+1e-12 {
+				wins++
+			}
+			total++
+		}
+	}
+	if wins*10 < total*7 {
+		t.Fatalf("staircase tighter in only %d/%d cases", wins, total)
+	}
+}
+
+func TestStaircaseValidation(t *testing.T) {
+	rng := rand.New(rand.NewPCG(57, 4))
+	o := randObject(rng, 1, 10, 2, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for steps < 2")
+		}
+	}()
+	NewStaircaseApprox(o, 1)
+}
+
+func TestStaircaseSupportRect(t *testing.T) {
+	rng := rand.New(rand.NewPCG(59, 5))
+	o := randObject(rng, 1, 50, 2, 6)
+	s := NewStaircaseApprox(o, 8)
+	if !s.SupportRect().Equal(o.SupportMBR()) {
+		t.Fatal("SupportRect mismatch")
+	}
+	b := NewBoundaryApprox(o)
+	if !b.SupportRect().Equal(o.SupportMBR()) {
+		t.Fatal("BoundaryApprox.SupportRect mismatch")
+	}
+}

@@ -1,0 +1,230 @@
+// Package grid implements a uniform hash grid over d-dimensional points with
+// an expanding-ring nearest-neighbor search.
+//
+// The grid supports incremental insertion, which the k-d tree in
+// internal/kdtree deliberately does not. It backs the computation of whole
+// distance profiles α ↦ d_α(A, Q): points of both objects are inserted in
+// descending membership order, and every insertion asks the *other* object's
+// grid for a neighbor closer than the current best pair distance. Because
+// the profile is the running minimum, each query is bounded by the current
+// best and ring expansion terminates quickly.
+package grid
+
+import (
+	"math"
+
+	"fuzzyknn/internal/geom"
+)
+
+type entry struct {
+	p  geom.Point
+	id int
+}
+
+// Grid is a uniform hash grid. Create one with New; the zero value is not
+// usable.
+type Grid struct {
+	cell    float64
+	dims    int
+	buckets map[uint64][]entry
+	n       int
+	// occupied cell-coordinate extent per dimension, for bounding ring
+	// expansion on sparse grids.
+	loCell, hiCell []int64
+}
+
+// New creates an empty grid with the given cell edge length and
+// dimensionality. cellSize must be positive and dims at least 1.
+func New(cellSize float64, dims int) *Grid {
+	if cellSize <= 0 || math.IsNaN(cellSize) || math.IsInf(cellSize, 0) {
+		panic("grid: cell size must be positive and finite")
+	}
+	if dims < 1 {
+		panic("grid: dims must be >= 1")
+	}
+	lo := make([]int64, dims)
+	hi := make([]int64, dims)
+	for i := range lo {
+		lo[i] = math.MaxInt64
+		hi[i] = math.MinInt64
+	}
+	return &Grid{
+		cell:    cellSize,
+		dims:    dims,
+		buckets: make(map[uint64][]entry),
+		loCell:  lo,
+		hiCell:  hi,
+	}
+}
+
+// Len returns the number of inserted points.
+func (g *Grid) Len() int { return g.n }
+
+// CellSize returns the grid's cell edge length.
+func (g *Grid) CellSize() float64 { return g.cell }
+
+// Insert adds p with an arbitrary caller-chosen identifier.
+func (g *Grid) Insert(p geom.Point, id int) {
+	if p.Dims() != g.dims {
+		panic("grid: dimension mismatch")
+	}
+	coords := g.cellCoords(p)
+	h := hashCells(coords)
+	g.buckets[h] = append(g.buckets[h], entry{p: p, id: id})
+	g.n++
+	for i, c := range coords {
+		if c < g.loCell[i] {
+			g.loCell[i] = c
+		}
+		if c > g.hiCell[i] {
+			g.hiCell[i] = c
+		}
+	}
+}
+
+func (g *Grid) cellCoords(p geom.Point) []int64 {
+	coords := make([]int64, g.dims)
+	for i, v := range p {
+		coords[i] = int64(math.Floor(v / g.cell))
+	}
+	return coords
+}
+
+// NearestWithin returns the identifier and distance of the inserted point
+// nearest to q among those with distance strictly less than bound. It
+// returns (-1, +Inf) when no point qualifies (including the empty grid).
+//
+// The search expands cell rings around q's cell. A ring at Chebyshev cell
+// distance r cannot contain a point closer than (r-1)*cellSize, so the scan
+// stops as soon as that lower bound reaches the best distance found (or the
+// supplied bound), and never expands beyond the occupied extent of the grid.
+func (g *Grid) NearestWithin(q geom.Point, bound float64) (int, float64) {
+	if q.Dims() != g.dims {
+		panic("grid: dimension mismatch")
+	}
+	if g.n == 0 || bound <= 0 {
+		return -1, math.Inf(1)
+	}
+	center := g.cellCoords(q)
+	minRing, maxRing := g.ringRange(center)
+	if maxRing < 0 {
+		return -1, math.Inf(1)
+	}
+
+	bestID := -1
+	bestSq := math.Inf(1)
+	limitSq := math.Inf(1) // strictly-less-than bound
+	if !math.IsInf(bound, 1) {
+		limitSq = bound * bound
+	}
+
+	coords := make([]int64, g.dims)
+	for r := minRing; r <= maxRing; r++ {
+		if r >= 1 {
+			ringMin := float64(r-1) * g.cell
+			if ringMin*ringMin >= math.Min(bestSq, limitSq) {
+				break
+			}
+		}
+		g.scanRing(center, coords, r, q, &bestID, &bestSq, limitSq)
+	}
+	if bestID < 0 || bestSq >= limitSq {
+		return -1, math.Inf(1)
+	}
+	return bestID, math.Sqrt(bestSq)
+}
+
+// ringRange returns the first ring that can touch an occupied cell (the
+// Chebyshev cell distance from center to the occupied box; 0 when center is
+// inside it) and the last ring worth visiting. maxRing is -1 when the grid
+// is empty.
+func (g *Grid) ringRange(center []int64) (int64, int64) {
+	var lo, hi int64
+	for i := 0; i < g.dims; i++ {
+		if g.hiCell[i] < g.loCell[i] {
+			return 0, -1 // nothing inserted
+		}
+		if d := g.loCell[i] - center[i]; d > lo {
+			lo = d
+		}
+		if d := center[i] - g.hiCell[i]; d > lo {
+			lo = d
+		}
+		if d := center[i] - g.loCell[i]; d > hi {
+			hi = d
+		}
+		if d := g.hiCell[i] - center[i]; d > hi {
+			hi = d
+		}
+	}
+	return lo, hi
+}
+
+// scanRing visits every cell whose offset from center has Chebyshev norm
+// exactly r, enumerating only the ring surface: for each dimension `pin`, it
+// pins that coordinate at ±r while earlier dimensions range over the open
+// interval (-r, r) and later dimensions over [-r, r], so no cell is visited
+// twice. It accumulates the best squared distance below limitSq.
+func (g *Grid) scanRing(center, coords []int64, r int64, q geom.Point, bestID *int, bestSq *float64, limitSq float64) {
+	if r == 0 {
+		copy(coords, center)
+		g.scanCell(coords, q, bestID, bestSq, limitSq)
+		return
+	}
+	for pin := 0; pin < g.dims; pin++ {
+		for _, side := range [2]int64{-r, r} {
+			g.scanFace(center, coords, pin, side, 0, r, q, bestID, bestSq, limitSq)
+		}
+	}
+}
+
+// scanFace fills coords recursively for the face where dimension pin is held
+// at center[pin]+side.
+func (g *Grid) scanFace(center, coords []int64, pin int, side int64, dim int, r int64, q geom.Point, bestID *int, bestSq *float64, limitSq float64) {
+	if dim == g.dims {
+		g.scanCell(coords, q, bestID, bestSq, limitSq)
+		return
+	}
+	switch {
+	case dim == pin:
+		coords[dim] = center[dim] + side
+		g.scanFace(center, coords, pin, side, dim+1, r, q, bestID, bestSq, limitSq)
+	case dim < pin:
+		// Open range: ±r here belongs to the face pinned at this dimension.
+		for o := -r + 1; o <= r-1; o++ {
+			coords[dim] = center[dim] + o
+			g.scanFace(center, coords, pin, side, dim+1, r, q, bestID, bestSq, limitSq)
+		}
+	default:
+		for o := -r; o <= r; o++ {
+			coords[dim] = center[dim] + o
+			g.scanFace(center, coords, pin, side, dim+1, r, q, bestID, bestSq, limitSq)
+		}
+	}
+}
+
+func (g *Grid) scanCell(coords []int64, q geom.Point, bestID *int, bestSq *float64, limitSq float64) {
+	for _, e := range g.buckets[hashCells(coords)] {
+		if d := geom.DistSq(q, e.p); d < *bestSq && d < limitSq {
+			*bestSq = d
+			*bestID = e.id
+		}
+	}
+}
+
+// hashCells mixes the cell coordinates into a single bucket key. Collisions
+// are tolerated: a bucket may hold entries of several distinct cells, which
+// only adds candidates whose true distance is still computed exactly.
+func hashCells(coords []int64) uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, c := range coords {
+		x := uint64(c)
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+		h = (h ^ x) * 0x100000001B3
+	}
+	return h
+}

@@ -1,0 +1,214 @@
+package grid
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"fuzzyknn/internal/geom"
+)
+
+func randPoint(rng *rand.Rand, d int, scale float64) geom.Point {
+	p := make(geom.Point, d)
+	for i := range p {
+		p[i] = (rng.Float64() - 0.5) * scale
+	}
+	return p
+}
+
+func bruteNearestWithin(pts []geom.Point, q geom.Point, bound float64) (int, float64) {
+	best, bi := math.Inf(1), -1
+	for i, p := range pts {
+		if d := geom.Dist(p, q); d < best && d < bound {
+			best, bi = d, i
+		}
+	}
+	if bi < 0 {
+		return -1, math.Inf(1)
+	}
+	return bi, best
+}
+
+func TestEmptyGrid(t *testing.T) {
+	g := New(1.0, 2)
+	if g.Len() != 0 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+	id, d := g.NearestWithin(geom.Point{0, 0}, math.Inf(1))
+	if id != -1 || !math.IsInf(d, 1) {
+		t.Errorf("NearestWithin on empty grid = (%d, %v)", id, d)
+	}
+}
+
+func TestBadConstruction(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 2) },
+		func() { New(-1, 2) },
+		func() { New(math.NaN(), 2) },
+		func() { New(1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSingleInsert(t *testing.T) {
+	g := New(1.0, 2)
+	g.Insert(geom.Point{3, 4}, 42)
+	id, d := g.NearestWithin(geom.Point{0, 0}, math.Inf(1))
+	if id != 42 || math.Abs(d-5) > 1e-12 {
+		t.Errorf("got (%d, %v), want (42, 5)", id, d)
+	}
+}
+
+func TestStrictBound(t *testing.T) {
+	g := New(1.0, 2)
+	g.Insert(geom.Point{1, 0}, 1)
+	// Point at exactly the bound is excluded.
+	if id, _ := g.NearestWithin(geom.Point{0, 0}, 1.0); id != -1 {
+		t.Errorf("strict bound admitted id %d", id)
+	}
+	if id, _ := g.NearestWithin(geom.Point{0, 0}, 1.0+1e-9); id != 1 {
+		t.Errorf("bound just above distance should admit the point")
+	}
+	// Non-positive bound admits nothing.
+	if id, _ := g.NearestWithin(geom.Point{0, 0}, 0); id != -1 {
+		t.Errorf("zero bound admitted id %d", id)
+	}
+}
+
+func TestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	for _, dims := range []int{1, 2, 3} {
+		for _, cell := range []float64{0.1, 1.0, 10.0} {
+			g := New(cell, dims)
+			var pts []geom.Point
+			for i := 0; i < 300; i++ {
+				p := randPoint(rng, dims, 20)
+				pts = append(pts, p)
+				g.Insert(p, i)
+			}
+			for iter := 0; iter < 50; iter++ {
+				q := randPoint(rng, dims, 30)
+				bound := math.Inf(1)
+				if iter%2 == 0 {
+					bound = rng.Float64() * 10
+				}
+				gid, gd := g.NearestWithin(q, bound)
+				wid, wd := bruteNearestWithin(pts, q, bound)
+				if gid == -1 && wid == -1 {
+					continue
+				}
+				if math.Abs(gd-wd) > 1e-9 {
+					t.Fatalf("dims=%d cell=%v: grid dist %v (id %d), want %v (id %d)",
+						dims, cell, gd, gid, wd, wid)
+				}
+			}
+		}
+	}
+}
+
+func TestIncrementalRunningMinimum(t *testing.T) {
+	// Simulates the distance-profile usage: inserting points one at a time
+	// while tracking the running minimum distance to a fixed query side.
+	rng := rand.New(rand.NewPCG(5, 8))
+	qside := New(0.5, 2)
+	var qpts []geom.Point
+	for i := 0; i < 100; i++ {
+		p := randPoint(rng, 2, 10)
+		qpts = append(qpts, p)
+		qside.Insert(p, i)
+	}
+	best := math.Inf(1)
+	for i := 0; i < 200; i++ {
+		p := randPoint(rng, 2, 10)
+		if _, d := qside.NearestWithin(p, best); d < best {
+			best = d
+		}
+		// Reference: true min over all pairs so far.
+		_, want := bruteNearestWithin(qpts, p, math.Inf(1))
+		_ = want
+	}
+	// Verify final best equals brute-force minimum over all processed pairs.
+	check := math.Inf(1)
+	rng2 := rand.New(rand.NewPCG(5, 8))
+	var qp2 []geom.Point
+	for i := 0; i < 100; i++ {
+		qp2 = append(qp2, randPoint(rng2, 2, 10))
+	}
+	for i := 0; i < 200; i++ {
+		p := randPoint(rng2, 2, 10)
+		if _, d := bruteNearestWithin(qp2, p, math.Inf(1)); d < check {
+			check = d
+		}
+	}
+	if math.Abs(best-check) > 1e-9 {
+		t.Fatalf("running minimum %v, want %v", best, check)
+	}
+}
+
+func TestDuplicateAndCoincidentPoints(t *testing.T) {
+	g := New(1.0, 2)
+	g.Insert(geom.Point{1, 1}, 1)
+	g.Insert(geom.Point{1, 1}, 2)
+	id, d := g.NearestWithin(geom.Point{1, 1}, math.Inf(1))
+	if d != 0 || (id != 1 && id != 2) {
+		t.Errorf("got (%d, %v)", id, d)
+	}
+}
+
+func TestFarQueryOutsideOccupiedExtent(t *testing.T) {
+	// Query far from all cells: ring expansion must still find the point
+	// (bounded by occupied extent) rather than loop forever.
+	g := New(0.25, 2)
+	g.Insert(geom.Point{0, 0}, 7)
+	id, d := g.NearestWithin(geom.Point{1000, 1000}, math.Inf(1))
+	if id != 7 || math.Abs(d-1000*math.Sqrt2) > 1e-6 {
+		t.Errorf("got (%d, %v)", id, d)
+	}
+}
+
+func TestNegativeCoordinates(t *testing.T) {
+	g := New(1.0, 2)
+	g.Insert(geom.Point{-5.5, -3.2}, 1)
+	g.Insert(geom.Point{-5.6, -3.1}, 2)
+	id, _ := g.NearestWithin(geom.Point{-5.5, -3.2}, math.Inf(1))
+	if id != 1 {
+		t.Errorf("nearest id = %d, want 1", id)
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	g := New(1.0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Insert(geom.Point{1, 2, 3}, 0)
+}
+
+func BenchmarkInsertAndQuery(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	pts := make([]geom.Point, 1024)
+	for i := range pts {
+		pts[i] = randPoint(rng, 2, 10)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := New(0.5, 2)
+		best := math.Inf(1)
+		for j, p := range pts {
+			if _, d := g.NearestWithin(p, best); d < best {
+				best = d
+			}
+			g.Insert(p, j)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package interval
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSetAdd feeds arbitrary interval sequences into Set.Add and checks the
+// canonical-form invariants plus membership consistency against the raw
+// interval list.
+func FuzzSetAdd(f *testing.F) {
+	f.Add(0.1, 0.4, 0.4, 0.8, true, false, 0.5)
+	f.Add(0.0, 1.0, 0.5, 0.5, false, false, 0.25)
+	f.Fuzz(func(t *testing.T, lo1, hi1, lo2, hi2 float64, open1, open2 bool, probe float64) {
+		for _, v := range []float64{lo1, hi1, lo2, hi2, probe} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		if lo1 > hi1 || lo2 > hi2 {
+			return
+		}
+		iv1 := Make(lo1, hi1, open1, !open1)
+		iv2 := Make(lo2, hi2, !open2, open2)
+		var s Set
+		s.Add(iv1)
+		s.Add(iv2)
+
+		// Membership must match the union of the raw intervals.
+		want := iv1.Contains(probe) || iv2.Contains(probe)
+		if got := s.Contains(probe); got != want {
+			t.Fatalf("Contains(%v) = %v, want %v (set %v from %v, %v)",
+				probe, got, want, s, iv1, iv2)
+		}
+		// Canonical form: sorted and pairwise non-mergeable.
+		ivs := s.Intervals()
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i-1].Lo > ivs[i].Lo {
+				t.Fatalf("set not sorted: %v", s)
+			}
+			if ivs[i-1].mergeableWith(ivs[i]) {
+				t.Fatalf("mergeable members left: %v", s)
+			}
+		}
+		// Idempotence: re-adding members must not change the set.
+		before := s.String()
+		s.Add(iv1)
+		s.Add(iv2)
+		if s.String() != before {
+			t.Fatalf("Add not idempotent: %q -> %q", before, s.String())
+		}
+	})
+}
+
+// FuzzIntersect checks that Intersect agrees with pointwise membership.
+func FuzzIntersect(f *testing.F) {
+	f.Add(0.1, 0.6, 0.4, 0.9, 0.5)
+	f.Fuzz(func(t *testing.T, lo1, hi1, lo2, hi2, probe float64) {
+		for _, v := range []float64{lo1, hi1, lo2, hi2, probe} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return
+			}
+		}
+		if lo1 > hi1 || lo2 > hi2 {
+			return
+		}
+		a := Closed(lo1, hi1)
+		b := OpenClosed(lo2, hi2)
+		got := a.Intersect(b)
+		want := a.Contains(probe) && b.Contains(probe)
+		if got.Contains(probe) != want {
+			t.Fatalf("Intersect(%v, %v).Contains(%v) = %v, want %v",
+				a, b, probe, got.Contains(probe), want)
+		}
+		if got.Overlaps(a) != !got.IsEmpty() || got.Overlaps(b) != !got.IsEmpty() {
+			t.Fatalf("intersection %v overlap inconsistency", got)
+		}
+	})
+}

@@ -1,0 +1,250 @@
+package interval
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestConstructorsAndEmptiness(t *testing.T) {
+	if Closed(1, 1).IsEmpty() {
+		t.Error("[x,x] should be non-empty")
+	}
+	if !OpenClosed(1, 1).IsEmpty() || !ClosedOpen(1, 1).IsEmpty() || !Open(1, 1).IsEmpty() {
+		t.Error("degenerate half-open/open intervals should be empty")
+	}
+	if (Interval{}).IsEmpty() != true {
+		t.Error("zero value should be empty")
+	}
+	if Point(0.5).IsEmpty() {
+		t.Error("point interval should be non-empty")
+	}
+}
+
+func TestConstructorPanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for lo > hi")
+		}
+	}()
+	Closed(2, 1)
+}
+
+func TestContains(t *testing.T) {
+	tests := []struct {
+		iv   Interval
+		x    float64
+		want bool
+	}{
+		{Closed(0.3, 0.6), 0.3, true},
+		{Closed(0.3, 0.6), 0.6, true},
+		{Closed(0.3, 0.6), 0.45, true},
+		{Closed(0.3, 0.6), 0.29, false},
+		{OpenClosed(0.3, 0.6), 0.3, false},
+		{OpenClosed(0.3, 0.6), 0.6, true},
+		{ClosedOpen(0.3, 0.6), 0.6, false},
+		{Open(0.3, 0.6), 0.3, false},
+		{Open(0.3, 0.6), 0.6, false},
+		{Open(0.3, 0.6), 0.5, true},
+		{Interval{}, 0.5, false},
+	}
+	for _, tc := range tests {
+		if got := tc.iv.Contains(tc.x); got != tc.want {
+			t.Errorf("%v.Contains(%v) = %v, want %v", tc.iv, tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	tests := []struct {
+		a, b Interval
+		want bool
+	}{
+		{Closed(0, 1), Closed(0.5, 2), true},
+		{Closed(0, 1), Closed(1, 2), true},      // share the point 1
+		{ClosedOpen(0, 1), Closed(1, 2), false}, // [0,1) and [1,2]
+		{Closed(0, 1), OpenClosed(1, 2), false}, // [0,1] and (1,2]
+		{Closed(0, 1), Closed(1.5, 2), false},   // disjoint
+		{Open(0, 1), Open(0.9, 2), true},        // overlap interior
+		{Closed(0, 1), Interval{}, false},       // empty never overlaps
+		{OpenClosed(0.55, 0.6), Closed(0.6, 1), true},
+	}
+	for _, tc := range tests {
+		if got := tc.a.Overlaps(tc.b); got != tc.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := tc.b.Overlaps(tc.a); got != tc.want {
+			t.Errorf("Overlaps not symmetric for %v, %v", tc.a, tc.b)
+		}
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := Closed(0.3, 0.6)
+	b := OpenClosed(0.45, 0.8)
+	got := a.Intersect(b)
+	want := OpenClosed(0.45, 0.6)
+	if !got.Equal(want) {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Intersect(Interval{}).IsEmpty() {
+		t.Error("intersect with empty should be empty")
+	}
+	// Touching at a closed/open junction yields empty.
+	if !ClosedOpen(0, 1).Intersect(OpenClosed(1, 2)).IsEmpty() {
+		t.Error("[0,1) ∩ (1,2] should be empty")
+	}
+	// Touching at closed/closed yields the point.
+	p := Closed(0, 1).Intersect(Closed(1, 2))
+	if !p.Equal(Point(1)) {
+		t.Errorf("[0,1] ∩ [1,2] = %v, want [1,1]", p)
+	}
+}
+
+func TestSetAddMergesAdjacent(t *testing.T) {
+	// The paper's canonical example: [0.3,0.45] then (0.45,0.55] merge into
+	// [0.3,0.55]; a separate (0.6,0.7] stays apart.
+	var s Set
+	s.Add(Closed(0.3, 0.45))
+	s.Add(OpenClosed(0.45, 0.55))
+	s.Add(OpenClosed(0.6, 0.7))
+	ivs := s.Intervals()
+	if len(ivs) != 2 {
+		t.Fatalf("set = %v, want 2 intervals", s)
+	}
+	if !ivs[0].Equal(Closed(0.3, 0.55)) {
+		t.Errorf("merged interval = %v", ivs[0])
+	}
+	if !ivs[1].Equal(OpenClosed(0.6, 0.7)) {
+		t.Errorf("second interval = %v", ivs[1])
+	}
+}
+
+func TestSetOpenOpenJunctionDoesNotMerge(t *testing.T) {
+	var s Set
+	s.Add(ClosedOpen(0, 0.5))
+	s.Add(OpenClosed(0.5, 1))
+	if len(s.Intervals()) != 2 {
+		t.Fatalf("open-open junction must not merge: %v", s)
+	}
+	if s.Contains(0.5) {
+		t.Error("0.5 should not be in the set")
+	}
+}
+
+func TestSetChainMerge(t *testing.T) {
+	// Adding a bridging interval merges everything into one.
+	var s Set
+	s.Add(Closed(0, 1))
+	s.Add(Closed(2, 3))
+	s.Add(Closed(4, 5))
+	if len(s.Intervals()) != 3 {
+		t.Fatalf("precondition: %v", s)
+	}
+	s.Add(Closed(0.5, 4.5))
+	if len(s.Intervals()) != 1 || !s.Intervals()[0].Equal(Closed(0, 5)) {
+		t.Fatalf("chain merge failed: %v", s)
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := NewSet(Closed(0.3, 0.45), OpenClosed(0.55, 0.6))
+	for _, tc := range []struct {
+		x    float64
+		want bool
+	}{
+		{0.3, true}, {0.45, true}, {0.5, false}, {0.55, false},
+		{0.56, true}, {0.6, true}, {0.61, false}, {0.2, false},
+	} {
+		if got := s.Contains(tc.x); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v (set %v)", tc.x, got, tc.want, s)
+		}
+	}
+}
+
+func TestSetEqual(t *testing.T) {
+	a := NewSet(Closed(0, 1), OpenClosed(2, 3))
+	b := NewSet(OpenClosed(2, 3), Closed(0, 1))
+	if !a.Equal(b) {
+		t.Errorf("order of insertion should not matter: %v vs %v", a, b)
+	}
+	c := NewSet(Closed(0, 1))
+	if a.Equal(c) {
+		t.Error("different sets reported equal")
+	}
+}
+
+func TestSetMinMax(t *testing.T) {
+	var s Set
+	if _, ok := s.Min(); ok {
+		t.Error("empty set Min should report !ok")
+	}
+	s = NewSet(OpenClosed(0.55, 0.6), Closed(0.3, 0.45))
+	if mn, _ := s.Min(); mn != 0.3 {
+		t.Errorf("Min = %v", mn)
+	}
+	if mx, _ := s.Max(); mx != 0.6 {
+		t.Errorf("Max = %v", mx)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if got := OpenClosed(0.55, 0.6).String(); got != "(0.55, 0.6]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Interval{}).String(); got != "∅" {
+		t.Errorf("empty String = %q", got)
+	}
+	s := NewSet(Closed(0.3, 0.45), OpenClosed(0.55, 0.6))
+	if got := s.String(); got != "[0.3, 0.45] ∪ (0.55, 0.6]" {
+		t.Errorf("Set.String = %q", got)
+	}
+	if got := (Set{}).String(); got != "∅" {
+		t.Errorf("empty Set.String = %q", got)
+	}
+}
+
+// TestSetRandomizedAgainstMembership property: set membership after a series
+// of Adds matches the union of per-interval membership on a dense sample
+// lattice.
+func TestSetRandomizedAgainstMembership(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 91))
+	lattice := make([]float64, 201)
+	for i := range lattice {
+		lattice[i] = float64(i) / 200
+	}
+	for iter := 0; iter < 200; iter++ {
+		var s Set
+		var ivs []Interval
+		n := 1 + rng.IntN(8)
+		for j := 0; j < n; j++ {
+			lo := float64(rng.IntN(180)) / 200
+			hi := lo + float64(1+rng.IntN(40))/200
+			iv := Make(lo, hi, rng.IntN(2) == 0, rng.IntN(2) == 0)
+			ivs = append(ivs, iv)
+			s.Add(iv)
+		}
+		for _, x := range lattice {
+			want := false
+			for _, iv := range ivs {
+				if iv.Contains(x) {
+					want = true
+					break
+				}
+			}
+			if got := s.Contains(x); got != want {
+				t.Fatalf("iter %d: Contains(%v) = %v, want %v\nivs=%v\nset=%v",
+					iter, x, got, want, ivs, s)
+			}
+		}
+		// Canonical form: sorted, pairwise non-mergeable.
+		out := s.Intervals()
+		for i := 1; i < len(out); i++ {
+			if out[i-1].Lo > out[i].Lo {
+				t.Fatalf("not sorted: %v", s)
+			}
+			if out[i-1].mergeableWith(out[i]) {
+				t.Fatalf("adjacent mergeable intervals left in set: %v", s)
+			}
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package kdtree implements a static k-d tree over d-dimensional points.
+//
+// The tree is the computational workhorse behind α-distance evaluation: the
+// bichromatic closest pair (BCP) between two α-cuts is computed by building a
+// tree over one cut and running pruned nearest-neighbor queries for every
+// point of the other cut. A best-so-far bound makes repeated queries cheap,
+// and an optional cutoff allows early exit as soon as the pair distance is
+// known to beat a caller-supplied threshold.
+package kdtree
+
+import (
+	"math"
+	"sort"
+
+	"fuzzyknn/internal/geom"
+)
+
+// Tree is an immutable k-d tree. The zero value is an empty tree.
+type Tree struct {
+	pts  []geom.Point // points in tree order (median layout)
+	idx  []int        // original index of each point in the input slice
+	dims int
+}
+
+// Build constructs a tree over pts. The input slice is not modified; the
+// original index of each point is preserved and reported by queries.
+// Building an empty tree is allowed.
+func Build(pts []geom.Point) *Tree {
+	t := &Tree{}
+	if len(pts) == 0 {
+		return t
+	}
+	t.dims = pts[0].Dims()
+	t.pts = make([]geom.Point, len(pts))
+	t.idx = make([]int, len(pts))
+	copy(t.pts, pts)
+	for i := range t.idx {
+		t.idx[i] = i
+	}
+	t.build(0, len(t.pts), 0)
+	return t
+}
+
+// Len returns the number of points in the tree.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// build recursively arranges pts[lo:hi] so the median along axis sits at the
+// midpoint, with smaller coordinates on the left.
+func (t *Tree) build(lo, hi, axis int) {
+	if hi-lo <= 1 {
+		return
+	}
+	mid := (lo + hi) / 2
+	t.selectMedian(lo, hi, mid, axis)
+	next := (axis + 1) % t.dims
+	t.build(lo, mid, next)
+	t.build(mid+1, hi, next)
+}
+
+// selectMedian partially sorts pts[lo:hi] so the element at position mid is
+// the one that would be there in full sorted order along axis (quickselect
+// with a sort fallback for small ranges).
+func (t *Tree) selectMedian(lo, hi, mid, axis int) {
+	for hi-lo > 16 {
+		// Median-of-three pivot.
+		a, b, c := lo, (lo+hi)/2, hi-1
+		pa, pb, pc := t.pts[a][axis], t.pts[b][axis], t.pts[c][axis]
+		var pivot float64
+		switch {
+		case (pa <= pb && pb <= pc) || (pc <= pb && pb <= pa):
+			pivot = pb
+		case (pb <= pa && pa <= pc) || (pc <= pa && pa <= pb):
+			pivot = pa
+		default:
+			pivot = pc
+		}
+		i, j := lo, hi-1
+		for i <= j {
+			for t.pts[i][axis] < pivot {
+				i++
+			}
+			for t.pts[j][axis] > pivot {
+				j--
+			}
+			if i <= j {
+				t.swap(i, j)
+				i++
+				j--
+			}
+		}
+		switch {
+		case mid <= j:
+			hi = j + 1
+		case mid >= i:
+			lo = i
+		default:
+			return
+		}
+	}
+	sub := sortable{t: t, lo: lo, hi: hi, axis: axis}
+	sort.Sort(sub)
+}
+
+type sortable struct {
+	t      *Tree
+	lo, hi int
+	axis   int
+}
+
+func (s sortable) Len() int { return s.hi - s.lo }
+func (s sortable) Less(i, j int) bool {
+	return s.t.pts[s.lo+i][s.axis] < s.t.pts[s.lo+j][s.axis]
+}
+func (s sortable) Swap(i, j int) { s.t.swap(s.lo+i, s.lo+j) }
+
+func (t *Tree) swap(i, j int) {
+	t.pts[i], t.pts[j] = t.pts[j], t.pts[i]
+	t.idx[i], t.idx[j] = t.idx[j], t.idx[i]
+}
+
+// Nearest returns the index (into the Build input slice) and distance of the
+// point nearest to q. It returns (-1, +Inf) on an empty tree.
+func (t *Tree) Nearest(q geom.Point) (int, float64) {
+	return t.NearestWithin(q, math.Inf(1))
+}
+
+// NearestWithin returns the nearest point to q whose distance is strictly
+// less than bound. It returns (-1, +Inf) if no point qualifies. Supplying a
+// finite bound prunes the search and is the key to fast bichromatic
+// closest-pair computation: the running best pair distance is passed as the
+// bound for each successive query.
+func (t *Tree) NearestWithin(q geom.Point, bound float64) (int, float64) {
+	if len(t.pts) == 0 {
+		return -1, math.Inf(1)
+	}
+	bestIdx := -1
+	bestSq := bound * bound
+	if math.IsInf(bound, 1) {
+		bestSq = math.Inf(1)
+	}
+	t.search(q, 0, len(t.pts), 0, &bestIdx, &bestSq)
+	if bestIdx < 0 {
+		return -1, math.Inf(1)
+	}
+	return bestIdx, math.Sqrt(bestSq)
+}
+
+func (t *Tree) search(q geom.Point, lo, hi, axis int, bestIdx *int, bestSq *float64) {
+	if hi <= lo {
+		return
+	}
+	mid := (lo + hi) / 2
+	p := t.pts[mid]
+	if d := geom.DistSq(q, p); d < *bestSq {
+		*bestSq = d
+		*bestIdx = t.idx[mid]
+	}
+	diff := q[axis] - p[axis]
+	next := (axis + 1) % t.dims
+	// Descend into the near side first, then the far side only if the
+	// splitting plane is closer than the best distance found so far.
+	if diff < 0 {
+		t.search(q, lo, mid, next, bestIdx, bestSq)
+		if diff*diff < *bestSq {
+			t.search(q, mid+1, hi, next, bestIdx, bestSq)
+		}
+	} else {
+		t.search(q, mid+1, hi, next, bestIdx, bestSq)
+		if diff*diff < *bestSq {
+			t.search(q, lo, mid, next, bestIdx, bestSq)
+		}
+	}
+}
+
+// ForEachWithin invokes fn(idx, dist) for every point whose distance to q
+// is at most radius, in tree order, stopping early if fn returns false.
+// idx is the point's index in the Build input slice.
+func (t *Tree) ForEachWithin(q geom.Point, radius float64, fn func(int, float64) bool) {
+	if len(t.pts) == 0 || radius < 0 {
+		return
+	}
+	t.within(q, 0, len(t.pts), 0, radius*radius, fn)
+}
+
+func (t *Tree) within(q geom.Point, lo, hi, axis int, radiusSq float64, fn func(int, float64) bool) bool {
+	if hi <= lo {
+		return true
+	}
+	mid := (lo + hi) / 2
+	p := t.pts[mid]
+	if d := geom.DistSq(q, p); d <= radiusSq {
+		if !fn(t.idx[mid], math.Sqrt(d)) {
+			return false
+		}
+	}
+	diff := q[axis] - p[axis]
+	next := (axis + 1) % t.dims
+	if diff < 0 {
+		if !t.within(q, lo, mid, next, radiusSq, fn) {
+			return false
+		}
+		if diff*diff <= radiusSq {
+			return t.within(q, mid+1, hi, next, radiusSq, fn)
+		}
+	} else {
+		if !t.within(q, mid+1, hi, next, radiusSq, fn) {
+			return false
+		}
+		if diff*diff <= radiusSq {
+			return t.within(q, lo, mid, next, radiusSq, fn)
+		}
+	}
+	return true
+}
+
+// CountWithin returns the number of points at distance ≤ radius from q,
+// stopping early once the count reaches limit (pass a negative limit to
+// count exhaustively).
+func (t *Tree) CountWithin(q geom.Point, radius float64, limit int) int {
+	count := 0
+	t.ForEachWithin(q, radius, func(int, float64) bool {
+		count++
+		return limit < 0 || count < limit
+	})
+	return count
+}
+
+// ClosestPair computes the bichromatic closest pair between sets a and b:
+// indices (i, j) into a and b and their Euclidean distance. It builds the
+// tree over the smaller set and queries with the larger. Returns
+// (-1, -1, +Inf) if either set is empty.
+func ClosestPair(a, b []geom.Point) (int, int, float64) {
+	return ClosestPairWithin(a, b, math.Inf(-1))
+}
+
+// ClosestPairWithin is ClosestPair with an early-exit cutoff: as soon as the
+// best pair distance drops to cutoff or below, the scan stops and the current
+// best pair is returned. Pass -Inf for an exact answer. The returned distance
+// is exact for the returned pair either way; when it exceeds cutoff the pair
+// is the true closest pair.
+func ClosestPairWithin(a, b []geom.Point, cutoff float64) (int, int, float64) {
+	if len(a) == 0 || len(b) == 0 {
+		return -1, -1, math.Inf(1)
+	}
+	swapped := false
+	if len(b) < len(a) {
+		a, b = b, a
+		swapped = true
+	}
+	tree := Build(a)
+	bestI, bestJ := -1, -1
+	best := math.Inf(1)
+	for j, q := range b {
+		i, d := tree.NearestWithin(q, best)
+		if i >= 0 && d < best {
+			best = d
+			bestI, bestJ = i, j
+			if best <= cutoff {
+				break
+			}
+		}
+	}
+	if bestI < 0 {
+		// All queries were pruned by the initial bound; fall back to the
+		// overall nearest of the first query point so callers always get a
+		// valid pair for non-empty inputs.
+		i, d := tree.Nearest(b[0])
+		bestI, bestJ, best = i, 0, d
+	}
+	if swapped {
+		bestI, bestJ = bestJ, bestI
+	}
+	return bestI, bestJ, best
+}

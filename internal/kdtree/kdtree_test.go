@@ -1,0 +1,207 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"fuzzyknn/internal/geom"
+)
+
+func randPoints(rng *rand.Rand, n, d int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = rng.Float64()*100 - 50
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// bruteNearest is the reference nearest-neighbor implementation.
+func bruteNearest(pts []geom.Point, q geom.Point) (int, float64) {
+	best, bi := math.Inf(1), -1
+	for i, p := range pts {
+		if d := geom.Dist(p, q); d < best {
+			best, bi = d, i
+		}
+	}
+	return bi, best
+}
+
+// bruteClosestPair is the reference BCP implementation.
+func bruteClosestPair(a, b []geom.Point) (int, int, float64) {
+	best := math.Inf(1)
+	bi, bj := -1, -1
+	for i, p := range a {
+		for j, q := range b {
+			if d := geom.Dist(p, q); d < best {
+				best, bi, bj = d, i, j
+			}
+		}
+	}
+	return bi, bj, best
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree := Build(nil)
+	if tree.Len() != 0 {
+		t.Fatalf("empty tree Len = %d", tree.Len())
+	}
+	i, d := tree.Nearest(geom.Point{0, 0})
+	if i != -1 || !math.IsInf(d, 1) {
+		t.Errorf("Nearest on empty tree = (%d, %v)", i, d)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	tree := Build([]geom.Point{{3, 4}})
+	i, d := tree.Nearest(geom.Point{0, 0})
+	if i != 0 || math.Abs(d-5) > 1e-12 {
+		t.Errorf("Nearest = (%d, %v), want (0, 5)", i, d)
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for _, n := range []int{1, 2, 3, 10, 100, 500} {
+		for _, d := range []int{1, 2, 3} {
+			pts := randPoints(rng, n, d)
+			tree := Build(pts)
+			if tree.Len() != n {
+				t.Fatalf("Len = %d, want %d", tree.Len(), n)
+			}
+			for q := 0; q < 30; q++ {
+				query := randPoints(rng, 1, d)[0]
+				gi, gd := tree.Nearest(query)
+				wi, wd := bruteNearest(pts, query)
+				if math.Abs(gd-wd) > 1e-9 {
+					t.Fatalf("n=%d d=%d: Nearest dist %v (idx %d), want %v (idx %d)", n, d, gd, gi, wd, wi)
+				}
+			}
+		}
+	}
+}
+
+func TestNearestWithinBound(t *testing.T) {
+	pts := []geom.Point{{0, 0}, {10, 0}, {20, 0}}
+	tree := Build(pts)
+	// Bound excludes everything.
+	i, d := tree.NearestWithin(geom.Point{5, 5}, 1.0)
+	if i != -1 || !math.IsInf(d, 1) {
+		t.Errorf("NearestWithin tight bound = (%d, %v), want (-1, +Inf)", i, d)
+	}
+	// Bound admits only the closest.
+	i, d = tree.NearestWithin(geom.Point{1, 0}, 5.0)
+	if i != 0 || math.Abs(d-1) > 1e-12 {
+		t.Errorf("NearestWithin = (%d, %v), want (0, 1)", i, d)
+	}
+	// Strictness: a point exactly at the bound is excluded.
+	i, _ = tree.NearestWithin(geom.Point{1, 0}, 1.0)
+	if i != -1 {
+		t.Errorf("NearestWithin strict bound admitted index %d", i)
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := []geom.Point{{1, 1}, {1, 1}, {1, 1}, {2, 2}}
+	tree := Build(pts)
+	i, d := tree.Nearest(geom.Point{1, 1})
+	if d != 0 {
+		t.Errorf("Nearest to duplicate cluster = %v, want 0", d)
+	}
+	if i < 0 || i > 2 {
+		t.Errorf("Nearest index %d should be one of the duplicates", i)
+	}
+}
+
+func TestClosestPairMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	for iter := 0; iter < 50; iter++ {
+		d := 1 + rng.IntN(3)
+		na, nb := 1+rng.IntN(60), 1+rng.IntN(60)
+		a := randPoints(rng, na, d)
+		b := randPoints(rng, nb, d)
+		gi, gj, gd := ClosestPair(a, b)
+		_, _, wd := bruteClosestPair(a, b)
+		if math.Abs(gd-wd) > 1e-9 {
+			t.Fatalf("ClosestPair dist = %v, want %v", gd, wd)
+		}
+		if got := geom.Dist(a[gi], b[gj]); math.Abs(got-gd) > 1e-9 {
+			t.Fatalf("returned pair distance inconsistent: %v vs %v", got, gd)
+		}
+	}
+}
+
+func TestClosestPairEmpty(t *testing.T) {
+	i, j, d := ClosestPair(nil, []geom.Point{{1, 1}})
+	if i != -1 || j != -1 || !math.IsInf(d, 1) {
+		t.Errorf("ClosestPair with empty set = (%d, %d, %v)", i, j, d)
+	}
+}
+
+func TestClosestPairWithinCutoff(t *testing.T) {
+	a := []geom.Point{{0, 0}}
+	b := []geom.Point{{0, 3}, {0, 2}, {0, 1}}
+	// With a large cutoff the scan stops at the first pair below it.
+	i, j, d := ClosestPairWithin(a, b, 10)
+	if i != 0 || j != 0 || math.Abs(d-3) > 1e-12 {
+		t.Errorf("cutoff early-exit = (%d, %d, %v), want (0, 0, 3)", i, j, d)
+	}
+	// With -Inf cutoff the exact pair is found.
+	_, j, d = ClosestPairWithin(a, b, math.Inf(-1))
+	if j != 2 || math.Abs(d-1) > 1e-12 {
+		t.Errorf("exact = (j=%d, %v), want (2, 1)", j, d)
+	}
+}
+
+func TestClosestPairAsymmetricSizes(t *testing.T) {
+	// Exercise the swap path (len(b) < len(a)).
+	rng := rand.New(rand.NewPCG(4, 4))
+	a := randPoints(rng, 100, 2)
+	b := randPoints(rng, 3, 2)
+	gi, gj, gd := ClosestPair(a, b)
+	_, _, wd := bruteClosestPair(a, b)
+	if math.Abs(gd-wd) > 1e-9 {
+		t.Fatalf("dist = %v, want %v", gd, wd)
+	}
+	if got := geom.Dist(a[gi], b[gj]); math.Abs(got-gd) > 1e-9 {
+		t.Fatalf("pair indices wrong after swap: %v vs %v", got, gd)
+	}
+}
+
+func TestBuildDoesNotMutateInput(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	pts := randPoints(rng, 50, 2)
+	orig := make([]geom.Point, len(pts))
+	copy(orig, pts)
+	Build(pts)
+	for i := range pts {
+		if &pts[i][0] != &orig[i][0] {
+			t.Fatalf("input slice reordered at %d", i)
+		}
+	}
+}
+
+func BenchmarkNearest1000(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	pts := randPoints(rng, 1000, 2)
+	tree := Build(pts)
+	queries := randPoints(rng, 256, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree.Nearest(queries[i%len(queries)])
+	}
+}
+
+func BenchmarkClosestPair1000x1000(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	pa := randPoints(rng, 1000, 2)
+	pb := randPoints(rng, 1000, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ClosestPair(pa, pb)
+	}
+}

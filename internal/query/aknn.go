@@ -1,0 +1,389 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/geom"
+	"fuzzyknn/internal/rtree"
+)
+
+// Result is one AKNN answer. For the lazy-probe variants a result may be
+// admitted purely through its distance bounds without ever reading the
+// object from storage; such results have Exact == false and carry the bounds
+// instead of the exact distance.
+type Result struct {
+	ID    uint64
+	Dist  float64 // exact α-distance when Exact, else the lower bound
+	Exact bool
+	Lower float64 // lower bound d−α (equals Dist when Exact)
+	Upper float64 // upper bound d+α (equals Dist when Exact)
+}
+
+// AKNN answers the ad-hoc kNN query (Definition 4): the k objects with the
+// smallest α-distance to q, using the selected algorithm variant. Results
+// are ordered by ascending distance (by ascending lower bound for non-exact
+// results). If the index holds fewer than k objects, all of them are
+// returned.
+func (ix *Index) AKNN(q *fuzzy.Object, k int, alpha float64, algo AKNNAlgorithm) ([]Result, Stats, error) {
+	start := time.Now()
+	var st Stats
+	if err := ix.validateQuery(q, k, alpha); err != nil {
+		return nil, st, err
+	}
+	res, _, err := ix.aknn(q, k, alpha, algo, &st)
+	st.Duration = time.Since(start)
+	return res, st, err
+}
+
+// gEntry is one element of the lazy-probe buffer G (§3.3): an unprobed leaf
+// entry with its distance bounds.
+type gEntry struct {
+	lower, upper float64
+	item         *leafItem
+}
+
+// aknn is the shared implementation. It additionally returns the objects it
+// probed, which the RKNN algorithms reuse to build distance profiles without
+// re-reading storage.
+func (ix *Index) aknn(q *fuzzy.Object, k int, alpha float64, algo AKNNAlgorithm, st *Stats) ([]Result, map[uint64]*fuzzy.Object, error) {
+	mq := q.MBR(alpha)
+	useLB := algo != Basic
+	lazy := algo == LBLP || algo == LBLPUB
+
+	// Q'_α: the fixed sample of the query's α-cut for Lemma 1 (§3.4).
+	var samples []geom.Point
+	if algo == LBLPUB {
+		samples = q.SampleCut(alpha, ix.opts.SampleSize, ix.opts.SampleSeed)
+	}
+
+	lowerOf := func(supportRect geom.Rect, it *leafItem) float64 {
+		if useLB {
+			return geom.MinDist(it.approx.EstimateMBR(alpha), mq)
+		}
+		return geom.MinDist(supportRect, mq)
+	}
+	upperOf := func(it *leafItem) float64 {
+		u := geom.MaxDist(it.approx.EstimateMBR(alpha), mq)
+		for _, s := range samples {
+			if d := geom.Dist(it.rep, s); d < u {
+				u = d
+			}
+		}
+		return u
+	}
+
+	probed := make(map[uint64]*fuzzy.Object)
+	probe := func(it *leafItem) (float64, error) {
+		obj, err := ix.getObject(it.id, st)
+		if err != nil {
+			return 0, err
+		}
+		st.DistanceEvals++
+		d := fuzzy.AlphaDist(obj, q, alpha)
+		probed[it.id] = obj
+		return d, nil
+	}
+
+	h := newBestFirstQueue()
+	if root := ix.tree.Root(); len(root.Entries()) > 0 {
+		h.Push(pqItem{key: geom.MinDist(mq, ix.tree.Bounds()), kind: kindNode, node: root})
+	}
+
+	var results []Result
+	// Lazy-probe buffer G (§3.3). Invariant maintained after every step:
+	// |G| ≤ k − |results|, so every buffered entry is guaranteed a slot in
+	// the top-k once all other candidates are exhausted.
+	var buffer []gEntry
+
+	admit := func(g gEntry) {
+		results = append(results, Result{
+			ID: g.item.id, Dist: g.lower, Exact: false, Lower: g.lower, Upper: g.upper,
+		})
+	}
+	// bufferMin returns the index of the buffered entry with the smallest
+	// (lower bound, id). The buffer holds at most k entries, so linear scans
+	// are cheap.
+	bufferMin := func() int {
+		j := 0
+		for i := 1; i < len(buffer); i++ {
+			if buffer[i].lower < buffer[j].lower ||
+				(buffer[i].lower == buffer[j].lower && buffer[i].item.id < buffer[j].item.id) {
+				j = i
+			}
+		}
+		return j
+	}
+	// enforceInvariant probes the most promising buffered entries until the
+	// buffer fits into the remaining result slots (Algorithm 2's overflow:
+	// "lazy probe makes all the object retrieval mandatory"). Exact objects
+	// re-enter H, preserving best-first order.
+	enforceInvariant := func() error {
+		for len(buffer) > k-len(results) {
+			j := bufferMin()
+			g := buffer[j]
+			buffer = append(buffer[:j], buffer[j+1:]...)
+			d, err := probe(g.item)
+			if err != nil {
+				return err
+			}
+			h.Push(pqItem{key: d, kind: kindObject, id: g.item.id, dist: d})
+		}
+		return nil
+	}
+
+	for len(results) < k && (h.Len() > 0 || len(buffer) > 0) {
+		hKey := math.Inf(1)
+		if h.Len() > 0 {
+			hKey = h.PeekKey()
+		}
+		if len(buffer) > 0 {
+			// Admission (§3.3): a buffered entry whose upper bound beats
+			// every remaining lower bound in H beats everything still in H,
+			// and the size invariant guarantees it a slot — add it to the
+			// results without ever probing it.
+			progressed := false
+			for i := 0; i < len(buffer) && len(results) < k; {
+				if buffer[i].upper < hKey {
+					admit(buffer[i])
+					buffer = append(buffer[:i], buffer[i+1:]...)
+					progressed = true
+				} else {
+					i++
+				}
+			}
+			if progressed {
+				continue
+			}
+			if h.Len() == 0 {
+				// No admissible upper bound but nothing left to compare
+				// against: resolve the most promising entry by probing.
+				if err := enforceInvariantAlways(&buffer, bufferMin, probe, h); err != nil {
+					return nil, nil, err
+				}
+				continue
+			}
+			// If the buffer's best lower bound precedes everything in H, it
+			// must be resolved before any exact object in H may be emitted.
+			j := bufferMin()
+			if buffer[j].lower < hKey {
+				g := buffer[j]
+				buffer = append(buffer[:j], buffer[j+1:]...)
+				d, err := probe(g.item)
+				if err != nil {
+					return nil, nil, err
+				}
+				h.Push(pqItem{key: d, kind: kindObject, id: g.item.id, dist: d})
+				continue
+			}
+		}
+		if h.Len() == 0 {
+			continue // buffer handling above will drain it
+		}
+		e := h.Pop()
+		switch e.kind {
+		case kindObject:
+			// Exact distance ≤ every remaining lower bound in H and in the
+			// buffer: this is the next true nearest neighbor.
+			results = append(results, Result{
+				ID: e.id, Dist: e.dist, Exact: true, Lower: e.dist, Upper: e.dist,
+			})
+			if err := enforceInvariant(); err != nil {
+				return nil, nil, err
+			}
+
+		case kindNode:
+			st.NodeAccesses++
+			for _, ent := range e.node.Entries() {
+				if e.node.Leaf() {
+					it := ent.Data.(*leafItem)
+					h.Push(pqItem{key: lowerOf(ent.Rect, it), kind: kindLeaf, id: it.id, item: it})
+				} else {
+					h.Push(pqItem{key: geom.MinDist(mq, ent.Rect), kind: kindNode, node: ent.Child})
+				}
+			}
+
+		case kindLeaf:
+			if !lazy {
+				d, err := probe(e.item)
+				if err != nil {
+					return nil, nil, err
+				}
+				h.Push(pqItem{key: d, kind: kindObject, id: e.item.id, dist: d})
+				continue
+			}
+			buffer = append(buffer, gEntry{lower: e.key, upper: upperOf(e.item), item: e.item})
+			if err := enforceInvariant(); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return results, probed, nil
+}
+
+// enforceInvariantAlways resolves one buffered entry by probing when H is
+// empty but no admission is possible (upper-bound ties). It guarantees
+// progress in the rare case that bounds alone cannot rank the remainder.
+func enforceInvariantAlways(buffer *[]gEntry, bufferMin func() int, probe func(*leafItem) (float64, error), h *bestFirstQueue) error {
+	j := bufferMin()
+	g := (*buffer)[j]
+	*buffer = append((*buffer)[:j], (*buffer)[j+1:]...)
+	d, err := probe(g.item)
+	if err != nil {
+		return err
+	}
+	h.Push(pqItem{key: d, kind: kindObject, id: g.item.id, dist: d})
+	return nil
+}
+
+// LinearScanAKNN is the paper's baseline (§3.1): probe every object,
+// evaluate its α-distance, keep the top k by (distance, id). It shares the
+// Result/Stats contract with AKNN and is used as the correctness reference.
+func (ix *Index) LinearScanAKNN(q *fuzzy.Object, k int, alpha float64) ([]Result, Stats, error) {
+	start := time.Now()
+	var st Stats
+	if err := ix.validateQuery(q, k, alpha); err != nil {
+		return nil, st, err
+	}
+	type cand struct {
+		id uint64
+		d  float64
+	}
+	var cands []cand
+	for _, id := range ix.store.IDs() {
+		obj, err := ix.getObject(id, &st)
+		if err != nil {
+			return nil, st, err
+		}
+		st.DistanceEvals++
+		cands = append(cands, cand{id: id, d: fuzzy.AlphaDist(obj, q, alpha)})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	results := make([]Result, len(cands))
+	for i, c := range cands {
+		results[i] = Result{ID: c.id, Dist: c.d, Exact: true, Lower: c.d, Upper: c.d}
+	}
+	st.Duration = time.Since(start)
+	return results, st, nil
+}
+
+// Refine probes any non-exact results (produced by the lazy-probe variants)
+// and returns the set re-sorted by exact (distance, id).
+func (ix *Index) Refine(q *fuzzy.Object, alpha float64, rs []Result) ([]Result, Stats, error) {
+	var st Stats
+	if err := ix.validateQuery(q, 1, alpha); err != nil {
+		return nil, st, err
+	}
+	out := make([]Result, len(rs))
+	copy(out, rs)
+	for i := range out {
+		if out[i].Exact {
+			continue
+		}
+		obj, err := ix.getObject(out[i].ID, &st)
+		if err != nil {
+			return nil, st, err
+		}
+		st.DistanceEvals++
+		d := fuzzy.AlphaDist(obj, q, alpha)
+		out[i] = Result{ID: out[i].ID, Dist: d, Exact: true, Lower: d, Upper: d}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, st, nil
+}
+
+// RangeSearch answers the α-range query: every object with
+// d_α(A, q) ≤ radius, with exact distances, ordered by (distance, id). It
+// is the search primitive behind RSS (Lemma 3), exposed as a query type of
+// its own — the fuzzy analogue of a spatial range query.
+func (ix *Index) RangeSearch(q *fuzzy.Object, alpha, radius float64) ([]Result, Stats, error) {
+	started := time.Now()
+	var st Stats
+	if err := ix.validateQuery(q, 1, alpha); err != nil {
+		return nil, st, err
+	}
+	if radius < 0 || math.IsNaN(radius) {
+		return nil, st, fmt.Errorf("query: radius must be non-negative, got %v", radius)
+	}
+	_, dists, err := ix.rangeSearch(q, alpha, radius, true, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	results := make([]Result, 0, len(dists))
+	for id, d := range dists {
+		results = append(results, Result{ID: id, Dist: d, Exact: true, Lower: d, Upper: d})
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Dist != results[j].Dist {
+			return results[i].Dist < results[j].Dist
+		}
+		return results[i].ID < results[j].ID
+	})
+	st.Duration = time.Since(started)
+	return results, st, nil
+}
+
+// rangeSearch collects every object with d_α(A, q) ≤ radius, probing only
+// entries whose lower bound passes the radius test (used by RSS, Lemma 3).
+// It returns the probed objects and their exact distances.
+func (ix *Index) rangeSearch(q *fuzzy.Object, alpha, radius float64, useLB bool, st *Stats) (map[uint64]*fuzzy.Object, map[uint64]float64, error) {
+	mq := q.MBR(alpha)
+	objs := make(map[uint64]*fuzzy.Object)
+	dists := make(map[uint64]float64)
+	if math.IsInf(radius, 1) {
+		radius = math.MaxFloat64
+	}
+	var visit func(n *rtree.Node) error
+	visit = func(n *rtree.Node) error {
+		st.NodeAccesses++
+		for _, ent := range n.Entries() {
+			if n.Leaf() {
+				it := ent.Data.(*leafItem)
+				lb := geom.MinDist(ent.Rect, mq)
+				if useLB {
+					lb = geom.MinDist(it.approx.EstimateMBR(alpha), mq)
+				}
+				if lb > radius {
+					continue
+				}
+				obj, err := ix.getObject(it.id, st)
+				if err != nil {
+					return err
+				}
+				st.DistanceEvals++
+				d := fuzzy.AlphaDist(obj, q, alpha)
+				if d <= radius {
+					objs[it.id] = obj
+					dists[it.id] = d
+				}
+			} else if geom.MinDist(mq, ent.Rect) <= radius {
+				if err := visit(ent.Child); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if root := ix.tree.Root(); len(root.Entries()) > 0 {
+		if err := visit(root); err != nil {
+			return nil, nil, err
+		}
+	}
+	return objs, dists, nil
+}

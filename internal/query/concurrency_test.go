@@ -1,0 +1,108 @@
+package query
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"fuzzyknn/internal/fuzzy"
+)
+
+// TestConcurrentQueriesOnSharedIndex verifies the Index is safe for
+// concurrent readers: many goroutines fire mixed AKNN/RKNN/range queries at
+// one shared index and every answer must match the single-threaded result.
+func TestConcurrentQueriesOnSharedIndex(t *testing.T) {
+	rng := rand.New(rand.NewPCG(401, 1))
+	objs := makeObjects(rng, 80, 12, 12, 8)
+	ix := buildIndex(t, objs, Options{})
+	queries := make([]*queryCase, 12)
+	for i := range queries {
+		queries[i] = &queryCase{
+			q:     makeQuery(rng, 12, 12, 8),
+			k:     1 + rng.IntN(8),
+			alpha: 0.2 + 0.6*rng.Float64(),
+		}
+	}
+	// Single-threaded reference answers.
+	for _, qc := range queries {
+		res, _, err := ix.AKNN(qc.q, qc.k, qc.alpha, LB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qc.wantAKNN = res
+		ranged, _, err := ix.RKNN(qc.q, qc.k, 0.3, 0.7, RSSICR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qc.wantRKNN = ranged
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for round := 0; round < 8; round++ {
+				qc := queries[(worker+round)%len(queries)]
+				switch round % 3 {
+				case 0:
+					res, _, err := ix.AKNN(qc.q, qc.k, qc.alpha, LB)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if len(res) != len(qc.wantAKNN) {
+						errCh <- errMismatch("aknn count")
+						return
+					}
+					for i := range res {
+						if res[i].ID != qc.wantAKNN[i].ID || res[i].Dist != qc.wantAKNN[i].Dist {
+							errCh <- errMismatch("aknn result")
+							return
+						}
+					}
+				case 1:
+					ranged, _, err := ix.RKNN(qc.q, qc.k, 0.3, 0.7, RSSICR)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if len(ranged) != len(qc.wantRKNN) {
+						errCh <- errMismatch("rknn count")
+						return
+					}
+					for i := range ranged {
+						if ranged[i].ID != qc.wantRKNN[i].ID ||
+							!ranged[i].Qualifying.Equal(qc.wantRKNN[i].Qualifying) {
+							errCh <- errMismatch("rknn range")
+							return
+						}
+					}
+				default:
+					if _, _, err := ix.RangeSearch(qc.q, qc.alpha, 2.0); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+type queryCase struct {
+	q        *fuzzy.Object
+	k        int
+	alpha    float64
+	wantAKNN []Result
+	wantRKNN []RangedResult
+}
+
+type errMismatch string
+
+func (e errMismatch) Error() string { return "concurrent result mismatch: " + string(e) }

@@ -1,0 +1,53 @@
+package query
+
+import (
+	"sort"
+	"time"
+
+	"fuzzyknn/internal/fuzzy"
+)
+
+// ExpectedDistKNN ranks objects by the classical integrated fuzzy-set
+// distance E(A, Q) = ∫₀¹ d_α dα instead of a single-threshold α-distance —
+// the alternative the paper discusses and rejects in §2.1 ("a fuzzy object
+// with low probability region may never be regarded as the nearest neighbor
+// even it is very close to the query object"). It is provided as a baseline
+// so applications can compare the two semantics; there is no index
+// acceleration (the expected distance needs the full profile of every
+// object, so the scan probes everything).
+func ExpectedDistKNN(ix *Index, q *fuzzy.Object, k int) ([]Result, Stats, error) {
+	started := time.Now()
+	var st Stats
+	if err := ix.validateQuery(q, k, 1); err != nil {
+		return nil, st, err
+	}
+	type cand struct {
+		id uint64
+		e  float64
+	}
+	var cands []cand
+	for _, id := range ix.store.IDs() {
+		obj, err := ix.getObject(id, &st)
+		if err != nil {
+			return nil, st, err
+		}
+		st.ProfilesBuilt++
+		e := fuzzy.ComputeProfile(obj, q).Integrate()
+		cands = append(cands, cand{id: id, e: e})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].e != cands[j].e {
+			return cands[i].e < cands[j].e
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]Result, len(cands))
+	for i, c := range cands {
+		out[i] = Result{ID: c.id, Dist: c.e, Exact: true, Lower: c.e, Upper: c.e}
+	}
+	st.Duration = time.Since(started)
+	return out, st, nil
+}

@@ -1,0 +1,144 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/store"
+)
+
+// flakyStore wraps a Reader and fails Get for selected ids or after a
+// countdown, exercising error propagation through every algorithm.
+type flakyStore struct {
+	store.Reader
+	failID    uint64
+	failAfter int // fail every Get once the countdown reaches zero; -1 = off
+	calls     int
+}
+
+var errInjected = errors.New("injected storage failure")
+
+func (f *flakyStore) Get(id uint64) (*fuzzy.Object, error) {
+	f.calls++
+	if f.failID != 0 && id == f.failID {
+		return nil, fmt.Errorf("%w: id %d", errInjected, id)
+	}
+	if f.failAfter >= 0 && f.calls > f.failAfter {
+		return nil, fmt.Errorf("%w: call %d", errInjected, f.calls)
+	}
+	return f.Reader.Get(id)
+}
+
+func buildFlaky(t *testing.T, objs []*fuzzy.Object) (*Index, *flakyStore) {
+	t.Helper()
+	ms, err := store.NewMemStore(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &flakyStore{Reader: ms, failAfter: -1}
+	ix, err := Build(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, fs
+}
+
+func TestBuildPropagatesStoreErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	objs := makeObjects(rng, 10, 8, 10, 4)
+	ms, err := store.NewMemStore(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := &flakyStore{Reader: ms, failID: objs[5].ID(), failAfter: -1}
+	if _, err := Build(fs, Options{}); !errors.Is(err, errInjected) {
+		t.Fatalf("Build error = %v, want injected failure", err)
+	}
+}
+
+func TestAKNNPropagatesProbeErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	objs := makeObjects(rng, 30, 10, 6, 8) // dense: everything is a candidate
+	ix, fs := buildFlaky(t, objs)
+	q := makeQuery(rng, 10, 6, 8)
+	// Fail a specific object that a full-k query must probe.
+	fs.failID = objs[0].ID()
+	fs.calls = 0
+	for _, algo := range []AKNNAlgorithm{Basic, LB, LBLP, LBLPUB} {
+		if _, _, err := ix.AKNN(q, 30, 0.5, algo); !errors.Is(err, errInjected) {
+			t.Fatalf("%v: err = %v, want injected failure", algo, err)
+		}
+	}
+	if _, _, err := ix.LinearScanAKNN(q, 5, 0.5); !errors.Is(err, errInjected) {
+		t.Fatalf("linear scan err = %v", err)
+	}
+}
+
+func TestRKNNPropagatesProbeErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	objs := makeObjects(rng, 25, 10, 6, 8)
+	ix, fs := buildFlaky(t, objs)
+	q := makeQuery(rng, 10, 6, 8)
+	for _, algo := range []RKNNAlgorithm{Naive, BasicRKNN, RSS, RSSICR} {
+		fs.failID = 0
+		fs.calls = 0
+		fs.failAfter = 3 // fail mid-acquisition
+		if _, _, err := ix.RKNN(q, 20, 0.3, 0.7, algo); !errors.Is(err, errInjected) {
+			t.Fatalf("%v: err = %v, want injected failure", algo, err)
+		}
+		fs.failAfter = -1
+	}
+}
+
+func TestRefinePropagatesErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	objs := makeObjects(rng, 20, 10, 6, 8)
+	ix, fs := buildFlaky(t, objs)
+	q := makeQuery(rng, 10, 6, 8)
+	res, _, err := ix.AKNN(q, 10, 0.5, LBLPUB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasUnprobed := false
+	for _, r := range res {
+		if !r.Exact {
+			hasUnprobed = true
+			fs.failID = r.ID
+			break
+		}
+	}
+	if !hasUnprobed {
+		t.Skip("no unprobed results in this configuration")
+	}
+	if _, _, err := ix.Refine(q, 0.5, res); !errors.Is(err, errInjected) {
+		t.Fatalf("Refine err = %v, want injected failure", err)
+	}
+}
+
+func TestQueriesRecoverAfterTransientFailure(t *testing.T) {
+	// A failure on one query must not corrupt the index for the next.
+	rng := rand.New(rand.NewPCG(5, 5))
+	objs := makeObjects(rng, 30, 10, 6, 8)
+	ix, fs := buildFlaky(t, objs)
+	q := makeQuery(rng, 10, 6, 8)
+
+	fs.failAfter = 2
+	fs.calls = 0
+	if _, _, err := ix.AKNN(q, 30, 0.5, LB); !errors.Is(err, errInjected) {
+		t.Fatalf("expected injected failure, got %v", err)
+	}
+	fs.failAfter = -1
+	fs.calls = 0
+	got, _, err := ix.AKNN(q, 5, 0.5, LB)
+	if err != nil {
+		t.Fatalf("query after recovery failed: %v", err)
+	}
+	want, _, err := ix.LinearScanAKNN(q, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSameDistances(t, got, want, "post-recovery")
+}

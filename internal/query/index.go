@@ -1,0 +1,226 @@
+// Package query implements the paper's query processing algorithms:
+//
+// AKNN (§3) — ad-hoc k-nearest-neighbor search at a single probability
+// threshold α, in four variants of increasing sophistication:
+//
+//	Basic    best-first R-tree search, support-MBR MinDist lower bounds
+//	LB       improved lower bound via conservative boundary-line MBRs (§3.2)
+//	LBLP     LB plus lazy probing with a bounded buffer (§3.3)
+//	LBLPUB   LBLP plus the representative-point upper bound (§3.4)
+//
+// RKNN (§4) — range kNN over a probability interval [αs, αe], returning
+// qualifying ranges:
+//
+//	Naive      one AKNN per membership level in the range (reference)
+//	BasicRKNN  critical-probability hopping (Algorithm 3)
+//	RSS        reduced search space via one AKNN + one range search (Alg. 4)
+//	RSSICR     RSS plus improved candidate refinement / safe ranges (Alg. 5)
+//
+// The Index pairs an in-memory R-tree of per-object summaries with an object
+// store; algorithms traverse the tree and charge one "object access" per
+// store probe, the paper's headline cost metric.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/geom"
+	"fuzzyknn/internal/rtree"
+	"fuzzyknn/internal/store"
+)
+
+// AKNNAlgorithm selects an AKNN search variant.
+type AKNNAlgorithm int
+
+// AKNN variants, in the paper's order.
+const (
+	Basic AKNNAlgorithm = iota
+	LB
+	LBLP
+	LBLPUB
+)
+
+// String returns the paper's name for the algorithm.
+func (a AKNNAlgorithm) String() string {
+	switch a {
+	case Basic:
+		return "Basic AKNN"
+	case LB:
+		return "LB"
+	case LBLP:
+		return "LB-LP"
+	case LBLPUB:
+		return "LB-LP-UB"
+	}
+	return fmt.Sprintf("AKNNAlgorithm(%d)", int(a))
+}
+
+// RKNNAlgorithm selects an RKNN search variant.
+type RKNNAlgorithm int
+
+// RKNN variants, in the paper's order.
+const (
+	Naive RKNNAlgorithm = iota
+	BasicRKNN
+	RSS
+	RSSICR
+)
+
+// String returns the paper's name for the algorithm.
+func (a RKNNAlgorithm) String() string {
+	switch a {
+	case Naive:
+		return "Naive RKNN"
+	case BasicRKNN:
+		return "Basic RKNN"
+	case RSS:
+		return "RSS"
+	case RSSICR:
+		return "RSS-ICR"
+	}
+	return fmt.Sprintf("RKNNAlgorithm(%d)", int(a))
+}
+
+// Stats instruments one query execution.
+type Stats struct {
+	ObjectAccesses int           // store probes — the paper's primary metric
+	NodeAccesses   int           // R-tree nodes visited
+	DistanceEvals  int           // exact α-distance computations
+	ProfilesBuilt  int           // full distance profiles computed (RKNN)
+	AKNNCalls      int           // AKNN sub-searches issued (RKNN)
+	Candidates     int           // RKNN candidate set size after pruning
+	Pieces         int           // RKNN refinement iterations (plateaus)
+	Duration       time.Duration // wall time of the public call
+}
+
+// Add accumulates o into s (Duration included).
+func (s *Stats) Add(o Stats) {
+	s.ObjectAccesses += o.ObjectAccesses
+	s.NodeAccesses += o.NodeAccesses
+	s.DistanceEvals += o.DistanceEvals
+	s.ProfilesBuilt += o.ProfilesBuilt
+	s.AKNNCalls += o.AKNNCalls
+	s.Candidates += o.Candidates
+	s.Pieces += o.Pieces
+	s.Duration += o.Duration
+}
+
+// Options configures index construction.
+type Options struct {
+	// MinEntries/MaxEntries are R-tree node capacities (0 = defaults).
+	MinEntries, MaxEntries int
+	// SampleSize is n, the number of points sampled from Q_α for the
+	// improved upper bound (§3.4). 0 selects the default of 16.
+	SampleSize int
+	// SampleSeed makes Q'_α sampling reproducible.
+	SampleSeed uint64
+	// Incremental builds the tree by repeated insertion instead of STR
+	// bulk loading (ablation option; bulk loading is the default).
+	Incremental bool
+	// Estimator constructs the per-object MBR estimator stored in leaf
+	// entries. Nil selects the paper's optimal conservative line
+	// (fuzzy.NewBoundaryApprox); fuzzy.NewStaircaseApprox realizes the
+	// paper's future-work idea of richer boundary approximations at more
+	// storage. Note summary persistence (SaveSummaries) requires the
+	// default estimator.
+	Estimator func(*fuzzy.Object) fuzzy.MBREstimator
+}
+
+func (o Options) withDefaults() Options {
+	if o.SampleSize == 0 {
+		o.SampleSize = 16
+	}
+	return o
+}
+
+// leafItem is the per-object summary stored in R-tree leaf entries: exactly
+// the information §3 keeps in memory — the approximated boundary (support
+// MBR, kernel MBR, L_opt lines by default) and the representative kernel
+// point.
+type leafItem struct {
+	id     uint64
+	approx fuzzy.MBREstimator
+	rep    geom.Point
+}
+
+// Index is an immutable search index over a fuzzy object store.
+type Index struct {
+	tree  *rtree.Tree
+	store store.Reader
+	opts  Options
+	dims  int
+}
+
+// Build scans the store once, computes each object's summary and assembles
+// the R-tree (STR bulk load by default).
+func Build(st store.Reader, opts Options) (*Index, error) {
+	opts = opts.withDefaults()
+	estimator := opts.Estimator
+	if estimator == nil {
+		estimator = func(o *fuzzy.Object) fuzzy.MBREstimator { return fuzzy.NewBoundaryApprox(o) }
+	}
+	ids := st.IDs()
+	items := make([]rtree.BulkItem, 0, len(ids))
+	for _, id := range ids {
+		obj, err := st.Get(id)
+		if err != nil {
+			return nil, fmt.Errorf("query: building index: %w", err)
+		}
+		li := &leafItem{
+			id:     id,
+			approx: estimator(obj),
+			rep:    obj.Rep(),
+		}
+		items = append(items, rtree.BulkItem{Rect: obj.SupportMBR(), Data: li})
+	}
+	var tree *rtree.Tree
+	if opts.Incremental {
+		tree = rtree.New(opts.MinEntries, opts.MaxEntries)
+		for _, it := range items {
+			tree.Insert(it.Rect, it.Data)
+		}
+	} else {
+		tree = rtree.BulkLoad(items, opts.MinEntries, opts.MaxEntries)
+	}
+	return &Index{tree: tree, store: st, opts: opts, dims: st.Dims()}, nil
+}
+
+// Len returns the number of indexed objects.
+func (ix *Index) Len() int { return ix.tree.Len() }
+
+// Dims returns the dimensionality of indexed objects.
+func (ix *Index) Dims() int { return ix.dims }
+
+// Store exposes the underlying reader (e.g. to fetch result objects).
+func (ix *Index) Store() store.Reader { return ix.store }
+
+// Tree exposes the R-tree for diagnostics and tests.
+func (ix *Index) Tree() *rtree.Tree { return ix.tree }
+
+// validateQuery checks arguments shared by all query entry points.
+func (ix *Index) validateQuery(q *fuzzy.Object, k int, alphas ...float64) error {
+	if q == nil {
+		return errors.New("query: nil query object")
+	}
+	if q.Dims() != ix.dims && ix.tree.Len() > 0 {
+		return fmt.Errorf("query: query dims %d, index dims %d", q.Dims(), ix.dims)
+	}
+	if k < 1 {
+		return fmt.Errorf("query: k must be >= 1, got %d", k)
+	}
+	for _, a := range alphas {
+		if !(a > 0 && a <= 1) {
+			return fmt.Errorf("query: alpha must be in (0, 1], got %v", a)
+		}
+	}
+	return nil
+}
+
+// getObject probes the store, charging the access to st.
+func (ix *Index) getObject(id uint64, st *Stats) (*fuzzy.Object, error) {
+	st.ObjectAccesses++
+	return ix.store.Get(id)
+}

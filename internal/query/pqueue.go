@@ -1,0 +1,70 @@
+package query
+
+import (
+	"container/heap"
+
+	"fuzzyknn/internal/rtree"
+)
+
+// Element kinds in the best-first priority queue. The kind participates in
+// the ordering: at equal keys, nodes resolve before leaf entries and leaf
+// entries before exact objects, so an object is emitted only after every
+// equal-keyed lower bound has been refined. Together with the object-id
+// tiebreak this makes the emitted order deterministic under distance ties
+// (ranking by (distance, id)).
+const (
+	kindNode int8 = iota
+	kindLeaf
+	kindObject
+)
+
+// pqItem is one priority-queue element: an R-tree node keyed by MinDist, an
+// unresolved leaf entry keyed by its lower bound, or a probed object keyed
+// by its exact α-distance.
+type pqItem struct {
+	key  float64
+	kind int8
+	id   uint64 // object id for leaf/object entries; 0 for nodes
+	node *rtree.Node
+	item *leafItem
+	dist float64 // exact α-distance for kindObject
+}
+
+type pqueue []pqItem
+
+func (p pqueue) Len() int { return len(p) }
+
+func (p pqueue) Less(i, j int) bool {
+	if p[i].key != p[j].key {
+		return p[i].key < p[j].key
+	}
+	if p[i].kind != p[j].kind {
+		return p[i].kind < p[j].kind
+	}
+	return p[i].id < p[j].id
+}
+
+func (p pqueue) Swap(i, j int) { p[i], p[j] = p[j], p[i] }
+
+func (p *pqueue) Push(x any) { *p = append(*p, x.(pqItem)) }
+
+func (p *pqueue) Pop() any {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// bestFirstQueue wraps the heap with a typed interface.
+type bestFirstQueue struct{ h pqueue }
+
+func newBestFirstQueue() *bestFirstQueue { return &bestFirstQueue{} }
+
+func (q *bestFirstQueue) Len() int { return len(q.h) }
+
+func (q *bestFirstQueue) Push(it pqItem) { heap.Push(&q.h, it) }
+
+func (q *bestFirstQueue) Pop() pqItem { return heap.Pop(&q.h).(pqItem) }
+
+func (q *bestFirstQueue) PeekKey() float64 { return q.h[0].key }

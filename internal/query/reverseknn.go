@@ -1,0 +1,152 @@
+package query
+
+import (
+	"sort"
+	"time"
+
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/geom"
+	"fuzzyknn/internal/kdtree"
+	"fuzzyknn/internal/rtree"
+)
+
+// ReverseKNN answers the reverse kNN query the paper lists as future work
+// (§8): every object A that would count q among its own k nearest
+// neighbors at threshold α — formally, fewer than k stored objects B ≠ A
+// satisfy (d_α(A,B), id_B) < (d_α(A,q), id_q).
+//
+// The algorithm filters with summary-only bounds before paying any IO:
+//
+//  1. For each leaf entry A, lb = MinDist(M_A(α)*, M_Q(α)) lower-bounds
+//     d_α(A, q). Representative kernel points give an upper bound for any
+//     pair: ‖rep(A) − rep(B)‖ ≥ d_α(A, B) (both points belong to every
+//     α-cut). If at least k representative points lie strictly within lb
+//     of rep(A), then k objects are provably closer to A than q is, and A
+//     is pruned without a single probe.
+//  2. Survivors are verified exactly: probe A, compute d_α(A, q), and run
+//     an α-range search around A with that radius, counting strictly
+//     closer objects (ties broken by id against id_q) with early exit at k.
+//
+// Results are ordered by (d_α(A, q), id). The query object's id only
+// breaks exact distance ties.
+func ReverseKNN(ix *Index, q *fuzzy.Object, k int, alpha float64) ([]Result, Stats, error) {
+	started := time.Now()
+	var st Stats
+	if err := ix.validateQuery(q, k, alpha); err != nil {
+		return nil, st, err
+	}
+	mq := q.MBR(alpha)
+
+	// Collect leaf entries and build the representative-point tree.
+	var items []*leafItem
+	var walk func(n *rtree.Node)
+	walk = func(n *rtree.Node) {
+		st.NodeAccesses++
+		for _, e := range n.Entries() {
+			if n.Leaf() {
+				items = append(items, e.Data.(*leafItem))
+			} else {
+				walk(e.Child)
+			}
+		}
+	}
+	if root := ix.tree.Root(); len(root.Entries()) > 0 {
+		walk(root)
+	}
+	if len(items) == 0 {
+		return nil, st, nil
+	}
+	reps := make([]geom.Point, len(items))
+	for i, it := range items {
+		reps[i] = it.rep
+	}
+	repTree := kdtree.Build(reps)
+
+	var results []Result
+	for i, it := range items {
+		lb := geom.MinDist(it.approx.EstimateMBR(alpha), mq)
+		// Filter: k other representatives strictly within lb of rep(A)
+		// certify k objects closer than q. The strictness margin excludes
+		// A's own representative (distance 0) separately.
+		if lb > 0 {
+			closer := 0
+			repTree.ForEachWithin(reps[i], lb, func(j int, d float64) bool {
+				if j != i && d < lb {
+					closer++
+				}
+				return closer < k
+			})
+			if closer >= k {
+				continue
+			}
+		}
+		// Verify: exact d_α(A, q), then count strictly closer objects.
+		a, err := ix.getObject(it.id, &st)
+		if err != nil {
+			return nil, st, err
+		}
+		st.DistanceEvals++
+		dq := fuzzy.AlphaDist(a, q, alpha)
+		closer, err := ix.countCloser(a, alpha, dq, q.ID(), k, &st)
+		if err != nil {
+			return nil, st, err
+		}
+		if closer < k {
+			results = append(results, Result{ID: it.id, Dist: dq, Exact: true, Lower: dq, Upper: dq})
+		}
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].Dist != results[j].Dist {
+			return results[i].Dist < results[j].Dist
+		}
+		return results[i].ID < results[j].ID
+	})
+	st.Duration = time.Since(started)
+	return results, st, nil
+}
+
+// countCloser counts stored objects B ≠ a with (d_α(a,B), id_B) <
+// (radius, qID), stopping at limit. It prunes subtrees and entries whose
+// lower bound already exceeds radius.
+func (ix *Index) countCloser(a *fuzzy.Object, alpha, radius float64, qID uint64, limit int, st *Stats) (int, error) {
+	ma := a.MBR(alpha)
+	count := 0
+	var visit func(n *rtree.Node) error
+	visit = func(n *rtree.Node) error {
+		st.NodeAccesses++
+		for _, e := range n.Entries() {
+			if count >= limit {
+				return nil
+			}
+			if n.Leaf() {
+				it := e.Data.(*leafItem)
+				if it.id == a.ID() {
+					continue
+				}
+				if geom.MinDist(it.approx.EstimateMBR(alpha), ma) > radius {
+					continue
+				}
+				b, err := ix.getObject(it.id, st)
+				if err != nil {
+					return err
+				}
+				st.DistanceEvals++
+				d := fuzzy.AlphaDist(a, b, alpha)
+				if d < radius || (d == radius && it.id < qID) {
+					count++
+				}
+			} else if geom.MinDist(e.Rect, ma) <= radius {
+				if err := visit(e.Child); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if root := ix.tree.Root(); len(root.Entries()) > 0 {
+		if err := visit(root); err != nil {
+			return 0, err
+		}
+	}
+	return count, nil
+}

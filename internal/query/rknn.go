@@ -1,0 +1,416 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/interval"
+)
+
+// RangedResult is one RKNN answer: the object belongs to the kNN set at
+// every α in Qualifying (Definition 5's ⟨A, I_A⟩ with I_A a union of
+// intervals in general).
+type RangedResult struct {
+	ID         uint64
+	Qualifying interval.Set
+}
+
+// RKNN answers the range kNN query over [alphaStart, alphaEnd] with the
+// selected algorithm. Results are ordered by ascending object id.
+//
+// All variants return exactly the same qualifying ranges; they differ in
+// cost. Distance ties are broken by smaller object id, making the kNN set —
+// and therefore the output — deterministic.
+//
+// The paper advances between probability thresholds with "α ← α* + ε". This
+// implementation steps onto the next representable float64 instead: since
+// every α-distance is a step function changing only at membership levels,
+// evaluating just above α* is exact and no ε tuning is needed.
+func (ix *Index) RKNN(q *fuzzy.Object, k int, alphaStart, alphaEnd float64, algo RKNNAlgorithm) ([]RangedResult, Stats, error) {
+	started := time.Now()
+	var st Stats
+	if err := ix.validateQuery(q, k, alphaStart, alphaEnd); err != nil {
+		return nil, st, err
+	}
+	if alphaStart > alphaEnd {
+		return nil, st, fmt.Errorf("query: alphaStart %v > alphaEnd %v", alphaStart, alphaEnd)
+	}
+	ctx := &rknnCtx{
+		ix: ix, q: q, k: k, as: alphaStart, ae: alphaEnd, st: &st,
+		probed:   make(map[uint64]*fuzzy.Object),
+		profiles: make(map[uint64]*fuzzy.Profile),
+		acc:      make(map[uint64]*interval.Set),
+	}
+	var err error
+	switch algo {
+	case Naive:
+		err = ctx.naive()
+	case BasicRKNN:
+		err = ctx.basic()
+	case RSS:
+		err = ctx.rss(false)
+	case RSSICR:
+		err = ctx.rss(true)
+	default:
+		err = fmt.Errorf("query: unknown RKNN algorithm %d", int(algo))
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	st.Duration = time.Since(started)
+	return ctx.results(), st, nil
+}
+
+// rknnCtx carries one RKNN execution: caches of probed objects and distance
+// profiles, and the per-object qualifying-range accumulator.
+type rknnCtx struct {
+	ix       *Index
+	q        *fuzzy.Object
+	k        int
+	as, ae   float64
+	st       *Stats
+	probed   map[uint64]*fuzzy.Object
+	profiles map[uint64]*fuzzy.Profile
+	acc      map[uint64]*interval.Set
+}
+
+func (c *rknnCtx) object(id uint64) (*fuzzy.Object, error) {
+	if o, ok := c.probed[id]; ok {
+		return o, nil
+	}
+	o, err := c.ix.getObject(id, c.st)
+	if err != nil {
+		return nil, err
+	}
+	c.probed[id] = o
+	return o, nil
+}
+
+func (c *rknnCtx) profile(id uint64) (*fuzzy.Profile, error) {
+	if p, ok := c.profiles[id]; ok {
+		return p, nil
+	}
+	o, err := c.object(id)
+	if err != nil {
+		return nil, err
+	}
+	c.st.ProfilesBuilt++
+	p := fuzzy.ComputeProfile(o, c.q)
+	c.profiles[id] = p
+	return p, nil
+}
+
+func (c *rknnCtx) add(id uint64, iv interval.Interval) {
+	s, ok := c.acc[id]
+	if !ok {
+		s = &interval.Set{}
+		c.acc[id] = s
+	}
+	s.Add(iv)
+}
+
+func (c *rknnCtx) results() []RangedResult {
+	out := make([]RangedResult, 0, len(c.acc))
+	for id, s := range c.acc {
+		out = append(out, RangedResult{ID: id, Qualifying: *s})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// justAbove returns the smallest float64 strictly greater than x — the exact
+// realization of the paper's α* + ε.
+func justAbove(x float64) float64 { return math.Nextafter(x, 2) }
+
+// subAKNN runs an AKNN sub-search with the LB variant (exact distances, no
+// unprobed results) and merges its probes into the context cache.
+func (c *rknnCtx) subAKNN(alpha float64) ([]Result, error) {
+	c.st.AKNNCalls++
+	res, probed, err := c.ix.aknn(c.q, c.k, alpha, LB, c.st)
+	if err != nil {
+		return nil, err
+	}
+	for id, o := range probed {
+		c.probed[id] = o
+	}
+	return res, nil
+}
+
+// basic implements Algorithm 3: evaluate the kNN set, extend each member to
+// its next critical probability (Lemma 2), hop to the smallest one, repeat.
+func (c *rknnCtx) basic() error {
+	alphaRep := c.as
+	start, startOpen := c.as, false
+	for {
+		c.st.Pieces++
+		results, err := c.subAKNN(alphaRep)
+		if err != nil {
+			return err
+		}
+		if len(results) == 0 {
+			return nil // empty index
+		}
+		alphaStar := math.Inf(1)
+		for _, r := range results {
+			prof, err := c.profile(r.ID)
+			if err != nil {
+				return err
+			}
+			beta := prof.NextCritical(alphaRep)
+			c.add(r.ID, interval.Make(start, math.Min(beta, c.ae), startOpen, false))
+			if beta < alphaStar {
+				alphaStar = beta
+			}
+		}
+		if alphaStar >= c.ae {
+			return nil
+		}
+		start, startOpen = alphaStar, true
+		alphaRep = justAbove(alphaStar)
+	}
+}
+
+// naive implements the strawman: one AKNN per plateau of the global
+// membership-level set U_D (plus the query's own levels) inside the range.
+func (c *rknnCtx) naive() error {
+	// Collect the global level universe; the naive method pays for reading
+	// every object.
+	var levels []float64
+	for _, id := range c.ix.store.IDs() {
+		o, err := c.object(id)
+		if err != nil {
+			return err
+		}
+		levels = append(levels, o.Levels()...)
+	}
+	levels = append(levels, c.q.Levels()...)
+	sort.Float64s(levels)
+	levels = dedupeInWindow(levels, c.as, c.ae)
+
+	for _, p := range makePieces(c.as, c.ae, levels) {
+		c.st.Pieces++
+		results, err := c.subAKNN(p.rep)
+		if err != nil {
+			return err
+		}
+		for _, r := range results {
+			c.add(r.ID, p.iv)
+		}
+	}
+	return nil
+}
+
+// piece is one plateau of the queried range: the kNN set is constant on iv
+// and can be evaluated at rep ∈ iv.
+type piece struct {
+	iv  interval.Interval
+	rep float64
+}
+
+// makePieces splits [as, ae] at the given ascending, deduplicated levels
+// (all within [as, ae]). Distances are constant between consecutive levels,
+// so each returned piece carries one kNN set.
+func makePieces(as, ae float64, levels []float64) []piece {
+	if len(levels) == 0 {
+		return []piece{{iv: interval.Closed(as, ae), rep: ae}}
+	}
+	var ps []piece
+	ps = append(ps, piece{iv: interval.Closed(as, levels[0]), rep: levels[0]})
+	for i := 1; i < len(levels); i++ {
+		ps = append(ps, piece{iv: interval.OpenClosed(levels[i-1], levels[i]), rep: levels[i]})
+	}
+	if last := levels[len(levels)-1]; last < ae {
+		ps = append(ps, piece{iv: interval.OpenClosed(last, ae), rep: ae})
+	}
+	return ps
+}
+
+func dedupeInWindow(sorted []float64, lo, hi float64) []float64 {
+	out := sorted[:0]
+	for _, v := range sorted {
+		if v < lo || v > hi {
+			continue
+		}
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// rss implements Algorithms 4 and 5: one AKNN at αe yields the pruning
+// radius (Lemma 3); one range search at αs yields the candidate set; the
+// candidates are refined in memory — by critical-probability hopping (RSS)
+// or with Lemma 4 safe ranges (RSS-ICR).
+func (c *rknnCtx) rss(improvedRefinement bool) error {
+	resE, err := c.subAKNN(c.ae)
+	if err != nil {
+		return err
+	}
+	if len(resE) == 0 {
+		return nil // empty index
+	}
+	radius := math.Inf(1)
+	if len(resE) >= c.k {
+		radius = resE[len(resE)-1].Dist
+	}
+	objs, _, err := c.ix.rangeSearch(c.q, c.as, radius, true, c.st)
+	if err != nil {
+		return err
+	}
+	c.st.Candidates = len(objs)
+	cands := make([]uint64, 0, len(objs))
+	for id, o := range objs {
+		c.probed[id] = o
+		cands = append(cands, id)
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	// Profiles for every candidate: pure CPU, no further object access.
+	for _, id := range cands {
+		if _, err := c.profile(id); err != nil {
+			return err
+		}
+	}
+	if improvedRefinement {
+		return c.refineICR(cands)
+	}
+	return c.refineBasic(cands)
+}
+
+// refineBasic refines candidates with the basic method (Algorithm 3's loop
+// over the in-memory candidate set): every critical probability of every
+// current member is visited.
+func (c *rknnCtx) refineBasic(cands []uint64) error {
+	if len(cands) == 0 {
+		return nil
+	}
+	alphaRep := c.as
+	start, startOpen := c.as, false
+	for {
+		c.st.Pieces++
+		members := c.topK(cands, alphaRep, c.k, nil)
+		alphaStar := math.Inf(1)
+		for _, id := range members {
+			prof := c.profiles[id]
+			beta := prof.NextCritical(alphaRep)
+			c.add(id, interval.Make(start, math.Min(beta, c.ae), startOpen, false))
+			if beta < alphaStar {
+				alphaStar = beta
+			}
+		}
+		if alphaStar >= c.ae {
+			return nil
+		}
+		start, startOpen = alphaStar, true
+		alphaRep = justAbove(alphaStar)
+	}
+}
+
+// refineICR refines candidates with Lemma 4: each fresh member receives a
+// safe range reaching as far as its distance stays below the (k+1)-th
+// nearest-neighbor distance, and whole runs of critical probabilities are
+// skipped by hopping to the smallest safe-range end among the members.
+func (c *rknnCtx) refineICR(cands []uint64) error {
+	if len(cands) == 0 {
+		return nil
+	}
+	safeUntil := make(map[uint64]float64)
+	alphaRep := c.as
+	start, startOpen := c.as, false
+	for {
+		c.st.Pieces++
+		// C′: members whose safe range still covers the current plateau.
+		inCPrime := make(map[uint64]bool)
+		var members []uint64
+		for id, su := range safeUntil {
+			if su >= alphaRep {
+				inCPrime[id] = true
+				members = append(members, id)
+			}
+		}
+		fresh := c.topK(cands, alphaRep, c.k-len(members), inCPrime)
+		members = append(members, fresh...)
+
+		dk1 := c.kPlus1Dist(cands, alphaRep)
+		for _, id := range fresh {
+			su := safeRangeEnd(c.profiles[id], alphaRep, dk1)
+			safeUntil[id] = su
+			c.add(id, interval.Make(start, math.Min(su, c.ae), startOpen, false))
+		}
+		alphaStar := math.Inf(1)
+		for _, id := range members {
+			if su := safeUntil[id]; su < alphaStar {
+				alphaStar = su
+			}
+		}
+		if alphaStar >= c.ae {
+			return nil
+		}
+		start, startOpen = alphaStar, true
+		alphaRep = justAbove(alphaStar)
+	}
+}
+
+// topK ranks candidates (minus excluded ones) by (d_α, id) and returns the
+// best n ids.
+func (c *rknnCtx) topK(cands []uint64, alpha float64, n int, exclude map[uint64]bool) []uint64 {
+	if n <= 0 {
+		return nil
+	}
+	type cd struct {
+		id uint64
+		d  float64
+	}
+	var pool []cd
+	for _, id := range cands {
+		if exclude[id] {
+			continue
+		}
+		pool = append(pool, cd{id: id, d: c.profiles[id].Dist(alpha)})
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].d != pool[j].d {
+			return pool[i].d < pool[j].d
+		}
+		return pool[i].id < pool[j].id
+	})
+	if len(pool) > n {
+		pool = pool[:n]
+	}
+	out := make([]uint64, len(pool))
+	for i, p := range pool {
+		out[i] = p.id
+	}
+	return out
+}
+
+// kPlus1Dist returns the (k+1)-th smallest candidate distance at alpha, or
+// +Inf when at most k candidates exist (then every member is safe forever).
+func (c *rknnCtx) kPlus1Dist(cands []uint64, alpha float64) float64 {
+	if len(cands) <= c.k {
+		return math.Inf(1)
+	}
+	ds := make([]float64, len(cands))
+	for i, id := range cands {
+		ds[i] = c.profiles[id].Dist(alpha)
+	}
+	sort.Float64s(ds)
+	return ds[c.k]
+}
+
+// safeRangeEnd returns the largest membership level through which the
+// profile's distance stays strictly below dk1 (Lemma 4). It is never less
+// than the right end of alpha's own plateau: on that plateau the member's
+// distance is constant while every other object's can only grow, so
+// membership in the kNN set is retained regardless of dk1 (ties included).
+func safeRangeEnd(prof *fuzzy.Profile, alpha, dk1 float64) float64 {
+	j := sort.SearchFloat64s(prof.Levels, alpha)
+	end := prof.Levels[j]
+	for j++; j < len(prof.Levels) && prof.Dists[j] < dk1; j++ {
+		end = prof.Levels[j]
+	}
+	return end
+}

@@ -1,0 +1,267 @@
+package query
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/geom"
+	"fuzzyknn/internal/hull"
+	"fuzzyknn/internal/rtree"
+	"fuzzyknn/internal/store"
+)
+
+// Index construction scans and decodes every object to compute its summary
+// (support/kernel MBRs, L_opt lines, representative point) — for large
+// on-disk datasets that is the dominant startup cost. This file persists
+// the summaries so an index can be rebuilt from a side file without
+// touching the object store.
+//
+// File layout (little-endian): magic, version, dims, count; one fixed-size
+// record per object; CRC-32 of everything before it; trailing magic.
+
+// ObjectSummary is the per-object data an R-tree leaf entry carries.
+type ObjectSummary struct {
+	ID     uint64
+	Approx *fuzzy.BoundaryApprox
+	Rep    geom.Point
+}
+
+const (
+	summaryMagic   = "FZKNNIX1"
+	summaryVersion = 1
+)
+
+// ErrSummaryCorrupt wraps all summary-file integrity failures.
+var ErrSummaryCorrupt = errors.New("query: corrupt summary file")
+
+// ErrSummaryMismatch reports a summary file that does not describe the
+// given store (different ids or object count).
+var ErrSummaryMismatch = errors.New("query: summary file does not match store")
+
+// Summaries extracts every leaf entry's summary, ordered by object id. It
+// fails when the index was built with a non-default estimator (only the
+// paper's linear BoundaryApprox has a persistent form).
+func (ix *Index) Summaries() ([]ObjectSummary, error) {
+	var out []ObjectSummary
+	var firstErr error
+	var walk func(n *rtree.Node)
+	walk = func(n *rtree.Node) {
+		for _, e := range n.Entries() {
+			if n.Leaf() {
+				it := e.Data.(*leafItem)
+				ba, ok := it.approx.(*fuzzy.BoundaryApprox)
+				if !ok {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("query: object %d uses a non-persistable estimator %T", it.id, it.approx)
+					}
+					continue
+				}
+				out = append(out, ObjectSummary{ID: it.id, Approx: ba, Rep: it.rep})
+			} else {
+				walk(e.Child)
+			}
+		}
+	}
+	if root := ix.tree.Root(); len(root.Entries()) > 0 {
+		walk(root)
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// summaryRecordSize is the fixed per-object record size for dimensionality d:
+// id + support rect + kernel rect + hi/lo lines (m, t each per dim) + rep.
+func summaryRecordSize(d int) int {
+	return 8 + // id
+		2*2*d*8 + // support + kernel rects (lo, hi per dim)
+		2*2*d*8 + // hi + lo lines (m, t per dim)
+		d*8 // rep point
+}
+
+// WriteSummaries serializes the summaries to w.
+func WriteSummaries(w io.Writer, dims int, sums []ObjectSummary) error {
+	size := 8 + 4 + 4 + 8 + len(sums)*summaryRecordSize(dims) + 4 + 8
+	buf := make([]byte, 0, size)
+	buf = append(buf, summaryMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, summaryVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(dims))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(sums)))
+	appendFloat := func(v float64) { buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v)) }
+	appendRect := func(r geom.Rect) {
+		for i := 0; i < dims; i++ {
+			appendFloat(r.Lo[i])
+		}
+		for i := 0; i < dims; i++ {
+			appendFloat(r.Hi[i])
+		}
+	}
+	appendLines := func(ls []hull.Line) {
+		for i := 0; i < dims; i++ {
+			appendFloat(ls[i].M)
+			appendFloat(ls[i].T)
+		}
+	}
+	for _, s := range sums {
+		if s.Approx == nil || len(s.Approx.HiLine) != dims || s.Rep.Dims() != dims {
+			return fmt.Errorf("query: summary %d has wrong dimensionality", s.ID)
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, s.ID)
+		appendRect(s.Approx.Support)
+		appendRect(s.Approx.Kernel)
+		appendLines(s.Approx.HiLine)
+		appendLines(s.Approx.LoLine)
+		for i := 0; i < dims; i++ {
+			appendFloat(s.Rep[i])
+		}
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	buf = append(buf, summaryMagic...)
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadSummaries parses a summary stream written by WriteSummaries.
+func ReadSummaries(r io.Reader) (int, []ObjectSummary, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(data) < 8+4+4+8+4+8 {
+		return 0, nil, fmt.Errorf("%w: too short", ErrSummaryCorrupt)
+	}
+	if string(data[len(data)-8:]) != summaryMagic {
+		return 0, nil, fmt.Errorf("%w: bad trailing magic", ErrSummaryCorrupt)
+	}
+	body, crcB := data[:len(data)-12], data[len(data)-12:len(data)-8]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcB) {
+		return 0, nil, fmt.Errorf("%w: checksum mismatch", ErrSummaryCorrupt)
+	}
+	if string(body[:8]) != summaryMagic {
+		return 0, nil, fmt.Errorf("%w: bad magic", ErrSummaryCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(body[8:]); v != summaryVersion {
+		return 0, nil, fmt.Errorf("%w: unsupported version %d", ErrSummaryCorrupt, v)
+	}
+	dims := int(binary.LittleEndian.Uint32(body[12:]))
+	count := int(binary.LittleEndian.Uint64(body[16:]))
+	if count < 0 || (count > 0 && dims < 1) {
+		return 0, nil, fmt.Errorf("%w: nonsense header", ErrSummaryCorrupt)
+	}
+	if want := 24 + count*summaryRecordSize(dims); want != len(body) {
+		return 0, nil, fmt.Errorf("%w: length %d, want %d", ErrSummaryCorrupt, len(body), want)
+	}
+	pos := 24
+	readFloat := func() float64 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(body[pos:]))
+		pos += 8
+		return v
+	}
+	readRect := func() geom.Rect {
+		lo := make(geom.Point, dims)
+		hi := make(geom.Point, dims)
+		for i := 0; i < dims; i++ {
+			lo[i] = readFloat()
+		}
+		for i := 0; i < dims; i++ {
+			hi[i] = readFloat()
+		}
+		return geom.Rect{Lo: lo, Hi: hi}
+	}
+	readLines := func() []hull.Line {
+		ls := make([]hull.Line, dims)
+		for i := 0; i < dims; i++ {
+			ls[i].M = readFloat()
+			ls[i].T = readFloat()
+		}
+		return ls
+	}
+	sums := make([]ObjectSummary, count)
+	for i := 0; i < count; i++ {
+		id := binary.LittleEndian.Uint64(body[pos:])
+		pos += 8
+		approx := &fuzzy.BoundaryApprox{
+			Support: readRect(),
+			Kernel:  readRect(),
+			HiLine:  readLines(),
+			LoLine:  readLines(),
+		}
+		rep := make(geom.Point, dims)
+		for j := 0; j < dims; j++ {
+			rep[j] = readFloat()
+		}
+		sums[i] = ObjectSummary{ID: id, Approx: approx, Rep: rep}
+	}
+	return dims, sums, nil
+}
+
+// SaveSummaries writes the index's summaries to path.
+func (ix *Index) SaveSummaries(path string) error {
+	sums, err := ix.Summaries()
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteSummaries(f, ix.dims, sums); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// BuildFromSummaryFile reconstructs an index over st from a summary file,
+// without reading a single object from the store. The summary must describe
+// exactly the store's object ids.
+func BuildFromSummaryFile(st store.Reader, path string, opts Options) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dims, sums, err := ReadSummaries(f)
+	if err != nil {
+		return nil, err
+	}
+	if st.Len() > 0 && dims != st.Dims() {
+		return nil, fmt.Errorf("%w: dims %d vs store %d", ErrSummaryMismatch, dims, st.Dims())
+	}
+	ids := st.IDs()
+	if len(sums) != len(ids) {
+		return nil, fmt.Errorf("%w: %d summaries for %d objects", ErrSummaryMismatch, len(sums), len(ids))
+	}
+	for i, id := range ids { // both sorted ascending
+		if sums[i].ID != id {
+			return nil, fmt.Errorf("%w: summary id %d vs store id %d", ErrSummaryMismatch, sums[i].ID, id)
+		}
+	}
+	opts = opts.withDefaults()
+	items := make([]rtree.BulkItem, len(sums))
+	for i, s := range sums {
+		items[i] = rtree.BulkItem{
+			Rect: s.Approx.Support,
+			Data: &leafItem{id: s.ID, approx: s.Approx, rep: s.Rep},
+		}
+	}
+	var tree *rtree.Tree
+	if opts.Incremental {
+		tree = rtree.New(opts.MinEntries, opts.MaxEntries)
+		for _, it := range items {
+			tree.Insert(it.Rect, it.Data)
+		}
+	} else {
+		tree = rtree.BulkLoad(items, opts.MinEntries, opts.MaxEntries)
+	}
+	return &Index{tree: tree, store: st, opts: opts, dims: st.Dims()}, nil
+}

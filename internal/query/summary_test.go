@@ -1,0 +1,167 @@
+package query
+
+import (
+	"bytes"
+	"errors"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fuzzyknn/internal/store"
+)
+
+func TestSummaryRoundTripStream(t *testing.T) {
+	rng := rand.New(rand.NewPCG(501, 1))
+	objs := makeObjects(rng, 40, 12, 10, 8)
+	ix := buildIndex(t, objs, Options{})
+	sums, err := ix.Summaries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 40 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	var buf bytes.Buffer
+	if err := WriteSummaries(&buf, 2, sums); err != nil {
+		t.Fatal(err)
+	}
+	dims, got, err := ReadSummaries(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dims != 2 || len(got) != len(sums) {
+		t.Fatalf("dims=%d count=%d", dims, len(got))
+	}
+	for i := range got {
+		if got[i].ID != sums[i].ID {
+			t.Fatalf("summary %d id %d, want %d", i, got[i].ID, sums[i].ID)
+		}
+		if !got[i].Approx.Support.Equal(sums[i].Approx.Support) ||
+			!got[i].Approx.Kernel.Equal(sums[i].Approx.Kernel) {
+			t.Fatalf("summary %d rects changed", i)
+		}
+		for d := 0; d < 2; d++ {
+			if got[i].Approx.HiLine[d] != sums[i].Approx.HiLine[d] ||
+				got[i].Approx.LoLine[d] != sums[i].Approx.LoLine[d] {
+				t.Fatalf("summary %d lines changed", i)
+			}
+		}
+		if !got[i].Rep.Equal(sums[i].Rep) {
+			t.Fatalf("summary %d rep changed", i)
+		}
+	}
+}
+
+func TestBuildFromSummaryFileMatchesFullBuild(t *testing.T) {
+	rng := rand.New(rand.NewPCG(503, 2))
+	objs := makeObjects(rng, 60, 12, 10, 8)
+	ms, err := store.NewMemStore(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Build(ms, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.fzx")
+	if err := full.SaveSummaries(path); err != nil {
+		t.Fatal(err)
+	}
+
+	counting := store.NewCounting(ms)
+	fast, err := BuildFromSummaryFile(counting, path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counting.Count() != 0 {
+		t.Fatalf("summary-based build read %d objects from the store", counting.Count())
+	}
+
+	q := makeQuery(rng, 12, 10, 8)
+	for _, algo := range []AKNNAlgorithm{Basic, LB, LBLPUB} {
+		a, _, err := full.AKNN(q, 8, 0.5, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := fast.AKNN(q, 8, 0.5, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSameDistances(t, a, b, "summary-rebuilt "+algo.String())
+	}
+	r1, _, err := full.RKNN(q, 4, 0.3, 0.7, RSSICR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _, err := fast.RKNN(q, 4, 0.3, 0.7, RSSICR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSameRanged(t, r2, r1, "summary-rebuilt RKNN")
+}
+
+func TestSummaryFileCorruptionDetected(t *testing.T) {
+	rng := rand.New(rand.NewPCG(505, 3))
+	objs := makeObjects(rng, 10, 10, 10, 4)
+	ix := buildIndex(t, objs, Options{})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "index.fzx")
+	if err := ix.SaveSummaries(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func([]byte) []byte{
+		"flip body byte": func(b []byte) []byte { c := append([]byte(nil), b...); c[40] ^= 0xFF; return c },
+		"truncate":       func(b []byte) []byte { return b[:len(b)/2] },
+		"bad magic":      func(b []byte) []byte { c := append([]byte(nil), b...); c[0] ^= 0xFF; return c },
+		"bad tail":       func(b []byte) []byte { c := append([]byte(nil), b...); c[len(c)-1] ^= 0xFF; return c },
+		"empty":          func([]byte) []byte { return nil },
+	}
+	ms, _ := store.NewMemStore(objs)
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			p := filepath.Join(dir, name+".fzx")
+			if err := os.WriteFile(p, mutate(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := BuildFromSummaryFile(ms, p, Options{}); !errors.Is(err, ErrSummaryCorrupt) {
+				t.Fatalf("err = %v, want ErrSummaryCorrupt", err)
+			}
+		})
+	}
+}
+
+func TestSummaryStoreMismatchDetected(t *testing.T) {
+	rng := rand.New(rand.NewPCG(507, 4))
+	objsA := makeObjects(rng, 10, 10, 10, 4)
+	objsB := makeObjects(rng, 12, 10, 10, 4) // different count
+	ixA := buildIndex(t, objsA, Options{})
+	path := filepath.Join(t.TempDir(), "a.fzx")
+	if err := ixA.SaveSummaries(path); err != nil {
+		t.Fatal(err)
+	}
+	msB, _ := store.NewMemStore(objsB)
+	if _, err := BuildFromSummaryFile(msB, path, Options{}); !errors.Is(err, ErrSummaryMismatch) {
+		t.Fatalf("err = %v, want ErrSummaryMismatch", err)
+	}
+}
+
+func TestSummaryEmptyIndex(t *testing.T) {
+	ix := buildIndex(t, nil, Options{})
+	path := filepath.Join(t.TempDir(), "empty.fzx")
+	if err := ix.SaveSummaries(path); err != nil {
+		t.Fatal(err)
+	}
+	ms, _ := store.NewMemStore(nil)
+	fast, err := BuildFromSummaryFile(ms, path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Len() != 0 {
+		t.Fatalf("Len = %d", fast.Len())
+	}
+}

@@ -1,0 +1,420 @@
+// Package rtree implements an R-tree over axis-aligned rectangles with
+// opaque leaf payloads.
+//
+// It provides exactly what the paper's search algorithms need (§3.1): a
+// height-balanced hierarchy of MBRs whose internal structure is exposed for
+// custom best-first traversals, plus rectangle range search. Two
+// construction paths are supported: incremental insertion with Guttman's
+// quadratic split, and Sort-Tile-Recursive (STR) bulk loading for building
+// indexes over whole datasets deterministically.
+//
+// Deletion is intentionally out of scope — the paper's workloads are
+// read-only after index construction.
+package rtree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"fuzzyknn/internal/geom"
+)
+
+// Default node capacities. MaxEntries is the paper's C_max.
+const (
+	DefaultMaxEntries = 64
+	DefaultMinEntries = DefaultMaxEntries * 2 / 5
+)
+
+// Entry is a node slot: either an interior entry (Child != nil) whose Rect
+// is the exact MBR of the child node, or a leaf entry carrying Data.
+type Entry struct {
+	Rect  geom.Rect
+	Child *Node // nil for leaf entries
+	Data  any   // payload of leaf entries
+}
+
+// Node is an R-tree node. Nodes are exposed read-only so query algorithms
+// can run their own traversals; do not mutate entries.
+type Node struct {
+	leaf    bool
+	entries []Entry
+}
+
+// Leaf reports whether the node's entries are leaf entries.
+func (n *Node) Leaf() bool { return n.leaf }
+
+// Entries returns the node's entries. The slice must not be modified.
+func (n *Node) Entries() []Entry { return n.entries }
+
+// Tree is an R-tree. Create with New or BulkLoad.
+type Tree struct {
+	root       *Node
+	minEntries int
+	maxEntries int
+	height     int // number of levels; 1 = root is a leaf
+	size       int // number of leaf entries
+}
+
+// New returns an empty tree with the given node capacities. min must be at
+// least 1 and at most max/2; max must be at least 2. Zero values select the
+// defaults.
+func New(min, max int) *Tree {
+	if min == 0 {
+		min = DefaultMinEntries
+	}
+	if max == 0 {
+		max = DefaultMaxEntries
+	}
+	if max < 2 || min < 1 || min > max/2 {
+		panic(fmt.Sprintf("rtree: invalid capacities min=%d max=%d", min, max))
+	}
+	return &Tree{
+		root:       &Node{leaf: true},
+		minEntries: min,
+		maxEntries: max,
+		height:     1,
+	}
+}
+
+// Len returns the number of stored leaf entries.
+func (t *Tree) Len() int { return t.size }
+
+// Height returns the number of levels (1 when the root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// MaxEntries returns the node capacity C_max.
+func (t *Tree) MaxEntries() int { return t.maxEntries }
+
+// Root returns the root node for custom traversals.
+func (t *Tree) Root() *Node { return t.root }
+
+// Bounds returns the MBR of everything stored (empty rect for empty tree).
+func (t *Tree) Bounds() geom.Rect {
+	var r geom.Rect
+	for _, e := range t.root.entries {
+		r.ExpandRect(e.Rect)
+	}
+	return r
+}
+
+// Insert adds a leaf entry with the given rectangle and payload.
+func (t *Tree) Insert(r geom.Rect, data any) {
+	if r.IsEmpty() {
+		panic("rtree: cannot insert empty rectangle")
+	}
+	e := Entry{Rect: r.Clone(), Data: data}
+	split := t.insert(t.root, e, t.height-1)
+	if split != nil {
+		// Root split: grow the tree by one level.
+		old := t.root
+		t.root = &Node{
+			leaf: false,
+			entries: []Entry{
+				{Rect: nodeMBR(old), Child: old},
+				{Rect: nodeMBR(split), Child: split},
+			},
+		}
+		t.height++
+	}
+	t.size++
+}
+
+// insert places e at the given level (0 = leaf) below n, returning a new
+// node if n was split.
+func (t *Tree) insert(n *Node, e Entry, level int) *Node {
+	if level == 0 {
+		n.entries = append(n.entries, e)
+		if len(n.entries) > t.maxEntries {
+			return t.splitNode(n)
+		}
+		return nil
+	}
+	i := chooseSubtree(n, e.Rect)
+	child := n.entries[i].Child
+	split := t.insert(child, e, level-1)
+	n.entries[i].Rect = nodeMBR(child)
+	if split != nil {
+		n.entries = append(n.entries, Entry{Rect: nodeMBR(split), Child: split})
+		if len(n.entries) > t.maxEntries {
+			return t.splitNode(n)
+		}
+	}
+	return nil
+}
+
+// chooseSubtree picks the child needing the least area enlargement to cover
+// r, breaking ties by smaller area (Guttman's ChooseLeaf).
+func chooseSubtree(n *Node, r geom.Rect) int {
+	best := -1
+	bestEnl := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i, e := range n.entries {
+		enl := e.Rect.EnlargementArea(r)
+		area := e.Rect.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// splitNode performs Guttman's quadratic split in place, leaving one group
+// in n and returning the other as a fresh node.
+func (t *Tree) splitNode(n *Node) *Node {
+	entries := n.entries
+	seedA, seedB := pickSeeds(entries)
+
+	groupA := []Entry{entries[seedA]}
+	groupB := []Entry{entries[seedB]}
+	rectA := entries[seedA].Rect.Clone()
+	rectB := entries[seedB].Rect.Clone()
+
+	rest := make([]Entry, 0, len(entries)-2)
+	for i, e := range entries {
+		if i != seedA && i != seedB {
+			rest = append(rest, e)
+		}
+	}
+
+	for len(rest) > 0 {
+		// If one group must take all remaining entries to reach min fill, do it.
+		if len(groupA)+len(rest) == t.minEntries {
+			for _, e := range rest {
+				groupA = append(groupA, e)
+				rectA.ExpandRect(e.Rect)
+			}
+			break
+		}
+		if len(groupB)+len(rest) == t.minEntries {
+			for _, e := range rest {
+				groupB = append(groupB, e)
+				rectB.ExpandRect(e.Rect)
+			}
+			break
+		}
+		// PickNext: entry with the greatest preference for one group.
+		bestIdx, bestDiff := -1, -1.0
+		var bestDA, bestDB float64
+		for i, e := range rest {
+			dA := rectA.EnlargementArea(e.Rect)
+			dB := rectB.EnlargementArea(e.Rect)
+			if diff := math.Abs(dA - dB); diff > bestDiff {
+				bestIdx, bestDiff = i, diff
+				bestDA, bestDB = dA, dB
+			}
+		}
+		e := rest[bestIdx]
+		rest[bestIdx] = rest[len(rest)-1]
+		rest = rest[:len(rest)-1]
+		// Resolve ties by smaller area, then smaller group.
+		toA := bestDA < bestDB
+		if bestDA == bestDB {
+			aA, aB := rectA.Area(), rectB.Area()
+			toA = aA < aB || (aA == aB && len(groupA) <= len(groupB))
+		}
+		if toA {
+			groupA = append(groupA, e)
+			rectA.ExpandRect(e.Rect)
+		} else {
+			groupB = append(groupB, e)
+			rectB.ExpandRect(e.Rect)
+		}
+	}
+
+	n.entries = groupA
+	return &Node{leaf: n.leaf, entries: groupB}
+}
+
+// pickSeeds returns the pair of entries wasting the most area if grouped
+// together (Guttman's quadratic PickSeeds).
+func pickSeeds(entries []Entry) (int, int) {
+	worst := math.Inf(-1)
+	a, b := 0, 1
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			u := entries[i].Rect.Union(entries[j].Rect)
+			waste := u.Area() - entries[i].Rect.Area() - entries[j].Rect.Area()
+			if waste > worst {
+				worst, a, b = waste, i, j
+			}
+		}
+	}
+	return a, b
+}
+
+// nodeMBR computes the exact MBR of a node's entries.
+func nodeMBR(n *Node) geom.Rect {
+	var r geom.Rect
+	for _, e := range n.entries {
+		r.ExpandRect(e.Rect)
+	}
+	return r
+}
+
+// Search invokes fn for every leaf entry whose rectangle intersects r,
+// stopping early if fn returns false.
+func (t *Tree) Search(r geom.Rect, fn func(Entry) bool) {
+	t.search(t.root, r, fn)
+}
+
+func (t *Tree) search(n *Node, r geom.Rect, fn func(Entry) bool) bool {
+	for _, e := range n.entries {
+		if !e.Rect.Intersects(r) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e) {
+				return false
+			}
+		} else if !t.search(e.Child, r, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// BulkItem is one input to BulkLoad.
+type BulkItem struct {
+	Rect geom.Rect
+	Data any
+}
+
+// BulkLoad builds a tree over items with the Sort-Tile-Recursive algorithm:
+// items are sorted and tiled into slabs dimension by dimension, packed into
+// full leaves, and upper levels are packed recursively. The result is
+// deterministic for a given input order. Capacity semantics match New.
+func BulkLoad(items []BulkItem, min, max int) *Tree {
+	t := New(min, max)
+	if len(items) == 0 {
+		return t
+	}
+	entries := make([]Entry, len(items))
+	for i, it := range items {
+		if it.Rect.IsEmpty() {
+			panic("rtree: cannot bulk load empty rectangle")
+		}
+		entries[i] = Entry{Rect: it.Rect.Clone(), Data: it.Data}
+	}
+	dims := entries[0].Rect.Dims()
+	nodes := packLevel(entries, true, t.maxEntries, dims)
+	t.height = 1
+	for len(nodes) > 1 {
+		up := make([]Entry, len(nodes))
+		for i, n := range nodes {
+			up[i] = Entry{Rect: nodeMBR(n), Child: n}
+		}
+		nodes = packLevel(up, false, t.maxEntries, dims)
+		t.height++
+	}
+	t.root = nodes[0]
+	t.size = len(items)
+	return t
+}
+
+// packLevel tiles entries into nodes of up to max entries using recursive
+// STR over the given number of dimensions.
+func packLevel(entries []Entry, leaf bool, max, dims int) []*Node {
+	var nodes []*Node
+	strTile(entries, 0, dims, max, func(chunk []Entry) {
+		n := &Node{leaf: leaf, entries: append([]Entry(nil), chunk...)}
+		nodes = append(nodes, n)
+	})
+	return nodes
+}
+
+// strTile recursively slices entries into slabs along dimension dim so that
+// the final chunks hold at most max entries, then emits them.
+func strTile(entries []Entry, dim, dims, max int, emit func([]Entry)) {
+	if len(entries) <= max {
+		emit(entries)
+		return
+	}
+	if dim == dims-1 {
+		// Last dimension: sort and emit runs of max.
+		sortByCenter(entries, dim)
+		for start := 0; start < len(entries); start += max {
+			end := start + max
+			if end > len(entries) {
+				end = len(entries)
+			}
+			emit(entries[start:end])
+		}
+		return
+	}
+	sortByCenter(entries, dim)
+	// Number of leaf pages below, spread across the remaining dimensions.
+	pages := int(math.Ceil(float64(len(entries)) / float64(max)))
+	slabs := int(math.Ceil(math.Pow(float64(pages), 1/float64(dims-dim))))
+	if slabs < 1 {
+		slabs = 1
+	}
+	per := int(math.Ceil(float64(len(entries)) / float64(slabs)))
+	for start := 0; start < len(entries); start += per {
+		end := start + per
+		if end > len(entries) {
+			end = len(entries)
+		}
+		strTile(entries[start:end], dim+1, dims, max, emit)
+	}
+}
+
+func sortByCenter(entries []Entry, dim int) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		ci := entries[i].Rect.Lo[dim] + entries[i].Rect.Hi[dim]
+		cj := entries[j].Rect.Lo[dim] + entries[j].Rect.Hi[dim]
+		return ci < cj
+	})
+}
+
+// CheckInvariants validates structural invariants; it is used by tests and
+// returns a descriptive error on the first violation found:
+//   - interior entry rectangles are the exact MBRs of their children,
+//   - all leaves sit at the same depth (height consistency),
+//   - no node exceeds maxEntries, and non-root nodes are non-empty,
+//   - the recorded size matches the number of reachable leaf entries.
+func (t *Tree) CheckInvariants() error {
+	leafDepth := -1
+	count := 0
+	var walk func(n *Node, depth int) error
+	walk = func(n *Node, depth int) error {
+		if len(n.entries) > t.maxEntries {
+			return fmt.Errorf("node overflow: %d > %d", len(n.entries), t.maxEntries)
+		}
+		if len(n.entries) == 0 && n != t.root {
+			return errors.New("empty non-root node")
+		}
+		if n.leaf {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if depth != leafDepth {
+				return fmt.Errorf("leaves at different depths: %d vs %d", depth, leafDepth)
+			}
+			count += len(n.entries)
+			return nil
+		}
+		for _, e := range n.entries {
+			if e.Child == nil {
+				return errors.New("interior entry without child")
+			}
+			if got := nodeMBR(e.Child); !got.Equal(e.Rect) {
+				return fmt.Errorf("stale MBR: entry %v vs child %v", e.Rect, got)
+			}
+			if err := walk(e.Child, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 1); err != nil {
+		return err
+	}
+	if leafDepth != -1 && leafDepth != t.height {
+		return fmt.Errorf("height %d but leaves at depth %d", t.height, leafDepth)
+	}
+	if count != t.size {
+		return fmt.Errorf("size %d but %d reachable leaf entries", t.size, count)
+	}
+	return nil
+}

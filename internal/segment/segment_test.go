@@ -1,0 +1,162 @@
+package segment
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestImageAccessors(t *testing.T) {
+	im := NewImage(4, 3)
+	im.Set(1, 2, 0.5)
+	if got := im.At(1, 2); got != 0.5 {
+		t.Fatalf("At = %v", got)
+	}
+	// Out-of-range reads are zero; writes are ignored.
+	if im.At(-1, 0) != 0 || im.At(4, 0) != 0 || im.At(0, 3) != 0 {
+		t.Fatal("out-of-range reads should be 0")
+	}
+	im.Set(10, 10, 1)
+	if im.At(10, 10) != 0 {
+		t.Fatal("out-of-range write should be ignored")
+	}
+}
+
+func TestRenderCellProducesBrightCenter(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	p := DefaultCellParams()
+	im := RenderCell(p, rng)
+	c := p.Size / 2
+	centerAvg, cornerAvg := 0.0, 0.0
+	for d := -2; d <= 2; d++ {
+		centerAvg += im.At(c+d, c) + im.At(c, c+d)
+		cornerAvg += im.At(2+d+2, 2) + im.At(p.Size-3, p.Size-3+0*d)
+	}
+	if centerAvg <= cornerAvg {
+		t.Fatalf("cell center (%v) not brighter than corners (%v)", centerAvg, cornerAvg)
+	}
+	for _, v := range im.Pix {
+		if v < 0 || v > 1 {
+			t.Fatalf("intensity out of range: %v", v)
+		}
+	}
+}
+
+func TestRenderCellTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RenderCell(CellParams{Size: 4}, rand.New(rand.NewPCG(1, 1)))
+}
+
+func TestSegmentQuantizationAndRange(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	im := RenderCell(DefaultCellParams(), rng)
+	m := Segment(im, 0.15, 255)
+	levels := map[float64]bool{}
+	maxMu := 0.0
+	for _, mu := range m.Mu {
+		if mu < 0 || mu > 1 {
+			t.Fatalf("membership out of range: %v", mu)
+		}
+		if mu > 0 {
+			levels[mu] = true
+			if mu > maxMu {
+				maxMu = mu
+			}
+		}
+	}
+	if len(levels) < 10 {
+		t.Fatalf("expected rich level structure, got %d levels", len(levels))
+	}
+	if len(levels) > 255 {
+		t.Fatalf("more levels than quantization allows: %d", len(levels))
+	}
+	if maxMu != 1 {
+		t.Fatalf("max membership = %v, want 1 (brightest pixel)", maxMu)
+	}
+	// Every positive membership must be a multiple of 1/255.
+	for _, mu := range m.Mu {
+		if mu == 0 {
+			continue
+		}
+		scaled := mu * 255
+		if diff := scaled - float64(int(scaled+0.5)); diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("membership %v not on the 1/255 lattice", mu)
+		}
+	}
+}
+
+func TestSegmentAllBackground(t *testing.T) {
+	im := NewImage(16, 16) // all zero
+	m := Segment(im, 0.15, 255)
+	for _, mu := range m.Mu {
+		if mu != 0 {
+			t.Fatal("background pixel got positive membership")
+		}
+	}
+	if comps := Components(m, 1); len(comps) != 0 {
+		t.Fatalf("components in empty mask: %d", len(comps))
+	}
+}
+
+func TestSegmentBadLevelsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Segment(NewImage(8, 8), 0.1, 0)
+}
+
+func TestComponentsSeparatesRegions(t *testing.T) {
+	// Two disjoint 2x2 blocks and one isolated pixel.
+	m := &Mask{W: 8, H: 8, Mu: make([]float64, 64), Levels: 255}
+	for _, xy := range [][2]int{{0, 0}, {1, 0}, {0, 1}, {1, 1}} {
+		m.Mu[xy[1]*8+xy[0]] = 0.8
+	}
+	for _, xy := range [][2]int{{5, 5}, {6, 5}, {5, 6}} {
+		m.Mu[xy[1]*8+xy[0]] = 0.6
+	}
+	m.Mu[3*8+7] = 0.3 // isolated
+	comps := Components(m, 1)
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	// Ordered by decreasing size.
+	if len(comps[0].Pixels) != 4 || len(comps[1].Pixels) != 3 || len(comps[2].Pixels) != 1 {
+		t.Fatalf("sizes = %d,%d,%d", len(comps[0].Pixels), len(comps[1].Pixels), len(comps[2].Pixels))
+	}
+	// minSize filters.
+	if got := Components(m, 2); len(got) != 2 {
+		t.Fatalf("minSize filter: %d", len(got))
+	}
+	if mu := comps[0].MaxMu(); mu != 0.8 {
+		t.Fatalf("MaxMu = %v", mu)
+	}
+}
+
+func TestDiagonalNotConnected(t *testing.T) {
+	m := &Mask{W: 4, H: 4, Mu: make([]float64, 16), Levels: 255}
+	m.Mu[0] = 0.5     // (0,0)
+	m.Mu[1*4+1] = 0.5 // (1,1) diagonal neighbor
+	if comps := Components(m, 1); len(comps) != 2 {
+		t.Fatalf("diagonal pixels merged: %d components", len(comps))
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for i := 0; i < 10; i++ {
+		im := RenderCell(DefaultCellParams(), rng)
+		m := Segment(im, 0.15, 255)
+		comps := Components(m, 32)
+		if len(comps) == 0 {
+			t.Fatalf("iteration %d: no component of at least 32 pixels", i)
+		}
+		if comps[0].MaxMu() != 1 {
+			t.Fatalf("iteration %d: largest component MaxMu = %v", i, comps[0].MaxMu())
+		}
+	}
+}

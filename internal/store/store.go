@@ -1,0 +1,378 @@
+// Package store persists fuzzy objects and serves random access to them.
+//
+// The paper's search algorithms keep only compact per-object summaries in
+// the in-memory R-tree and fetch ("probe") full objects from external
+// storage when a candidate must be refined. The dominant cost metric of the
+// evaluation — the number of object accesses — is the number of Get calls
+// against a store, which the Counting wrapper measures.
+//
+// The on-disk format is a single file: a fixed header, one checksummed
+// record per object, a directory of (id, offset, length) triples and a
+// footer locating the directory. All integers are little-endian.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/geom"
+)
+
+// Reader is the read side of an object store. Implementations must be safe
+// for concurrent use by multiple goroutines.
+type Reader interface {
+	// Get returns the object with the given id, or ErrNotFound.
+	Get(id uint64) (*fuzzy.Object, error)
+	// IDs returns all stored object ids in ascending order.
+	IDs() []uint64
+	// Len returns the number of stored objects.
+	Len() int
+	// Dims returns the dimensionality of stored objects.
+	Dims() int
+}
+
+// ErrNotFound is returned by Get for unknown object ids.
+var ErrNotFound = errors.New("store: object not found")
+
+// ErrCorrupt wraps all integrity failures (bad magic, checksum mismatch,
+// truncated records).
+var ErrCorrupt = errors.New("store: corrupt data")
+
+const (
+	magic      = "FZKNNST1"
+	version    = 1
+	headerSize = 8 + 4 + 4 // magic + version + dims
+	footerSize = 8 + 8 + 8 // dirOffset + count + magic
+	dirEntSize = 8 + 8 + 8 // id + offset + length
+)
+
+// MemStore is an in-memory Reader, used by tests and small workloads.
+type MemStore struct {
+	objs map[uint64]*fuzzy.Object
+	ids  []uint64
+	dims int
+}
+
+// NewMemStore builds a MemStore over the given objects. Object ids must be
+// unique and dimensionalities consistent.
+func NewMemStore(objs []*fuzzy.Object) (*MemStore, error) {
+	m := &MemStore{objs: make(map[uint64]*fuzzy.Object, len(objs))}
+	for _, o := range objs {
+		if _, dup := m.objs[o.ID()]; dup {
+			return nil, fmt.Errorf("store: duplicate object id %d", o.ID())
+		}
+		if m.dims == 0 {
+			m.dims = o.Dims()
+		} else if o.Dims() != m.dims {
+			return nil, fmt.Errorf("store: mixed dimensionality %d vs %d", o.Dims(), m.dims)
+		}
+		m.objs[o.ID()] = o
+		m.ids = append(m.ids, o.ID())
+	}
+	sort.Slice(m.ids, func(i, j int) bool { return m.ids[i] < m.ids[j] })
+	return m, nil
+}
+
+// Get implements Reader.
+func (m *MemStore) Get(id uint64) (*fuzzy.Object, error) {
+	o, ok := m.objs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	return o, nil
+}
+
+// IDs implements Reader.
+func (m *MemStore) IDs() []uint64 { return m.ids }
+
+// Len implements Reader.
+func (m *MemStore) Len() int { return len(m.ids) }
+
+// Dims implements Reader.
+func (m *MemStore) Dims() int { return m.dims }
+
+// Writer streams objects into a store file. Create one with Create, Append
+// objects, then Close to finalize the directory and footer.
+type Writer struct {
+	f      *os.File
+	dims   int
+	offset uint64
+	dir    []dirEntry
+	seen   map[uint64]bool
+	err    error
+}
+
+type dirEntry struct {
+	id, offset, length uint64
+}
+
+// Create opens path for writing a new store of objects with the given
+// dimensionality, truncating any existing file.
+func Create(path string, dims int) (*Writer, error) {
+	if dims < 1 {
+		return nil, errors.New("store: dims must be >= 1")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, headerSize)
+	copy(hdr, magic)
+	binary.LittleEndian.PutUint32(hdr[8:], version)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(dims))
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f, dims: dims, offset: headerSize, seen: make(map[uint64]bool)}, nil
+}
+
+// Append serializes one object. Objects must have the writer's
+// dimensionality and unique ids.
+func (w *Writer) Append(o *fuzzy.Object) error {
+	if w.err != nil {
+		return w.err
+	}
+	if o.Dims() != w.dims {
+		return fmt.Errorf("store: object dims %d, writer dims %d", o.Dims(), w.dims)
+	}
+	if w.seen[o.ID()] {
+		return fmt.Errorf("store: duplicate object id %d", o.ID())
+	}
+	rec := encodeObject(o)
+	if _, err := w.f.Write(rec); err != nil {
+		w.err = err
+		return err
+	}
+	w.dir = append(w.dir, dirEntry{id: o.ID(), offset: w.offset, length: uint64(len(rec))})
+	w.offset += uint64(len(rec))
+	w.seen[o.ID()] = true
+	return nil
+}
+
+// Close writes the directory and footer and closes the file. The Writer is
+// unusable afterwards.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		w.f.Close()
+		return w.err
+	}
+	dirOffset := w.offset
+	buf := make([]byte, len(w.dir)*dirEntSize+footerSize)
+	pos := 0
+	for _, e := range w.dir {
+		binary.LittleEndian.PutUint64(buf[pos:], e.id)
+		binary.LittleEndian.PutUint64(buf[pos+8:], e.offset)
+		binary.LittleEndian.PutUint64(buf[pos+16:], e.length)
+		pos += dirEntSize
+	}
+	binary.LittleEndian.PutUint64(buf[pos:], dirOffset)
+	binary.LittleEndian.PutUint64(buf[pos+8:], uint64(len(w.dir)))
+	copy(buf[pos+16:], magic)
+	if _, err := w.f.Write(buf); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// encodeObject serializes an object record:
+//
+//	id u64 | npoints u32 | dims u32 | coords (n*d f64) | mus (n f64) | crc32 u32
+func encodeObject(o *fuzzy.Object) []byte {
+	n, d := o.Len(), o.Dims()
+	size := 8 + 4 + 4 + n*d*8 + n*8 + 4
+	buf := make([]byte, size)
+	binary.LittleEndian.PutUint64(buf[0:], o.ID())
+	binary.LittleEndian.PutUint32(buf[8:], uint32(n))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(d))
+	pos := 16
+	for i := 0; i < n; i++ {
+		p, _ := o.At(i)
+		for j := 0; j < d; j++ {
+			binary.LittleEndian.PutUint64(buf[pos:], math.Float64bits(p[j]))
+			pos += 8
+		}
+	}
+	for i := 0; i < n; i++ {
+		_, mu := o.At(i)
+		binary.LittleEndian.PutUint64(buf[pos:], math.Float64bits(mu))
+		pos += 8
+	}
+	crc := crc32.ChecksumIEEE(buf[:pos])
+	binary.LittleEndian.PutUint32(buf[pos:], crc)
+	return buf
+}
+
+// decodeObject parses a record produced by encodeObject.
+func decodeObject(buf []byte, wantID uint64, wantDims int) (*fuzzy.Object, error) {
+	if len(buf) < 20 {
+		return nil, fmt.Errorf("%w: record too short (%d bytes)", ErrCorrupt, len(buf))
+	}
+	payload, crcBytes := buf[:len(buf)-4], buf[len(buf)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crcBytes) {
+		return nil, fmt.Errorf("%w: checksum mismatch for object %d", ErrCorrupt, wantID)
+	}
+	id := binary.LittleEndian.Uint64(buf[0:])
+	n := int(binary.LittleEndian.Uint32(buf[8:]))
+	d := int(binary.LittleEndian.Uint32(buf[12:]))
+	if id != wantID {
+		return nil, fmt.Errorf("%w: record id %d at directory slot for %d", ErrCorrupt, id, wantID)
+	}
+	if d != wantDims {
+		return nil, fmt.Errorf("%w: record dims %d, store dims %d", ErrCorrupt, d, wantDims)
+	}
+	if want := 16 + n*d*8 + n*8 + 4; want != len(buf) {
+		return nil, fmt.Errorf("%w: record length %d, want %d", ErrCorrupt, len(buf), want)
+	}
+	wps := make([]fuzzy.WeightedPoint, n)
+	pos := 16
+	for i := 0; i < n; i++ {
+		p := make(geom.Point, d)
+		for j := 0; j < d; j++ {
+			p[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
+			pos += 8
+		}
+		wps[i].P = p
+	}
+	for i := 0; i < n; i++ {
+		wps[i].Mu = math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
+		pos += 8
+	}
+	o, err := fuzzy.New(id, wps)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return o, nil
+}
+
+// DiskStore is a Reader over a store file. Open loads only the directory;
+// objects are decoded on demand with positioned reads, so Gets from multiple
+// goroutines are safe.
+type DiskStore struct {
+	f    *os.File
+	dims int
+	dir  map[uint64]dirEntry
+	ids  []uint64
+}
+
+// Open opens a store file created by Writer.
+func Open(path string) (*DiskStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := openFile(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func openFile(f *os.File) (*DiskStore, error) {
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, headerSize), hdr); err != nil {
+		return nil, fmt.Errorf("%w: unreadable header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:8]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	dims := int(binary.LittleEndian.Uint32(hdr[12:]))
+
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() < headerSize+footerSize {
+		return nil, fmt.Errorf("%w: file too short", ErrCorrupt)
+	}
+	foot := make([]byte, footerSize)
+	if _, err := f.ReadAt(foot, st.Size()-footerSize); err != nil {
+		return nil, fmt.Errorf("%w: unreadable footer: %v", ErrCorrupt, err)
+	}
+	if string(foot[16:]) != magic {
+		return nil, fmt.Errorf("%w: bad footer magic", ErrCorrupt)
+	}
+	dirOffset := binary.LittleEndian.Uint64(foot[0:])
+	count := binary.LittleEndian.Uint64(foot[8:])
+	dirLen := int64(count) * dirEntSize
+	if int64(dirOffset)+dirLen+footerSize != st.Size() {
+		return nil, fmt.Errorf("%w: directory bounds inconsistent", ErrCorrupt)
+	}
+	dirBuf := make([]byte, dirLen)
+	if _, err := f.ReadAt(dirBuf, int64(dirOffset)); err != nil {
+		return nil, fmt.Errorf("%w: unreadable directory: %v", ErrCorrupt, err)
+	}
+	s := &DiskStore{
+		f:    f,
+		dims: dims,
+		dir:  make(map[uint64]dirEntry, count),
+		ids:  make([]uint64, 0, count),
+	}
+	for i := int64(0); i < int64(count); i++ {
+		pos := i * dirEntSize
+		e := dirEntry{
+			id:     binary.LittleEndian.Uint64(dirBuf[pos:]),
+			offset: binary.LittleEndian.Uint64(dirBuf[pos+8:]),
+			length: binary.LittleEndian.Uint64(dirBuf[pos+16:]),
+		}
+		if _, dup := s.dir[e.id]; dup {
+			return nil, fmt.Errorf("%w: duplicate id %d in directory", ErrCorrupt, e.id)
+		}
+		s.dir[e.id] = e
+		s.ids = append(s.ids, e.id)
+	}
+	sort.Slice(s.ids, func(i, j int) bool { return s.ids[i] < s.ids[j] })
+	return s, nil
+}
+
+// Get implements Reader.
+func (s *DiskStore) Get(id uint64) (*fuzzy.Object, error) {
+	e, ok := s.dir[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	buf := make([]byte, e.length)
+	if _, err := s.f.ReadAt(buf, int64(e.offset)); err != nil {
+		return nil, fmt.Errorf("%w: read object %d: %v", ErrCorrupt, id, err)
+	}
+	return decodeObject(buf, id, s.dims)
+}
+
+// IDs implements Reader.
+func (s *DiskStore) IDs() []uint64 { return s.ids }
+
+// Len implements Reader.
+func (s *DiskStore) Len() int { return len(s.ids) }
+
+// Dims implements Reader.
+func (s *DiskStore) Dims() int { return s.dims }
+
+// Close releases the underlying file.
+func (s *DiskStore) Close() error { return s.f.Close() }
+
+// WriteAll is a convenience that writes objs to path in one call.
+func WriteAll(path string, dims int, objs []*fuzzy.Object) error {
+	w, err := Create(path, dims)
+	if err != nil {
+		return err
+	}
+	for _, o := range objs {
+		if err := w.Append(o); err != nil {
+			w.f.Close()
+			return err
+		}
+	}
+	return w.Close()
+}

@@ -1,0 +1,106 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"fuzzyknn/internal/fuzzy"
+)
+
+// Counting wraps a Reader and counts Get calls. It reproduces the paper's
+// headline cost metric: every Get is one "object access" regardless of what
+// the underlying reader does. Safe for concurrent use.
+type Counting struct {
+	Reader
+	n atomic.Int64
+}
+
+// NewCounting wraps r.
+func NewCounting(r Reader) *Counting { return &Counting{Reader: r} }
+
+// Get implements Reader, incrementing the access counter.
+func (c *Counting) Get(id uint64) (*fuzzy.Object, error) {
+	c.n.Add(1)
+	return c.Reader.Get(id)
+}
+
+// Count returns the number of Get calls since construction or the last Reset.
+func (c *Counting) Count() int64 { return c.n.Load() }
+
+// Reset zeroes the access counter.
+func (c *Counting) Reset() { c.n.Store(0) }
+
+// LRU wraps a Reader with a fixed-capacity least-recently-used object cache.
+// It is an extension beyond the paper (which always charges a probe) used by
+// the cache-ablation benchmarks; place it *under* a Counting wrapper to keep
+// the paper's accounting, or *over* one to count only cache misses.
+type LRU struct {
+	inner    Reader
+	capacity int
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recent; values are *lruItem
+	items map[uint64]*list.Element
+
+	hits, misses atomic.Int64
+}
+
+type lruItem struct {
+	id  uint64
+	obj *fuzzy.Object
+}
+
+// NewLRU wraps r with a cache of at most capacity objects (capacity >= 1).
+func NewLRU(r Reader, capacity int) *LRU {
+	if capacity < 1 {
+		panic("store: LRU capacity must be >= 1")
+	}
+	return &LRU{
+		inner:    r,
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[uint64]*list.Element),
+	}
+}
+
+// Get implements Reader.
+func (l *LRU) Get(id uint64) (*fuzzy.Object, error) {
+	l.mu.Lock()
+	if el, ok := l.items[id]; ok {
+		l.ll.MoveToFront(el)
+		obj := el.Value.(*lruItem).obj
+		l.mu.Unlock()
+		l.hits.Add(1)
+		return obj, nil
+	}
+	l.mu.Unlock()
+	l.misses.Add(1)
+	obj, err := l.inner.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	if _, ok := l.items[id]; !ok {
+		l.items[id] = l.ll.PushFront(&lruItem{id: id, obj: obj})
+		if l.ll.Len() > l.capacity {
+			victim := l.ll.Back()
+			l.ll.Remove(victim)
+			delete(l.items, victim.Value.(*lruItem).id)
+		}
+	}
+	l.mu.Unlock()
+	return obj, nil
+}
+
+// IDs implements Reader.
+func (l *LRU) IDs() []uint64 { return l.inner.IDs() }
+
+// Len implements Reader.
+func (l *LRU) Len() int { return l.inner.Len() }
+
+// Dims implements Reader.
+func (l *LRU) Dims() int { return l.inner.Dims() }
+
+// Stats returns cache hits and misses since construction.
+func (l *LRU) Stats() (hits, misses int64) { return l.hits.Load(), l.misses.Load() }

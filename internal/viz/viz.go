@@ -1,0 +1,138 @@
+// Package viz renders fuzzy objects and query results as SVG images using
+// only the standard library. Point opacity encodes membership, so the
+// fuzzy structure of the data — dense certain cores fading into sparse
+// uncertain fringes — is directly visible, mirroring the paper's Figure 1.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/geom"
+)
+
+// Canvas accumulates SVG elements over a world-coordinate viewport.
+// Create with New. Only 2-d data can be rendered.
+type Canvas struct {
+	bounds geom.Rect
+	px     float64 // pixel width/height of the longer side
+	scale  float64
+	w, h   float64
+	body   strings.Builder
+}
+
+// New creates a canvas covering the given world bounds, scaled so the
+// longer side measures pixels. A 5% margin is added around the bounds.
+func New(bounds geom.Rect, pixels int) *Canvas {
+	if bounds.IsEmpty() || bounds.Dims() != 2 {
+		panic("viz: canvas requires non-empty 2-d bounds")
+	}
+	if pixels < 16 {
+		panic("viz: canvas too small")
+	}
+	b := bounds.Clone()
+	mx := (b.Hi[0] - b.Lo[0]) * 0.05
+	my := (b.Hi[1] - b.Lo[1]) * 0.05
+	if mx == 0 {
+		mx = 1
+	}
+	if my == 0 {
+		my = 1
+	}
+	b.Lo[0] -= mx
+	b.Lo[1] -= my
+	b.Hi[0] += mx
+	b.Hi[1] += my
+	ww := b.Hi[0] - b.Lo[0]
+	wh := b.Hi[1] - b.Lo[1]
+	longer := ww
+	if wh > ww {
+		longer = wh
+	}
+	scale := float64(pixels) / longer
+	return &Canvas{
+		bounds: b,
+		px:     float64(pixels),
+		scale:  scale,
+		w:      ww * scale,
+		h:      wh * scale,
+	}
+}
+
+// xy maps world coordinates to SVG pixel coordinates (y axis flipped).
+func (c *Canvas) xy(p geom.Point) (float64, float64) {
+	return (p[0] - c.bounds.Lo[0]) * c.scale, c.h - (p[1]-c.bounds.Lo[1])*c.scale
+}
+
+// Object draws a fuzzy object: one dot per point, opacity proportional to
+// membership (µ = 1 fully opaque).
+func (c *Canvas) Object(o *fuzzy.Object, color string) {
+	r := c.scale * 0.02
+	if r < 0.8 {
+		r = 0.8
+	}
+	for i := 0; i < o.Len(); i++ {
+		p, mu := o.At(i)
+		x, y := c.xy(p)
+		fmt.Fprintf(&c.body,
+			`<circle cx="%.2f" cy="%.2f" r="%.2f" fill="%s" fill-opacity="%.3f"/>`+"\n",
+			x, y, r, color, 0.15+0.85*mu)
+	}
+}
+
+// MBR draws a rectangle outline in world coordinates.
+func (c *Canvas) MBR(r geom.Rect, stroke string) {
+	if r.IsEmpty() {
+		return
+	}
+	x0, y0 := c.xy(geom.Point{r.Lo[0], r.Hi[1]})
+	x1, y1 := c.xy(geom.Point{r.Hi[0], r.Lo[1]})
+	fmt.Fprintf(&c.body,
+		`<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="none" stroke="%s" stroke-width="1"/>`+"\n",
+		x0, y0, x1-x0, y1-y0, stroke)
+}
+
+// Circle draws a circle outline of world-coordinate radius around center.
+func (c *Canvas) Circle(center geom.Point, radius float64, stroke string) {
+	x, y := c.xy(center)
+	fmt.Fprintf(&c.body,
+		`<circle cx="%.2f" cy="%.2f" r="%.2f" fill="none" stroke="%s" stroke-width="1" stroke-dasharray="4 3"/>`+"\n",
+		x, y, radius*c.scale, stroke)
+}
+
+// Segment draws a straight line between two world points.
+func (c *Canvas) Segment(a, b geom.Point, stroke string) {
+	x0, y0 := c.xy(a)
+	x1, y1 := c.xy(b)
+	fmt.Fprintf(&c.body,
+		`<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="1"/>`+"\n",
+		x0, y0, x1, y1, stroke)
+}
+
+// Label places text at a world position.
+func (c *Canvas) Label(at geom.Point, text, color string) {
+	x, y := c.xy(at)
+	fmt.Fprintf(&c.body,
+		`<text x="%.2f" y="%.2f" font-size="11" font-family="sans-serif" fill="%s">%s</text>`+"\n",
+		x, y, color, escape(text))
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// WriteTo emits the complete SVG document.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	var out strings.Builder
+	fmt.Fprintf(&out,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.2f %.2f">`+"\n",
+		c.w, c.h, c.w, c.h)
+	out.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	out.WriteString(c.body.String())
+	out.WriteString("</svg>\n")
+	n, err := io.WriteString(w, out.String())
+	return int64(n), err
+}

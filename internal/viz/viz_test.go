@@ -1,0 +1,107 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/geom"
+)
+
+func testObject(t *testing.T) *fuzzy.Object {
+	t.Helper()
+	o, err := fuzzy.New(1, []fuzzy.WeightedPoint{
+		{P: geom.Point{1, 1}, Mu: 1},
+		{P: geom.Point{1.5, 1.2}, Mu: 0.5},
+		{P: geom.Point{0.5, 0.8}, Mu: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func render(t *testing.T, draw func(*Canvas)) string {
+	t.Helper()
+	c := New(geom.NewRect(geom.Point{0, 0}, geom.Point{10, 10}), 400)
+	draw(c)
+	var sb strings.Builder
+	if _, err := c.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestCanvasProducesValidSVGSkeleton(t *testing.T) {
+	out := render(t, func(*Canvas) {})
+	for _, want := range []string{"<svg", "</svg>", `xmlns="http://www.w3.org/2000/svg"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output", want)
+		}
+	}
+}
+
+func TestObjectRendersPointsWithOpacity(t *testing.T) {
+	o := testObject(t)
+	out := render(t, func(c *Canvas) { c.Object(o, "steelblue") })
+	if got := strings.Count(out, "<circle"); got != 3 {
+		t.Fatalf("expected 3 point circles, got %d", got)
+	}
+	if !strings.Contains(out, `fill-opacity="1.000"`) {
+		t.Fatal("kernel point should be fully opaque")
+	}
+	if !strings.Contains(out, "steelblue") {
+		t.Fatal("color not applied")
+	}
+}
+
+func TestShapesAppear(t *testing.T) {
+	o := testObject(t)
+	out := render(t, func(c *Canvas) {
+		c.MBR(o.SupportMBR(), "red")
+		c.Circle(geom.Point{5, 5}, 2, "green")
+		c.Segment(geom.Point{0, 0}, geom.Point{10, 10}, "black")
+		c.Label(geom.Point{5, 9}, `query <A&B>`, "gray")
+	})
+	for _, want := range []string{"<rect", "stroke-dasharray", "<line", "<text", "&lt;A&amp;B&gt;"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestYAxisFlipped(t *testing.T) {
+	// World-higher points must land at smaller pixel y.
+	c := New(geom.NewRect(geom.Point{0, 0}, geom.Point{10, 10}), 400)
+	_, yLow := c.xy(geom.Point{5, 1})
+	_, yHigh := c.xy(geom.Point{5, 9})
+	if yHigh >= yLow {
+		t.Fatalf("y axis not flipped: y(9)=%v, y(1)=%v", yHigh, yLow)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(geom.Rect{}, 400) },
+		func() { New(geom.NewRect(geom.Point{0, 0, 0}, geom.Point{1, 1, 1}), 400) },
+		func() { New(geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1}), 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDegenerateBoundsGetMargin(t *testing.T) {
+	// A single-point bounds must still produce a usable canvas.
+	c := New(geom.RectFromPoint(geom.Point{3, 3}), 100)
+	x, y := c.xy(geom.Point{3, 3})
+	if x <= 0 || y <= 0 {
+		t.Fatalf("degenerate bounds not padded: (%v, %v)", x, y)
+	}
+}
