@@ -11,7 +11,9 @@
 package fuzzyknn
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"fuzzyknn/internal/bench"
@@ -244,6 +246,67 @@ func BenchmarkFig15b_AKNNDatasetTime(b *testing.B) {
 				e := setupEnv(b, benchWorkload(kind, 0))
 				runAKNN(b, e, bench.DefaultK, bench.DefaultAlpha, algo)
 			})
+		}
+	}
+}
+
+// --- Batch engine: parallel vs serial throughput (beyond the paper). Each
+// op is one batch of queries; compare ns/op of serial against parallel=N to
+// read the engine's speedup. qps reports the same thing as a rate. ---
+
+func BenchmarkBatchAKNNThroughput(b *testing.B) {
+	const nObjects, nQueries, k, alpha = 2000, 64, 10, 0.5
+	p := dataset.Default(dataset.Synthetic)
+	p.N = nObjects
+	p.Seed = 3
+	objs, err := dataset.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := NewIndex(objs, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer idx.Close()
+	queries := make([]*Object, nQueries)
+	for i := range queries {
+		if queries[i], err = dataset.GenerateQuery(p, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	reportQPS := func(b *testing.B) {
+		b.ReportMetric(float64(b.N)*nQueries/b.Elapsed().Seconds(), "qps")
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range queries {
+				if _, _, err := idx.AKNN(q, k, alpha, LBLPUB); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		reportQPS(b)
+	})
+
+	maxPar := runtime.GOMAXPROCS(0)
+	for _, par := range []int{2, 4, maxPar} {
+		if par > maxPar {
+			continue
+		}
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			eng := idx.NewEngine(&EngineConfig{Parallelism: par})
+			defer eng.Close()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := eng.BatchAKNN(context.Background(), queries, k, alpha, LBLPUB); err != nil {
+					b.Fatal(err)
+				}
+			}
+			reportQPS(b)
+		})
+		if par == maxPar {
+			break
 		}
 	}
 }

@@ -15,7 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"fuzzyknn"
 	"fuzzyknn/internal/dataset"
@@ -53,7 +52,7 @@ func main() {
 
 	switch *mode {
 	case "aknn":
-		algo, err := parseAKNN(*algoName)
+		algo, err := fuzzyknn.ParseAKNNAlgorithm(*algoName)
 		if err != nil {
 			fatal(err)
 		}
@@ -72,7 +71,7 @@ func main() {
 		printStats(stats)
 
 	case "rknn":
-		algo, err := parseRKNN(*algoName)
+		algo, err := fuzzyknn.ParseRKNNAlgorithm(*algoName)
 		if err != nil {
 			fatal(err)
 		}
@@ -106,34 +105,6 @@ func loadQuery(idx *fuzzyknn.Index, queryID int64, seed uint64, space float64, p
 	}
 	fmt.Printf("query: generated synthetic object (seed %d)\n", seed)
 	return q, nil
-}
-
-func parseAKNN(s string) (fuzzyknn.AKNNAlgorithm, error) {
-	switch strings.ToLower(s) {
-	case "basic":
-		return fuzzyknn.Basic, nil
-	case "lb":
-		return fuzzyknn.LB, nil
-	case "lb-lp", "lblp":
-		return fuzzyknn.LBLP, nil
-	case "", "lb-lp-ub", "lblpub":
-		return fuzzyknn.LBLPUB, nil
-	}
-	return 0, fmt.Errorf("unknown AKNN algorithm %q", s)
-}
-
-func parseRKNN(s string) (fuzzyknn.RKNNAlgorithm, error) {
-	switch strings.ToLower(s) {
-	case "naive":
-		return fuzzyknn.Naive, nil
-	case "basic":
-		return fuzzyknn.BasicRKNN, nil
-	case "rss":
-		return fuzzyknn.RSS, nil
-	case "", "rss-icr", "rssicr":
-		return fuzzyknn.RSSICR, nil
-	}
-	return 0, fmt.Errorf("unknown RKNN algorithm %q", s)
 }
 
 func printStats(st fuzzyknn.Stats) {

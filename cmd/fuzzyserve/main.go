@@ -1,0 +1,108 @@
+// Command fuzzyserve serves AKNN/RKNN/range queries over JSON/HTTP, backed
+// by the concurrent batch query engine.
+//
+// Serve a store file written by fuzzygen (or fuzzyknn.SaveObjects):
+//
+//	fuzzyserve -store objects.fzs -addr :8080 -parallelism 8 -cache 256
+//
+// Or serve a generated synthetic dataset (no files needed, handy for demos
+// and smoke tests):
+//
+//	fuzzyserve -demo 2000
+//
+// Then query it:
+//
+//	curl -s localhost:8080/aknn -d '{"query_id": 7, "k": 5, "alpha": 0.5}'
+//	curl -s localhost:8080/rknn -d '{"query_id": 7, "k": 5, "alpha_start": 0.3, "alpha_end": 0.8}'
+//	curl -s localhost:8080/range -d '{"query_id": 7, "alpha": 0.5, "radius": 10}'
+//	curl -s localhost:8080/stats
+//
+// See the server package docs (internal/server) for the full wire format.
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fuzzyknn"
+	"fuzzyknn/internal/dataset"
+	"fuzzyknn/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		storePath   = flag.String("store", "", "store file to serve (written by fuzzygen)")
+		summary     = flag.String("summary", "", "index summary file (skips the store scan on open)")
+		cacheSize   = flag.Int("cache", 0, "LRU object cache size (0 = none)")
+		parallelism = flag.Int("parallelism", 0, "max queries executing at once (0 = GOMAXPROCS)")
+		demo        = flag.Int("demo", 0, "serve a generated synthetic dataset of this many objects instead of a store file")
+		demoSeed    = flag.Uint64("demo-seed", 1, "seed for the -demo dataset")
+		drain       = flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
+	)
+	flag.Parse()
+
+	idx, err := openIndex(*storePath, *summary, *cacheSize, *demo, *demoSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	eng := idx.NewEngine(&fuzzyknn.EngineConfig{Parallelism: *parallelism})
+	defer eng.Close()
+	log.Printf("serving %d objects (%d dims) on %s, parallelism %d",
+		idx.Len(), idx.Dims(), *addr, eng.Parallelism())
+
+	srv := &http.Server{Addr: *addr, Handler: server.New(idx, eng)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down, draining for up to %v", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	switch err := srv.Shutdown(shutdownCtx); {
+	case errors.Is(err, context.DeadlineExceeded):
+		log.Printf("shutdown: drain timeout exceeded, in-flight requests dropped")
+	case err != nil:
+		log.Printf("shutdown: %v", err)
+	}
+}
+
+// openIndex opens the store-backed index, or builds an in-memory synthetic
+// one in -demo mode.
+func openIndex(storePath, summary string, cacheSize, demo int, demoSeed uint64) (*fuzzyknn.Index, error) {
+	switch {
+	case storePath != "" && demo > 0:
+		return nil, errors.New("give either -store or -demo, not both")
+	case storePath != "":
+		return fuzzyknn.OpenIndex(storePath, &fuzzyknn.Config{CacheSize: cacheSize, SummaryFile: summary})
+	case demo > 0:
+		p := dataset.Default(dataset.Synthetic)
+		p.N = demo
+		p.Seed = demoSeed
+		objs, err := dataset.Generate(p)
+		if err != nil {
+			return nil, err
+		}
+		return fuzzyknn.NewIndex(objs, nil)
+	default:
+		return nil, fmt.Errorf("missing -store (or -demo); run %s -h for usage", os.Args[0])
+	}
+}

@@ -1,0 +1,153 @@
+package fuzzyknn
+
+import (
+	"context"
+	"fmt"
+
+	"fuzzyknn/internal/engine"
+)
+
+// BatchRequest is one query in a mixed batch; see BatchAKNNKind and friends
+// for the Kind values and Engine.DoBatch for execution.
+type BatchRequest = engine.Request
+
+// BatchResponse is the answer to one BatchRequest.
+type BatchResponse = engine.Response
+
+// BatchKind selects the query type of a BatchRequest.
+type BatchKind = engine.Kind
+
+// BatchRequest kinds.
+const (
+	BatchAKNNKind  = engine.AKNN
+	BatchRKNNKind  = engine.RKNN
+	BatchRangeKind = engine.RangeSearch
+)
+
+// EngineTotals is a snapshot of an Engine's lifetime activity.
+type EngineTotals = engine.Totals
+
+// ErrEngineClosed is returned for work submitted to a closed Engine.
+var ErrEngineClosed = engine.ErrClosed
+
+// EngineConfig tunes an Engine. The zero value (or nil) picks defaults.
+type EngineConfig struct {
+	// Parallelism is the number of queries executing at once
+	// (default: runtime.GOMAXPROCS(0)).
+	Parallelism int
+	// QueueDepth bounds accepted-but-not-running requests
+	// (default: 2×Parallelism).
+	QueueDepth int
+}
+
+// Engine executes queries concurrently against one Index through a bounded
+// worker pool. It is safe for concurrent use; create with Index.NewEngine
+// and release with Close. The Index must outlive the Engine.
+type Engine struct {
+	inner *engine.Engine
+}
+
+// NewEngine starts a concurrent query engine over the index. The index's
+// read path is immutable, so any number of engines (and direct Index calls)
+// can coexist.
+func (ix *Index) NewEngine(cfg *EngineConfig) *Engine {
+	var opts engine.Options
+	if cfg != nil {
+		opts.Parallelism = cfg.Parallelism
+		opts.QueueDepth = cfg.QueueDepth
+	}
+	return &Engine{inner: engine.New(ix.inner, opts)}
+}
+
+// Parallelism returns the worker count the engine runs with.
+func (e *Engine) Parallelism() int { return e.inner.Parallelism() }
+
+// Do executes one request, blocking until it completes (or ctx is cancelled
+// while it is still queued).
+func (e *Engine) Do(ctx context.Context, req BatchRequest) BatchResponse {
+	return e.inner.Do(ctx, req)
+}
+
+// DoBatch executes a mixed batch across the worker pool, returning responses
+// in request order. Per-request failures land in BatchResponse.Err; the
+// batch itself always completes.
+func (e *Engine) DoBatch(ctx context.Context, reqs []BatchRequest) []BatchResponse {
+	return e.inner.DoBatch(ctx, reqs)
+}
+
+// BatchAKNN answers one AKNN query per element of queries, concurrently,
+// with shared k, alpha and algorithm. Results and stats are in query order.
+// The first failure is returned as the error (annotated with its position);
+// remaining queries still run, and failed positions hold nil results.
+func (e *Engine) BatchAKNN(ctx context.Context, queries []*Object, k int, alpha float64, algo AKNNAlgorithm) ([][]Result, []Stats, error) {
+	reqs := make([]BatchRequest, len(queries))
+	for i, q := range queries {
+		reqs[i] = BatchRequest{Kind: BatchAKNNKind, Q: q, K: k, Alpha: alpha, AKNNAlgo: algo}
+	}
+	return collectBatch(e.DoBatch(ctx, reqs), func(r BatchResponse) []Result { return r.Results })
+}
+
+// BatchRKNN answers one RKNN query per element of queries, concurrently,
+// with shared k, threshold range and algorithm. Error semantics match
+// BatchAKNN.
+func (e *Engine) BatchRKNN(ctx context.Context, queries []*Object, k int, alphaStart, alphaEnd float64, algo RKNNAlgorithm) ([][]RangedResult, []Stats, error) {
+	reqs := make([]BatchRequest, len(queries))
+	for i, q := range queries {
+		reqs[i] = BatchRequest{
+			Kind: BatchRKNNKind, Q: q, K: k,
+			AlphaStart: alphaStart, AlphaEnd: alphaEnd, RKNNAlgo: algo,
+		}
+	}
+	return collectBatch(e.DoBatch(ctx, reqs), func(r BatchResponse) []RangedResult { return r.Ranged })
+}
+
+// BatchRangeSearch answers one α-range query per element of queries,
+// concurrently. Error semantics match BatchAKNN.
+func (e *Engine) BatchRangeSearch(ctx context.Context, queries []*Object, alpha, radius float64) ([][]Result, []Stats, error) {
+	reqs := make([]BatchRequest, len(queries))
+	for i, q := range queries {
+		reqs[i] = BatchRequest{Kind: BatchRangeKind, Q: q, Alpha: alpha, Radius: radius}
+	}
+	return collectBatch(e.DoBatch(ctx, reqs), func(r BatchResponse) []Result { return r.Results })
+}
+
+// collectBatch unpacks per-query results and stats in request order,
+// annotating the first failure with its position. Later queries still ran;
+// failed positions hold the picked field's zero value.
+func collectBatch[T any](resps []BatchResponse, pick func(BatchResponse) T) ([]T, []Stats, error) {
+	results := make([]T, len(resps))
+	stats := make([]Stats, len(resps))
+	var err error
+	for i, r := range resps {
+		results[i], stats[i] = pick(r), r.Stats
+		if r.Err != nil && err == nil {
+			err = fmt.Errorf("fuzzyknn: batch query %d: %w", i, r.Err)
+		}
+	}
+	return results, stats, err
+}
+
+// Totals returns a snapshot of the engine's aggregate request counts and
+// summed query statistics.
+func (e *Engine) Totals() EngineTotals { return e.inner.Totals() }
+
+// Close stops accepting work, waits for in-flight queries, and releases the
+// workers. Idempotent. The underlying Index stays usable.
+func (e *Engine) Close() { e.inner.Close() }
+
+// BatchAKNN answers many AKNN queries concurrently using a transient engine
+// with default parallelism. For repeated batches, or to tune parallelism,
+// create an Engine with NewEngine and reuse it.
+func (ix *Index) BatchAKNN(queries []*Object, k int, alpha float64, algo AKNNAlgorithm) ([][]Result, []Stats, error) {
+	e := ix.NewEngine(nil)
+	defer e.Close()
+	return e.BatchAKNN(context.Background(), queries, k, alpha, algo)
+}
+
+// BatchRKNN answers many RKNN queries concurrently using a transient engine
+// with default parallelism. See BatchAKNN.
+func (ix *Index) BatchRKNN(queries []*Object, k int, alphaStart, alphaEnd float64, algo RKNNAlgorithm) ([][]RangedResult, []Stats, error) {
+	e := ix.NewEngine(nil)
+	defer e.Close()
+	return e.BatchRKNN(context.Background(), queries, k, alphaStart, alphaEnd, algo)
+}

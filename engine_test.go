@@ -1,0 +1,139 @@
+package fuzzyknn
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"fuzzyknn/internal/dataset"
+)
+
+// batchFixture builds an in-memory index plus query objects from the
+// synthetic dataset generator.
+func batchFixture(t testing.TB, n, queries int) (*Index, []*Object) {
+	t.Helper()
+	p := dataset.Default(dataset.Synthetic)
+	p.N = n
+	p.Seed = 7
+	objs, err := dataset.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := NewIndex(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { idx.Close() })
+	qs := make([]*Object, queries)
+	for i := range qs {
+		if qs[i], err = dataset.GenerateQuery(p, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return idx, qs
+}
+
+// TestBatchAKNNMatchesSerial checks the public batch APIs return exactly
+// the serial answers, in query order.
+func TestBatchAKNNMatchesSerial(t *testing.T) {
+	idx, qs := batchFixture(t, 150, 12)
+
+	batch, stats, err := idx.BatchAKNN(qs, 5, 0.5, LBLPUB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(qs) || len(stats) != len(qs) {
+		t.Fatalf("batch sizes %d/%d, want %d", len(batch), len(stats), len(qs))
+	}
+	for i, q := range qs {
+		want, wantStats, err := idx.AKNN(q, 5, 0.5, LBLPUB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch[i]) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", i, len(batch[i]), len(want))
+		}
+		for j := range want {
+			if batch[i][j] != want[j] {
+				t.Fatalf("query %d result %d: %+v, want %+v", i, j, batch[i][j], want[j])
+			}
+		}
+		if batch[i] != nil && stats[i].ObjectAccesses != wantStats.ObjectAccesses {
+			t.Fatalf("query %d: %d accesses, want %d", i, stats[i].ObjectAccesses, wantStats.ObjectAccesses)
+		}
+	}
+}
+
+// TestBatchRKNNMatchesSerial checks qualifying ranges survive the batch
+// path unchanged.
+func TestBatchRKNNMatchesSerial(t *testing.T) {
+	idx, qs := batchFixture(t, 100, 6)
+	batch, _, err := idx.BatchRKNN(qs, 3, 0.3, 0.8, RSSICR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, _, err := idx.RKNN(q, 3, 0.3, 0.8, RSSICR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch[i]) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", i, len(batch[i]), len(want))
+		}
+		for j := range want {
+			if batch[i][j].ID != want[j].ID || !batch[i][j].Qualifying.Equal(want[j].Qualifying) {
+				t.Fatalf("query %d result %d: %+v, want %+v", i, j, batch[i][j], want[j])
+			}
+		}
+	}
+}
+
+// TestEngineHandle exercises the reusable Engine: mixed batches, totals,
+// close semantics and batch error reporting.
+func TestEngineHandle(t *testing.T) {
+	idx, qs := batchFixture(t, 100, 4)
+	eng := idx.NewEngine(&EngineConfig{Parallelism: 3})
+
+	if eng.Parallelism() != 3 {
+		t.Fatalf("parallelism = %d", eng.Parallelism())
+	}
+
+	reqs := []BatchRequest{
+		{Kind: BatchAKNNKind, Q: qs[0], K: 3, Alpha: 0.5, AKNNAlgo: LB},
+		{Kind: BatchRKNNKind, Q: qs[1], K: 2, AlphaStart: 0.4, AlphaEnd: 0.6, RKNNAlgo: RSS},
+		{Kind: BatchRangeKind, Q: qs[2], Alpha: 0.5, Radius: 20},
+	}
+	resps := eng.DoBatch(context.Background(), reqs)
+	for i, r := range resps {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", i, r.Err)
+		}
+	}
+	if resps[0].Results == nil || resps[1].Ranged == nil || resps[2].Results == nil {
+		t.Fatal("missing results in mixed batch")
+	}
+
+	// A bad query is reported with its position but does not fail the rest.
+	results, _, err := eng.BatchAKNN(context.Background(), []*Object{qs[0], nil, qs[1]}, 3, 0.5, LB)
+	if err == nil || results[0] == nil || results[2] == nil {
+		t.Fatalf("err = %v, results = %v", err, results)
+	}
+
+	totals := eng.Totals()
+	if totals.Requests["aknn"] == 0 || totals.Requests["rknn"] == 0 || totals.Requests["range"] == 0 {
+		t.Fatalf("totals = %+v", totals.Requests)
+	}
+	if totals.Failures != 1 {
+		t.Fatalf("failures = %d, want 1", totals.Failures)
+	}
+
+	eng.Close()
+	resp := eng.Do(context.Background(), reqs[0])
+	if !errors.Is(resp.Err, ErrEngineClosed) {
+		t.Fatalf("post-close err = %v", resp.Err)
+	}
+	// The index itself must survive its engines.
+	if _, _, err := idx.AKNN(qs[0], 2, 0.5, LB); err != nil {
+		t.Fatal(err)
+	}
+}

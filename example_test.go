@@ -1,0 +1,124 @@
+package fuzzyknn_test
+
+import (
+	"fmt"
+	"log"
+
+	"fuzzyknn"
+)
+
+// disk builds a fuzzy object with a certain kernel point at (cx, cy) and
+// two fringe points of decreasing membership trailing toward the origin.
+func disk(id uint64, cx, cy float64) *fuzzyknn.Object {
+	o, err := fuzzyknn.NewObject(id, []fuzzyknn.WeightedPoint{
+		{P: fuzzyknn.Point{cx, cy}, Mu: 1.0},
+		{P: fuzzyknn.Point{cx - 0.5, cy}, Mu: 0.6},
+		{P: fuzzyknn.Point{cx - 1.0, cy}, Mu: 0.3},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return o
+}
+
+// ExampleNewIndex builds an in-memory index over a few fuzzy objects.
+func ExampleNewIndex() {
+	objects := []*fuzzyknn.Object{
+		disk(1, 2, 0), disk(2, 4, 0), disk(3, 6, 0),
+	}
+	idx, err := fuzzyknn.NewIndex(objects, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+	fmt.Printf("%d objects in %d dimensions\n", idx.Len(), idx.Dims())
+	// Output:
+	// 3 objects in 2 dimensions
+}
+
+// ExampleIndex_AKNN runs the ad-hoc kNN query at two confidence thresholds.
+// At α = 0.3 the low-membership fringes count and shrink every distance; at
+// α = 1.0 only the certain kernels remain.
+func ExampleIndex_AKNN() {
+	objects := []*fuzzyknn.Object{
+		disk(1, 2, 0), disk(2, 4, 0), disk(3, 6, 0),
+	}
+	idx, err := fuzzyknn.NewIndex(objects, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+	query := disk(100, 0, 0)
+
+	for _, alpha := range []float64{0.3, 1.0} {
+		results, _, err := idx.AKNN(query, 2, alpha, fuzzyknn.LBLPUB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exact, _, err := idx.Refine(query, alpha, results)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("alpha=%.1f:", alpha)
+		for _, r := range exact {
+			fmt.Printf(" object %d at %.1f", r.ID, r.Dist)
+		}
+		fmt.Println()
+	}
+	// Output:
+	// alpha=0.3: object 1 at 1.0 object 2 at 3.0
+	// alpha=1.0: object 1 at 2.0 object 2 at 4.0
+}
+
+// ExampleIndex_RKNN answers all thresholds in [0.3, 1.0] at once: each
+// result carries the exact sub-ranges of α on which the object is a 1-NN.
+func ExampleIndex_RKNN() {
+	objects := []*fuzzyknn.Object{
+		disk(1, 2, 0), disk(2, 4, 0), disk(3, 6, 0),
+	}
+	idx, err := fuzzyknn.NewIndex(objects, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+	query := disk(100, 0, 0)
+
+	ranged, _, err := idx.RKNN(query, 1, 0.3, 1.0, fuzzyknn.RSSICR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range ranged {
+		fmt.Printf("object %d qualifies on %v\n", r.ID, r.Qualifying)
+	}
+	// Output:
+	// object 1 qualifies on [0.3, 1]
+}
+
+// ExampleIndex_BatchAKNN answers many queries concurrently through the
+// batch engine; answers come back in query order and match the serial path
+// exactly.
+func ExampleIndex_BatchAKNN() {
+	objects := []*fuzzyknn.Object{
+		disk(1, 2, 0), disk(2, 4, 0), disk(3, 6, 0),
+	}
+	idx, err := fuzzyknn.NewIndex(objects, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	queries := []*fuzzyknn.Object{
+		disk(100, 0, 0), disk(101, 5, 0), disk(102, 7, 0),
+	}
+	batch, _, err := idx.BatchAKNN(queries, 1, 0.5, fuzzyknn.LB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, results := range batch {
+		fmt.Printf("query %d: nearest is object %d\n", i, results[0].ID)
+	}
+	// Output:
+	// query 0: nearest is object 1
+	// query 1: nearest is object 2
+	// query 2: nearest is object 3
+}

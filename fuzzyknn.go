@@ -26,6 +26,7 @@ package fuzzyknn
 
 import (
 	"fmt"
+	"strings"
 
 	"fuzzyknn/internal/fuzzy"
 	"fuzzyknn/internal/geom"
@@ -59,6 +60,46 @@ type RangedResult = query.RangedResult
 // Stats reports the cost of a query (object accesses, node accesses,
 // distance evaluations, wall time, ...).
 type Stats = query.Stats
+
+// ErrInvalidQuery tags argument-validation failures of the query entry
+// points (bad k, alpha out of range, nil or mismatched query object, ...).
+// Test with errors.Is to tell client mistakes from execution failures.
+var ErrInvalidQuery = query.ErrInvalidArgument
+
+// ErrNotFound is returned by Object for unknown object ids.
+var ErrNotFound = store.ErrNotFound
+
+// ParseAKNNAlgorithm resolves the CLI/HTTP names of the AKNN variants:
+// basic | lb | lb-lp | lb-lp-ub (case-insensitive; empty selects LBLPUB).
+func ParseAKNNAlgorithm(s string) (AKNNAlgorithm, error) {
+	switch strings.ToLower(s) {
+	case "basic":
+		return Basic, nil
+	case "lb":
+		return LB, nil
+	case "lb-lp", "lblp":
+		return LBLP, nil
+	case "", "lb-lp-ub", "lblpub":
+		return LBLPUB, nil
+	}
+	return 0, fmt.Errorf("fuzzyknn: unknown AKNN algorithm %q (want basic | lb | lb-lp | lb-lp-ub)", s)
+}
+
+// ParseRKNNAlgorithm resolves the CLI/HTTP names of the RKNN variants:
+// naive | basic | rss | rss-icr (case-insensitive; empty selects RSSICR).
+func ParseRKNNAlgorithm(s string) (RKNNAlgorithm, error) {
+	switch strings.ToLower(s) {
+	case "naive":
+		return Naive, nil
+	case "basic":
+		return BasicRKNN, nil
+	case "rss":
+		return RSS, nil
+	case "", "rss-icr", "rssicr":
+		return RSSICR, nil
+	}
+	return 0, fmt.Errorf("fuzzyknn: unknown RKNN algorithm %q (want naive | basic | rss | rss-icr)", s)
+}
 
 // AKNNAlgorithm selects the AKNN search variant.
 type AKNNAlgorithm = query.AKNNAlgorithm

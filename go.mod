@@ -1,0 +1,3 @@
+module fuzzyknn
+
+go 1.24

@@ -1,0 +1,289 @@
+// Package engine executes batches of fuzzy-object queries concurrently
+// against one shared query.Index.
+//
+// The paper's algorithms are single-query: one traversal of the R-tree, one
+// stats record. Serving workloads — classification back-ends issuing one
+// AKNN per unlabeled object, filter-verify pipelines, HTTP fan-in — need
+// many logically independent queries in flight at once. Because the index's
+// read path is immutable (verified by the race tests in internal/query and
+// here), queries parallelize without locking; the engine adds the missing
+// machinery: a bounded worker pool, per-request context cancellation, and
+// aggregate statistics across all requests it has executed.
+//
+// An Engine is cheap enough to keep for the life of a process. Submit work
+// with Do (one request) or DoBatch (many, answered in order); both are safe
+// for concurrent use from any number of goroutines, so an HTTP handler can
+// call Do per connection while a batch job calls DoBatch elsewhere.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/query"
+)
+
+// Kind selects the query type of a Request.
+type Kind int
+
+// Supported request kinds.
+const (
+	AKNN Kind = iota
+	RKNN
+	RangeSearch
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case AKNN:
+		return "aknn"
+	case RKNN:
+		return "rknn"
+	case RangeSearch:
+		return "range"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Request describes one query. Fields beyond Kind, Q and K are read
+// per-kind: Alpha (AKNN, RangeSearch), AKNNAlgo (AKNN), AlphaStart/AlphaEnd
+// and RKNNAlgo (RKNN), Radius (RangeSearch).
+type Request struct {
+	Kind Kind
+	Q    *fuzzy.Object
+	K    int
+
+	Alpha    float64
+	AKNNAlgo query.AKNNAlgorithm
+
+	AlphaStart, AlphaEnd float64
+	RKNNAlgo             query.RKNNAlgorithm
+
+	Radius float64
+}
+
+// Response is the answer to one Request. Results carries AKNN and
+// RangeSearch answers; Ranged carries RKNN answers. Exactly one of the two
+// is set on success; both are nil when Err is non-nil.
+type Response struct {
+	Results []query.Result
+	Ranged  []query.RangedResult
+	Stats   query.Stats
+	Err     error
+}
+
+// Totals aggregates the engine's lifetime activity, by kind and overall.
+type Totals struct {
+	// Requests counts finished requests per Kind.String(), failed and
+	// rejected-at-submission ones included.
+	Requests map[string]int64
+	// Failures counts requests that returned an error — validation
+	// failures, cancellations and post-Close rejections alike.
+	Failures int64
+	// Stats sums the per-query statistics of all successful requests.
+	Stats query.Stats
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Parallelism is the number of worker goroutines, i.e. the maximum
+	// number of queries executing at once. Values < 1 select
+	// runtime.GOMAXPROCS(0).
+	Parallelism int
+	// QueueDepth bounds the number of accepted-but-not-yet-running
+	// requests; submission blocks (or honors ctx cancellation) beyond it.
+	// Values < 1 select 2×Parallelism.
+	QueueDepth int
+}
+
+// ErrClosed is returned for requests submitted after Close.
+var ErrClosed = errors.New("engine: closed")
+
+type job struct {
+	ctx  context.Context
+	req  Request
+	resp *Response
+	wg   *sync.WaitGroup
+}
+
+// Engine is a bounded worker pool over one shared index. Create with New,
+// release with Close.
+type Engine struct {
+	ix          *query.Index
+	jobs        chan job
+	workers     sync.WaitGroup
+	parallelism int
+
+	// lifecycle serializes channel sends against Close: submitters hold the
+	// read side across their send, so Close can only close e.jobs once no
+	// send is in flight and the closed flag is visible to later submitters.
+	lifecycle sync.RWMutex
+	closed    bool
+
+	mu     sync.Mutex // guards totals
+	totals Totals
+}
+
+// New starts an engine over ix.
+func New(ix *query.Index, opts Options) *Engine {
+	p := opts.Parallelism
+	if p < 1 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	depth := opts.QueueDepth
+	if depth < 1 {
+		depth = 2 * p
+	}
+	e := &Engine{
+		ix:          ix,
+		jobs:        make(chan job, depth),
+		parallelism: p,
+	}
+	e.totals.Requests = map[string]int64{}
+	e.workers.Add(p)
+	for i := 0; i < p; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Index returns the index the engine executes against.
+func (e *Engine) Index() *query.Index { return e.ix }
+
+// Parallelism returns the worker count.
+func (e *Engine) Parallelism() int { return e.parallelism }
+
+func (e *Engine) worker() {
+	defer e.workers.Done()
+	for j := range e.jobs {
+		e.execute(j)
+		j.wg.Done()
+	}
+}
+
+// execute runs one job, honoring cancellation that happened while queued.
+// Queries are pure CPU and individually short, so cancellation is checked at
+// start rather than threaded through the search loops.
+func (e *Engine) execute(j job) {
+	defer func() {
+		// Workers outlive any one request; a panicking query must cost its
+		// caller one response, not the process (handler goroutines would get
+		// net/http's recover — pool goroutines have only this one).
+		if p := recover(); p != nil {
+			j.resp.Results, j.resp.Ranged = nil, nil
+			j.resp.Err = fmt.Errorf("engine: query panicked: %v", p)
+			e.record(j.req.Kind, nil)
+		}
+	}()
+	if err := j.ctx.Err(); err != nil {
+		j.resp.Err = err
+		e.record(j.req.Kind, nil)
+		return
+	}
+	r := &j.req
+	switch r.Kind {
+	case AKNN:
+		j.resp.Results, j.resp.Stats, j.resp.Err = e.ix.AKNN(r.Q, r.K, r.Alpha, r.AKNNAlgo)
+	case RKNN:
+		j.resp.Ranged, j.resp.Stats, j.resp.Err = e.ix.RKNN(r.Q, r.K, r.AlphaStart, r.AlphaEnd, r.RKNNAlgo)
+	case RangeSearch:
+		j.resp.Results, j.resp.Stats, j.resp.Err = e.ix.RangeSearch(r.Q, r.Alpha, r.Radius)
+	default:
+		j.resp.Err = fmt.Errorf("engine: unknown request kind %d (%w)", int(r.Kind), query.ErrInvalidArgument)
+	}
+	if j.resp.Err != nil {
+		e.record(r.Kind, nil)
+		return
+	}
+	e.record(r.Kind, &j.resp.Stats)
+}
+
+func (e *Engine) record(k Kind, st *query.Stats) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.totals.Requests[k.String()]++
+	if st == nil {
+		e.totals.Failures++
+	} else {
+		e.totals.Stats.Add(*st)
+	}
+}
+
+// Totals returns a snapshot of the engine's aggregate statistics.
+func (e *Engine) Totals() Totals {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := e.totals
+	t.Requests = make(map[string]int64, len(e.totals.Requests))
+	for k, v := range e.totals.Requests {
+		t.Requests[k] = v
+	}
+	return t
+}
+
+// Do executes one request, blocking until it completes (or until ctx is
+// cancelled while it is still queued).
+func (e *Engine) Do(ctx context.Context, req Request) Response {
+	resps := e.DoBatch(ctx, []Request{req})
+	return resps[0]
+}
+
+// DoBatch executes the requests across the worker pool and returns their
+// responses in request order. It blocks until every request has either run
+// or been abandoned to a cancelled context; per-request failures land in
+// Response.Err rather than aborting the batch.
+func (e *Engine) DoBatch(ctx context.Context, reqs []Request) []Response {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	resps := make([]Response, len(reqs))
+	var wg sync.WaitGroup
+	for i := range reqs {
+		j := job{ctx: ctx, req: reqs[i], resp: &resps[i], wg: &wg}
+		wg.Add(1)
+		if err := e.submit(j); err != nil {
+			resps[i].Err = err
+			e.record(reqs[i].Kind, nil)
+			wg.Done()
+		}
+	}
+	wg.Wait()
+	return resps
+}
+
+// submit enqueues a job, failing fast on a closed engine or a context that
+// cancels while the queue is full. Holding lifecycle.RLock across the send
+// keeps Close from closing the channel mid-send; workers keep draining
+// until the channel actually closes, so a full queue cannot deadlock Close.
+func (e *Engine) submit(j job) error {
+	e.lifecycle.RLock()
+	defer e.lifecycle.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	select {
+	case e.jobs <- j:
+		return nil
+	case <-j.ctx.Done():
+		return j.ctx.Err()
+	}
+}
+
+// Close stops accepting new work, waits for queued and in-flight requests
+// to finish, and releases the workers. It is idempotent.
+func (e *Engine) Close() {
+	e.lifecycle.Lock()
+	if e.closed {
+		e.lifecycle.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.jobs)
+	e.lifecycle.Unlock()
+	e.workers.Wait()
+}

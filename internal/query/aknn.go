@@ -1,7 +1,6 @@
 package query
 
 import (
-	"fmt"
 	"math"
 	"sort"
 	"time"
@@ -319,7 +318,7 @@ func (ix *Index) RangeSearch(q *fuzzy.Object, alpha, radius float64) ([]Result, 
 		return nil, st, err
 	}
 	if radius < 0 || math.IsNaN(radius) {
-		return nil, st, fmt.Errorf("query: radius must be non-negative, got %v", radius)
+		return nil, st, badArgf("query: radius must be non-negative, got %v", radius)
 	}
 	_, dists, err := ix.rangeSearch(q, alpha, radius, true, &st)
 	if err != nil {

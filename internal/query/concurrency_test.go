@@ -35,6 +35,11 @@ func TestConcurrentQueriesOnSharedIndex(t *testing.T) {
 			t.Fatal(err)
 		}
 		qc.wantRKNN = ranged
+		rg, _, err := ix.RangeSearch(qc.q, qc.alpha, 2.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qc.wantRange = rg
 	}
 
 	var wg sync.WaitGroup
@@ -80,9 +85,20 @@ func TestConcurrentQueriesOnSharedIndex(t *testing.T) {
 						}
 					}
 				default:
-					if _, _, err := ix.RangeSearch(qc.q, qc.alpha, 2.0); err != nil {
+					rg, _, err := ix.RangeSearch(qc.q, qc.alpha, 2.0)
+					if err != nil {
 						errCh <- err
 						return
+					}
+					if len(rg) != len(qc.wantRange) {
+						errCh <- errMismatch("range count")
+						return
+					}
+					for i := range rg {
+						if rg[i].ID != qc.wantRange[i].ID || rg[i].Dist != qc.wantRange[i].Dist {
+							errCh <- errMismatch("range result")
+							return
+						}
 					}
 				}
 			}
@@ -96,11 +112,85 @@ func TestConcurrentQueriesOnSharedIndex(t *testing.T) {
 }
 
 type queryCase struct {
-	q        *fuzzy.Object
-	k        int
-	alpha    float64
-	wantAKNN []Result
-	wantRKNN []RangedResult
+	q         *fuzzy.Object
+	k         int
+	alpha     float64
+	wantAKNN  []Result
+	wantRKNN  []RangedResult
+	wantRange []Result
+}
+
+// TestConcurrentLazyProbeVariants exercises the read path the basic test
+// does not: LBLPUB (whose upper bound samples the query's α-cut via
+// SampleCut) plus Refine, concurrently against one shared index. Both must
+// be pure reads — any hidden memoization would trip -race here.
+func TestConcurrentLazyProbeVariants(t *testing.T) {
+	rng := rand.New(rand.NewPCG(402, 1))
+	objs := makeObjects(rng, 80, 12, 12, 8)
+	ix := buildIndex(t, objs, Options{SampleSize: 8, SampleSeed: 9})
+	queries := make([]*fuzzy.Object, 8)
+	for i := range queries {
+		queries[i] = makeQuery(rng, 12, 12, 8)
+	}
+	type refAnswer struct {
+		lazy    []Result
+		refined []Result
+	}
+	want := make([]refAnswer, len(queries))
+	for i, q := range queries {
+		lazy, _, err := ix.AKNN(q, 4, 0.5, LBLPUB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refined, _, err := ix.Refine(q, 0.5, lazy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = refAnswer{lazy: lazy, refined: refined}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for round := 0; round < 6; round++ {
+				i := (worker + round) % len(queries)
+				lazy, _, err := ix.AKNN(queries[i], 4, 0.5, LBLPUB)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				refined, _, err := ix.Refine(queries[i], 0.5, lazy)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if len(lazy) != len(want[i].lazy) || len(refined) != len(want[i].refined) {
+					errCh <- errMismatch("result count")
+					return
+				}
+				for j := range lazy {
+					if lazy[j] != want[i].lazy[j] {
+						errCh <- errMismatch("lazy result")
+						return
+					}
+				}
+				for j := range refined {
+					if refined[j] != want[i].refined[j] {
+						errCh <- errMismatch("refined result")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
 }
 
 type errMismatch string

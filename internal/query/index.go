@@ -200,20 +200,38 @@ func (ix *Index) Store() store.Reader { return ix.store }
 // Tree exposes the R-tree for diagnostics and tests.
 func (ix *Index) Tree() *rtree.Tree { return ix.tree }
 
+// ErrInvalidArgument tags argument-validation failures of the public query
+// entry points, letting callers (e.g. an HTTP layer) separate client
+// mistakes from execution failures with errors.Is.
+var ErrInvalidArgument = errors.New("query: invalid argument")
+
+// invalidArgError carries a specific message while matching
+// ErrInvalidArgument under errors.Is.
+type invalidArgError struct{ msg string }
+
+func (e *invalidArgError) Error() string { return e.msg }
+
+func (e *invalidArgError) Is(target error) bool { return target == ErrInvalidArgument }
+
+// badArgf builds an argument-validation error.
+func badArgf(format string, args ...any) error {
+	return &invalidArgError{msg: fmt.Sprintf(format, args...)}
+}
+
 // validateQuery checks arguments shared by all query entry points.
 func (ix *Index) validateQuery(q *fuzzy.Object, k int, alphas ...float64) error {
 	if q == nil {
-		return errors.New("query: nil query object")
+		return badArgf("query: nil query object")
 	}
 	if q.Dims() != ix.dims && ix.tree.Len() > 0 {
-		return fmt.Errorf("query: query dims %d, index dims %d", q.Dims(), ix.dims)
+		return badArgf("query: query dims %d, index dims %d", q.Dims(), ix.dims)
 	}
 	if k < 1 {
-		return fmt.Errorf("query: k must be >= 1, got %d", k)
+		return badArgf("query: k must be >= 1, got %d", k)
 	}
 	for _, a := range alphas {
 		if !(a > 0 && a <= 1) {
-			return fmt.Errorf("query: alpha must be in (0, 1], got %v", a)
+			return badArgf("query: alpha must be in (0, 1], got %v", a)
 		}
 	}
 	return nil

@@ -1,7 +1,6 @@
 package query
 
 import (
-	"fmt"
 	"math"
 	"sort"
 	"time"
@@ -36,7 +35,7 @@ func (ix *Index) RKNN(q *fuzzy.Object, k int, alphaStart, alphaEnd float64, algo
 		return nil, st, err
 	}
 	if alphaStart > alphaEnd {
-		return nil, st, fmt.Errorf("query: alphaStart %v > alphaEnd %v", alphaStart, alphaEnd)
+		return nil, st, badArgf("query: alphaStart %v > alphaEnd %v", alphaStart, alphaEnd)
 	}
 	ctx := &rknnCtx{
 		ix: ix, q: q, k: k, as: alphaStart, ae: alphaEnd, st: &st,
@@ -55,7 +54,7 @@ func (ix *Index) RKNN(q *fuzzy.Object, k int, alphaStart, alphaEnd float64, algo
 	case RSSICR:
 		err = ctx.rss(true)
 	default:
-		err = fmt.Errorf("query: unknown RKNN algorithm %d", int(algo))
+		err = badArgf("query: unknown RKNN algorithm %d", int(algo))
 	}
 	if err != nil {
 		return nil, st, err

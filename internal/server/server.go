@@ -1,0 +1,347 @@
+// Package server exposes a fuzzyknn index over JSON/HTTP, backed by the
+// concurrent query engine.
+//
+// Endpoints (request/response bodies are JSON):
+//
+//	POST /aknn    {query|query_id, k, alpha, algo?}                → {results, stats}
+//	POST /rknn    {query|query_id, k, alpha_start, alpha_end, algo?} → {results, stats}
+//	POST /range   {query|query_id, alpha, radius}                  → {results, stats}
+//	GET  /stats   index size + engine lifetime totals
+//	GET  /healthz liveness probe
+//
+// The query object is given inline ({"points": [{"p": [x, y], "mu": 0.8},
+// ...]}) or as a stored id ({"query_id": 7}; resolving it counts as one
+// object access, like any store probe). Algorithm names match the CLI tools:
+// basic | lb | lb-lp | lb-lp-ub for AKNN (default lb-lp-ub) and
+// naive | basic | rss | rss-icr for RKNN (default rss-icr).
+//
+// Each HTTP request becomes one engine request, so the engine's Parallelism
+// bounds concurrent query execution no matter how many connections are open,
+// and a client that disconnects cancels its queued query.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"fuzzyknn"
+)
+
+// Server is an http.Handler serving one index through one engine. Both are
+// borrowed: closing them remains the caller's responsibility and must happen
+// after the server stops.
+type Server struct {
+	ix  *fuzzyknn.Index
+	eng *fuzzyknn.Engine
+	mux *http.ServeMux
+}
+
+// New builds the handler.
+func New(ix *fuzzyknn.Index, eng *fuzzyknn.Engine) *Server {
+	s := &Server{ix: ix, eng: eng, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /aknn", s.handleAKNN)
+	s.mux.HandleFunc("POST /rknn", s.handleRKNN)
+	s.mux.HandleFunc("POST /range", s.handleRange)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// --- wire types ---
+
+// PointJSON is one weighted point of a query object.
+type PointJSON struct {
+	P  []float64 `json:"p"`
+	Mu float64   `json:"mu"`
+}
+
+// ObjectJSON is an inline fuzzy object.
+type ObjectJSON struct {
+	ID     uint64      `json:"id,omitempty"`
+	Points []PointJSON `json:"points"`
+}
+
+// AKNNRequest is the body of POST /aknn.
+type AKNNRequest struct {
+	Query   *ObjectJSON `json:"query,omitempty"`
+	QueryID *uint64     `json:"query_id,omitempty"`
+	K       int         `json:"k"`
+	Alpha   float64     `json:"alpha"`
+	Algo    string      `json:"algo,omitempty"`
+}
+
+// RKNNRequest is the body of POST /rknn.
+type RKNNRequest struct {
+	Query      *ObjectJSON `json:"query,omitempty"`
+	QueryID    *uint64     `json:"query_id,omitempty"`
+	K          int         `json:"k"`
+	AlphaStart float64     `json:"alpha_start"`
+	AlphaEnd   float64     `json:"alpha_end"`
+	Algo       string      `json:"algo,omitempty"`
+}
+
+// RangeRequest is the body of POST /range.
+type RangeRequest struct {
+	Query   *ObjectJSON `json:"query,omitempty"`
+	QueryID *uint64     `json:"query_id,omitempty"`
+	Alpha   float64     `json:"alpha"`
+	Radius  float64     `json:"radius"`
+}
+
+// ResultJSON is one AKNN or range-search answer.
+type ResultJSON struct {
+	ID    uint64  `json:"id"`
+	Dist  float64 `json:"dist"`
+	Exact bool    `json:"exact"`
+	Lower float64 `json:"lower"`
+	Upper float64 `json:"upper"`
+}
+
+// IntervalJSON is one qualifying sub-range of an RKNN answer.
+type IntervalJSON struct {
+	Lo     float64 `json:"lo"`
+	Hi     float64 `json:"hi"`
+	LoOpen bool    `json:"lo_open,omitempty"`
+	HiOpen bool    `json:"hi_open,omitempty"`
+}
+
+// RangedResultJSON is one RKNN answer.
+type RangedResultJSON struct {
+	ID         uint64         `json:"id"`
+	Qualifying []IntervalJSON `json:"qualifying"`
+	Text       string         `json:"text"` // human-readable form of the range
+}
+
+// StatsJSON mirrors query.Stats.
+type StatsJSON struct {
+	ObjectAccesses int    `json:"object_accesses"`
+	NodeAccesses   int    `json:"node_accesses"`
+	DistanceEvals  int    `json:"distance_evals"`
+	DurationNs     int64  `json:"duration_ns"`
+	Duration       string `json:"duration"`
+}
+
+// QueryResponse is the body of successful /aknn and /range responses.
+type QueryResponse struct {
+	Results []ResultJSON `json:"results"`
+	Stats   StatsJSON    `json:"stats"`
+}
+
+// RKNNResponse is the body of a successful /rknn response.
+type RKNNResponse struct {
+	Results []RangedResultJSON `json:"results"`
+	Stats   StatsJSON          `json:"stats"`
+}
+
+// StatsResponse is the body of GET /stats.
+type StatsResponse struct {
+	Objects             int              `json:"objects"`
+	Dims                int              `json:"dims"`
+	Parallelism         int              `json:"parallelism"`
+	TotalObjectAccesses int64            `json:"total_object_accesses"`
+	Requests            map[string]int64 `json:"requests"`
+	Failures            int64            `json:"failures"`
+	EngineStats         StatsJSON        `json:"engine_stats"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+func (s *Server) handleAKNN(w http.ResponseWriter, r *http.Request) {
+	var req AKNNRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	q, ok := s.resolveQuery(w, req.Query, req.QueryID)
+	if !ok {
+		return
+	}
+	algo, err := fuzzyknn.ParseAKNNAlgorithm(req.Algo)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := s.eng.Do(r.Context(), fuzzyknn.BatchRequest{
+		Kind: fuzzyknn.BatchAKNNKind, Q: q, K: req.K, Alpha: req.Alpha, AKNNAlgo: algo,
+	})
+	if resp.Err != nil {
+		writeQueryError(w, resp.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Results: toResults(resp.Results),
+		Stats:   toStats(resp.Stats),
+	})
+}
+
+func (s *Server) handleRKNN(w http.ResponseWriter, r *http.Request) {
+	var req RKNNRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	q, ok := s.resolveQuery(w, req.Query, req.QueryID)
+	if !ok {
+		return
+	}
+	algo, err := fuzzyknn.ParseRKNNAlgorithm(req.Algo)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := s.eng.Do(r.Context(), fuzzyknn.BatchRequest{
+		Kind: fuzzyknn.BatchRKNNKind, Q: q, K: req.K,
+		AlphaStart: req.AlphaStart, AlphaEnd: req.AlphaEnd, RKNNAlgo: algo,
+	})
+	if resp.Err != nil {
+		writeQueryError(w, resp.Err)
+		return
+	}
+	out := RKNNResponse{Results: make([]RangedResultJSON, len(resp.Ranged)), Stats: toStats(resp.Stats)}
+	for i, rr := range resp.Ranged {
+		ivs := rr.Qualifying.Intervals()
+		rj := RangedResultJSON{ID: rr.ID, Qualifying: make([]IntervalJSON, len(ivs)), Text: rr.Qualifying.String()}
+		for j, iv := range ivs {
+			rj.Qualifying[j] = IntervalJSON{Lo: iv.Lo, Hi: iv.Hi, LoOpen: iv.LoOpen, HiOpen: iv.HiOpen}
+		}
+		out.Results[i] = rj
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	var req RangeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	q, ok := s.resolveQuery(w, req.Query, req.QueryID)
+	if !ok {
+		return
+	}
+	resp := s.eng.Do(r.Context(), fuzzyknn.BatchRequest{
+		Kind: fuzzyknn.BatchRangeKind, Q: q, Alpha: req.Alpha, Radius: req.Radius,
+	})
+	if resp.Err != nil {
+		writeQueryError(w, resp.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Results: toResults(resp.Results),
+		Stats:   toStats(resp.Stats),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	t := s.eng.Totals()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Objects:             s.ix.Len(),
+		Dims:                s.ix.Dims(),
+		Parallelism:         s.eng.Parallelism(),
+		TotalObjectAccesses: s.ix.TotalObjectAccesses(),
+		Requests:            t.Requests,
+		Failures:            t.Failures,
+		EngineStats:         toStats(t.Stats),
+	})
+}
+
+// --- helpers ---
+
+// maxBodyBytes caps request bodies; large inline query objects fit with
+// room to spare, while an abusive multi-gigabyte POST cannot balloon the
+// process.
+const maxBodyBytes = 16 << 20
+
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// resolveQuery materializes the query object from an inline definition or a
+// stored id. Exactly one of the two must be present.
+func (s *Server) resolveQuery(w http.ResponseWriter, obj *ObjectJSON, id *uint64) (*fuzzyknn.Object, bool) {
+	switch {
+	case obj != nil && id != nil:
+		writeError(w, http.StatusBadRequest, errors.New("give either query or query_id, not both"))
+		return nil, false
+	case id != nil:
+		q, err := s.ix.Object(*id)
+		if err != nil {
+			status := http.StatusInternalServerError // e.g. store corruption
+			if errors.Is(err, fuzzyknn.ErrNotFound) {
+				status = http.StatusNotFound
+			}
+			writeError(w, status, fmt.Errorf("query_id %d: %w", *id, err))
+			return nil, false
+		}
+		return q, true
+	case obj != nil:
+		pts := make([]fuzzyknn.WeightedPoint, len(obj.Points))
+		for i, p := range obj.Points {
+			pts[i] = fuzzyknn.WeightedPoint{P: fuzzyknn.Point(p.P), Mu: p.Mu}
+		}
+		q, err := fuzzyknn.NewObject(obj.ID, pts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return nil, false
+		}
+		return q, true
+	default:
+		writeError(w, http.StatusBadRequest, errors.New("missing query or query_id"))
+		return nil, false
+	}
+}
+
+// writeQueryError maps engine/query failures: validation errors from the
+// query layer are the client's fault, everything else is a 500.
+func writeQueryError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if errors.Is(err, fuzzyknn.ErrInvalidQuery) {
+		status = http.StatusBadRequest
+	}
+	writeError(w, status, err)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(body)
+}
+
+func toResults(rs []fuzzyknn.Result) []ResultJSON {
+	out := make([]ResultJSON, len(rs))
+	for i, r := range rs {
+		out[i] = ResultJSON{ID: r.ID, Dist: r.Dist, Exact: r.Exact, Lower: r.Lower, Upper: r.Upper}
+	}
+	return out
+}
+
+func toStats(st fuzzyknn.Stats) StatsJSON {
+	return StatsJSON{
+		ObjectAccesses: st.ObjectAccesses,
+		NodeAccesses:   st.NodeAccesses,
+		DistanceEvals:  st.DistanceEvals,
+		DurationNs:     st.Duration.Nanoseconds(),
+		Duration:       st.Duration.String(),
+	}
+}

@@ -1,0 +1,312 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"fuzzyknn"
+)
+
+// blob builds a fuzzy object with a kernel at (cx, cy) and fading rings.
+func blob(t testing.TB, id uint64, cx, cy float64) *fuzzyknn.Object {
+	t.Helper()
+	pts := []fuzzyknn.WeightedPoint{{P: fuzzyknn.Point{cx, cy}, Mu: 1.0}}
+	for ring := 1; ring <= 3; ring++ {
+		r := 0.3 * float64(ring)
+		mu := 1.0 - 0.3*float64(ring)
+		for i := 0; i < 8; i++ {
+			angle := 2 * math.Pi * float64(i) / 8
+			pts = append(pts, fuzzyknn.WeightedPoint{
+				P:  fuzzyknn.Point{cx + r*math.Cos(angle), cy + r*math.Sin(angle)},
+				Mu: mu,
+			})
+		}
+	}
+	o, err := fuzzyknn.NewObject(id, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// newTestServer builds a 6-object index, its engine and an httptest server.
+func newTestServer(t *testing.T) (*httptest.Server, *fuzzyknn.Index, *fuzzyknn.Engine) {
+	t.Helper()
+	objs := []*fuzzyknn.Object{
+		blob(t, 1, 2, 0), blob(t, 2, 3, 0.5), blob(t, 3, 4, -1),
+		blob(t, 4, 8, 2), blob(t, 5, -3, 1), blob(t, 6, 0, 6),
+	}
+	ix, err := fuzzyknn.NewIndex(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := ix.NewEngine(&fuzzyknn.EngineConfig{Parallelism: 4})
+	ts := httptest.NewServer(New(ix, eng))
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+		ix.Close()
+	})
+	return ts, ix, eng
+}
+
+// queryJSON is the origin blob as an inline wire object.
+func queryJSON(t testing.TB) *ObjectJSON {
+	t.Helper()
+	q := blob(t, 100, 0, 0)
+	wps := q.WeightedPoints()
+	obj := &ObjectJSON{ID: 100, Points: make([]PointJSON, len(wps))}
+	for i, wp := range wps {
+		obj.Points[i] = PointJSON{P: wp.P, Mu: wp.Mu}
+	}
+	return obj
+}
+
+func postJSON(t *testing.T, url string, body any, dst any) (status int) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		t.Fatalf("decoding %s response: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+// TestServeAKNNEndToEnd drives /aknn with an inline query object and checks
+// the answers against a direct library call.
+func TestServeAKNNEndToEnd(t *testing.T) {
+	ts, ix, _ := newTestServer(t)
+
+	var got QueryResponse
+	status := postJSON(t, ts.URL+"/aknn", AKNNRequest{
+		Query: queryJSON(t), K: 3, Alpha: 0.5, Algo: "lb",
+	}, &got)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+
+	want, _, err := ix.AKNN(blob(t, 100, 0, 0), 3, 0.5, fuzzyknn.LB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(want) {
+		t.Fatalf("%d results, want %d", len(got.Results), len(want))
+	}
+	for i, r := range got.Results {
+		if r.ID != want[i].ID || r.Dist != want[i].Dist || r.Exact != want[i].Exact {
+			t.Fatalf("result %d: %+v, want %+v", i, r, want[i])
+		}
+	}
+	if got.Stats.ObjectAccesses == 0 {
+		t.Fatal("stats not populated")
+	}
+}
+
+// TestServeAKNNByStoredID queries with query_id instead of an inline object.
+func TestServeAKNNByStoredID(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	var got QueryResponse
+	status := postJSON(t, ts.URL+"/aknn", AKNNRequest{
+		QueryID: ptr(uint64(1)), K: 2, Alpha: 0.8,
+	}, &got)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	// A stored object is its own nearest neighbor at distance 0.
+	if len(got.Results) == 0 || got.Results[0].ID != 1 || got.Results[0].Dist != 0 {
+		t.Fatalf("self-query results = %+v", got.Results)
+	}
+}
+
+// TestServeRKNN drives /rknn and compares qualifying ranges with the
+// library.
+func TestServeRKNN(t *testing.T) {
+	ts, ix, _ := newTestServer(t)
+	var got RKNNResponse
+	status := postJSON(t, ts.URL+"/rknn", RKNNRequest{
+		Query: queryJSON(t), K: 2, AlphaStart: 0.3, AlphaEnd: 1.0, Algo: "rss-icr",
+	}, &got)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	want, _, err := ix.RKNN(blob(t, 100, 0, 0), 2, 0.3, 1.0, fuzzyknn.RSSICR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(want) {
+		t.Fatalf("%d results, want %d", len(got.Results), len(want))
+	}
+	for i, r := range got.Results {
+		if r.ID != want[i].ID || r.Text != want[i].Qualifying.String() {
+			t.Fatalf("result %d: %+v, want %v on %v", i, r, want[i].ID, want[i].Qualifying)
+		}
+		if len(r.Qualifying) != len(want[i].Qualifying.Intervals()) {
+			t.Fatalf("result %d: %d intervals, want %d",
+				i, len(r.Qualifying), len(want[i].Qualifying.Intervals()))
+		}
+	}
+}
+
+// TestServeRange drives /range.
+func TestServeRange(t *testing.T) {
+	ts, ix, _ := newTestServer(t)
+	var got QueryResponse
+	status := postJSON(t, ts.URL+"/range", RangeRequest{
+		Query: queryJSON(t), Alpha: 0.5, Radius: 3,
+	}, &got)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d", status)
+	}
+	want, _, err := ix.RangeSearch(blob(t, 100, 0, 0), 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != len(want) {
+		t.Fatalf("%d results, want %d", len(got.Results), len(want))
+	}
+	for i, r := range got.Results {
+		if r.ID != want[i].ID || r.Dist != want[i].Dist {
+			t.Fatalf("result %d: %+v, want %+v", i, r, want[i])
+		}
+	}
+}
+
+// TestServeStats checks /stats reflects served traffic.
+func TestServeStats(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	for i := 0; i < 3; i++ {
+		var qr QueryResponse
+		if s := postJSON(t, ts.URL+"/aknn", AKNNRequest{Query: queryJSON(t), K: 2, Alpha: 0.5}, &qr); s != http.StatusOK {
+			t.Fatalf("aknn status = %d", s)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects != 6 || st.Dims != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Requests["aknn"] != 3 || st.Failures != 0 {
+		t.Fatalf("requests = %v, failures = %d", st.Requests, st.Failures)
+	}
+	if st.EngineStats.ObjectAccesses == 0 {
+		t.Fatal("engine stats empty after traffic")
+	}
+}
+
+// TestServeBadRequests checks validation failures map to 4xx JSON errors.
+func TestServeBadRequests(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	cases := []struct {
+		name   string
+		path   string
+		body   any
+		status int
+	}{
+		{"no query", "/aknn", AKNNRequest{K: 2, Alpha: 0.5}, http.StatusBadRequest},
+		{"both query forms", "/aknn", AKNNRequest{Query: queryJSON(t), QueryID: ptr(uint64(1)), K: 2, Alpha: 0.5}, http.StatusBadRequest},
+		{"bad algo", "/aknn", AKNNRequest{Query: queryJSON(t), K: 2, Alpha: 0.5, Algo: "quantum"}, http.StatusBadRequest},
+		{"bad k", "/aknn", AKNNRequest{Query: queryJSON(t), K: 0, Alpha: 0.5}, http.StatusBadRequest},
+		{"bad alpha", "/aknn", AKNNRequest{Query: queryJSON(t), K: 2, Alpha: 1.5}, http.StatusBadRequest},
+		{"unknown id", "/aknn", AKNNRequest{QueryID: ptr(uint64(999)), K: 2, Alpha: 0.5}, http.StatusNotFound},
+		{"bad membership", "/aknn", AKNNRequest{Query: &ObjectJSON{Points: []PointJSON{{P: []float64{0, 0}, Mu: 2}}}, K: 2, Alpha: 0.5}, http.StatusBadRequest},
+		{"bad rknn range", "/rknn", RKNNRequest{Query: queryJSON(t), K: 2, AlphaStart: 0.8, AlphaEnd: 0.2}, http.StatusBadRequest},
+		{"negative radius", "/range", RangeRequest{Query: queryJSON(t), Alpha: 0.5, Radius: -1}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var er ErrorResponse
+			if s := postJSON(t, ts.URL+tc.path, tc.body, &er); s != tc.status {
+				t.Fatalf("status = %d, want %d (error %q)", s, tc.status, er.Error)
+			}
+			if er.Error == "" {
+				t.Fatal("empty error message")
+			}
+		})
+	}
+}
+
+// TestServeMethodNotAllowed checks the query endpoints reject GET.
+func TestServeMethodNotAllowed(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/aknn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServeConcurrentClients hammers the server from many goroutines; with
+// -race this doubles as a race test of the whole serving stack.
+func TestServeConcurrentClients(t *testing.T) {
+	ts, ix, _ := newTestServer(t)
+	want, _, err := ix.AKNN(blob(t, 100, 0, 0), 3, 0.5, fuzzyknn.LBLPUB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(AKNNRequest{Query: queryJSON(t), K: 3, Alpha: 0.5, Algo: "lb-lp-ub"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				resp, err := http.Post(ts.URL+"/aknn", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var got QueryResponse
+				err = json.NewDecoder(resp.Body).Decode(&got)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+				for j := range got.Results {
+					if got.Results[j].ID != want[j].ID {
+						errs <- fmt.Errorf("result %d: id %d, want %d", j, got.Results[j].ID, want[j].ID)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
