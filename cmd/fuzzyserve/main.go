@@ -5,6 +5,11 @@
 //
 //	fuzzyserve -store objects.fzs -addr :8080 -parallelism 8 -cache 256
 //
+// Or serve a mutable, durable index backed by an append-only log (created
+// on first use; -dims is required only when creating):
+//
+//	fuzzyserve -log objects.fzl -dims 2
+//
 // Or serve a generated synthetic dataset (no files needed, handy for demos
 // and smoke tests):
 //
@@ -16,6 +21,11 @@
 //	curl -s localhost:8080/rknn -d '{"query_id": 7, "k": 5, "alpha_start": 0.3, "alpha_end": 0.8}'
 //	curl -s localhost:8080/range -d '{"query_id": 7, "alpha": 0.5, "radius": 10}'
 //	curl -s localhost:8080/stats
+//
+// Log-backed and -demo indexes also accept live mutations:
+//
+//	curl -s localhost:8080/objects -d '{"object": {"id": 900, "points": [{"p": [1, 2], "mu": 1}]}}'
+//	curl -s -X DELETE localhost:8080/objects/900
 //
 // See the server package docs (internal/server) for the full wire format.
 // SIGINT/SIGTERM drain in-flight requests before exiting.
@@ -41,7 +51,9 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
-		storePath   = flag.String("store", "", "store file to serve (written by fuzzygen)")
+		storePath   = flag.String("store", "", "immutable store file to serve (written by fuzzygen)")
+		logPath     = flag.String("log", "", "mutable append-only log store to serve (created if missing)")
+		dims        = flag.Int("dims", 0, "dimensionality when creating a new -log store")
 		summary     = flag.String("summary", "", "index summary file (skips the store scan on open)")
 		cacheSize   = flag.Int("cache", 0, "LRU object cache size (0 = none)")
 		parallelism = flag.Int("parallelism", 0, "max queries executing at once (0 = GOMAXPROCS)")
@@ -51,7 +63,7 @@ func main() {
 	)
 	flag.Parse()
 
-	idx, err := openIndex(*storePath, *summary, *cacheSize, *demo, *demoSeed)
+	idx, err := openIndex(*storePath, *logPath, *summary, *cacheSize, *dims, *demo, *demoSeed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,14 +97,26 @@ func main() {
 	}
 }
 
-// openIndex opens the store-backed index, or builds an in-memory synthetic
-// one in -demo mode.
-func openIndex(storePath, summary string, cacheSize, demo int, demoSeed uint64) (*fuzzyknn.Index, error) {
+// openIndex opens the store- or log-backed index, or builds an in-memory
+// synthetic one in -demo mode. Log-backed and demo indexes are mutable.
+func openIndex(storePath, logPath, summary string, cacheSize, dims, demo int, demoSeed uint64) (*fuzzyknn.Index, error) {
+	modes := 0
+	for _, set := range []bool{storePath != "", logPath != "", demo > 0} {
+		if set {
+			modes++
+		}
+	}
 	switch {
-	case storePath != "" && demo > 0:
-		return nil, errors.New("give either -store or -demo, not both")
+	case modes > 1:
+		return nil, errors.New("give exactly one of -store, -log or -demo")
+	case summary != "" && storePath == "":
+		return nil, errors.New("-summary only applies to -store indexes")
+	case dims != 0 && logPath == "":
+		return nil, errors.New("-dims only applies to -log indexes")
 	case storePath != "":
 		return fuzzyknn.OpenIndex(storePath, &fuzzyknn.Config{CacheSize: cacheSize, SummaryFile: summary})
+	case logPath != "":
+		return fuzzyknn.OpenLogIndex(logPath, dims, &fuzzyknn.Config{CacheSize: cacheSize})
 	case demo > 0:
 		p := dataset.Default(dataset.Synthetic)
 		p.N = demo
@@ -103,6 +127,6 @@ func openIndex(storePath, summary string, cacheSize, demo int, demoSeed uint64) 
 		}
 		return fuzzyknn.NewIndex(objs, nil)
 	default:
-		return nil, fmt.Errorf("missing -store (or -demo); run %s -h for usage", os.Args[0])
+		return nil, fmt.Errorf("missing -store, -log or -demo; run %s -h for usage", os.Args[0])
 	}
 }

@@ -17,11 +17,15 @@ type BatchResponse = engine.Response
 // BatchKind selects the query type of a BatchRequest.
 type BatchKind = engine.Kind
 
-// BatchRequest kinds.
+// BatchRequest kinds. The mutation kinds (insert/delete) run through the
+// same worker pool as queries, so a mixed batch may interleave reads and
+// writes; snapshot isolation keeps concurrent queries consistent.
 const (
-	BatchAKNNKind  = engine.AKNN
-	BatchRKNNKind  = engine.RKNN
-	BatchRangeKind = engine.RangeSearch
+	BatchAKNNKind   = engine.AKNN
+	BatchRKNNKind   = engine.RKNN
+	BatchRangeKind  = engine.RangeSearch
+	BatchInsertKind = engine.Insert
+	BatchDeleteKind = engine.Delete
 )
 
 // EngineTotals is a snapshot of an Engine's lifetime activity.
@@ -47,9 +51,9 @@ type Engine struct {
 	inner *engine.Engine
 }
 
-// NewEngine starts a concurrent query engine over the index. The index's
-// read path is immutable, so any number of engines (and direct Index calls)
-// can coexist.
+// NewEngine starts a concurrent query engine over the index. Queries run
+// against immutable index snapshots and writers serialize inside the index,
+// so any number of engines (and direct Index calls) can coexist.
 func (ix *Index) NewEngine(cfg *EngineConfig) *Engine {
 	var opts engine.Options
 	if cfg != nil {
@@ -109,6 +113,31 @@ func (e *Engine) BatchRangeSearch(ctx context.Context, queries []*Object, alpha,
 		reqs[i] = BatchRequest{Kind: BatchRangeKind, Q: q, Alpha: alpha, Radius: radius}
 	}
 	return collectBatch(e.DoBatch(ctx, reqs), func(r BatchResponse) []Result { return r.Results })
+}
+
+// BatchInsert adds the objects through the engine's worker pool. Writers
+// serialize inside the index, so batching inserts buys pipelining with
+// concurrent queries rather than write parallelism. The returned slice has
+// one entry per object (nil on success); the error annotates the first
+// failure, if any. Failed inserts do not abort the rest of the batch.
+func (e *Engine) BatchInsert(ctx context.Context, objs []*Object) ([]error, error) {
+	reqs := make([]BatchRequest, len(objs))
+	for i, o := range objs {
+		reqs[i] = BatchRequest{Kind: BatchInsertKind, Obj: o}
+	}
+	errs, _, err := collectBatch(e.DoBatch(ctx, reqs), func(r BatchResponse) error { return r.Err })
+	return errs, err
+}
+
+// BatchDelete retires the ids through the engine's worker pool. Semantics
+// match BatchInsert.
+func (e *Engine) BatchDelete(ctx context.Context, ids []uint64) ([]error, error) {
+	reqs := make([]BatchRequest, len(ids))
+	for i, id := range ids {
+		reqs[i] = BatchRequest{Kind: BatchDeleteKind, ID: id}
+	}
+	errs, _, err := collectBatch(e.DoBatch(ctx, reqs), func(r BatchResponse) error { return r.Err })
+	return errs, err
 }
 
 // collectBatch unpacks per-query results and stats in request order,

@@ -122,3 +122,37 @@ func ExampleIndex_BatchAKNN() {
 	// query 1: nearest is object 2
 	// query 2: nearest is object 3
 }
+
+// ExampleIndex_Insert grows and shrinks an index while it answers queries:
+// live inserts and deletes are immediately visible to new queries, and
+// queries already in flight keep a consistent snapshot.
+func ExampleIndex_Insert() {
+	idx, err := fuzzyknn.NewIndex([]*fuzzyknn.Object{
+		disk(1, 2, 0), disk(2, 4, 0),
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer idx.Close()
+
+	q := disk(100, 6, 0) // query sits right where object 3 will appear
+
+	res, _, _ := idx.AKNN(q, 1, 1.0, fuzzyknn.LBLPUB)
+	fmt.Printf("before insert: nearest is %d at %.1f\n", res[0].ID, res[0].Dist)
+
+	if err := idx.Insert(disk(3, 6, 0)); err != nil {
+		log.Fatal(err)
+	}
+	res, _, _ = idx.AKNN(q, 1, 1.0, fuzzyknn.LBLPUB)
+	fmt.Printf("after insert:  nearest is %d at %.1f\n", res[0].ID, res[0].Dist)
+
+	if err := idx.Delete(3); err != nil {
+		log.Fatal(err)
+	}
+	res, _, _ = idx.AKNN(q, 1, 1.0, fuzzyknn.LBLPUB)
+	fmt.Printf("after delete:  nearest is %d at %.1f\n", res[0].ID, res[0].Dist)
+	// Output:
+	// before insert: nearest is 2 at 2.0
+	// after insert:  nearest is 3 at 0.0
+	// after delete:  nearest is 2 at 2.0
+}

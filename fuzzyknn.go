@@ -26,6 +26,7 @@ package fuzzyknn
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"fuzzyknn/internal/fuzzy"
@@ -66,8 +67,16 @@ type Stats = query.Stats
 // Test with errors.Is to tell client mistakes from execution failures.
 var ErrInvalidQuery = query.ErrInvalidArgument
 
-// ErrNotFound is returned by Object for unknown object ids.
+// ErrNotFound is returned by Object for unknown object ids and by Delete
+// for ids that are not live.
 var ErrNotFound = store.ErrNotFound
+
+// ErrReadOnly is returned by Insert/Delete on indexes whose store has no
+// write side (e.g. one opened from an immutable store file with OpenIndex).
+var ErrReadOnly = store.ErrReadOnly
+
+// ErrDuplicate is returned by Insert when the object id is already live.
+var ErrDuplicate = store.ErrDuplicate
 
 // ParseAKNNAlgorithm resolves the CLI/HTTP names of the AKNN variants:
 // basic | lb | lb-lp | lb-lp-ub (case-insensitive; empty selects LBLPUB).
@@ -181,11 +190,16 @@ func (c *Config) orDefault() Config {
 	return *c
 }
 
-// Index answers AKNN and RKNN queries over a fixed set of fuzzy objects.
+// Index answers AKNN and RKNN queries over a set of fuzzy objects. The set
+// is mutable: Insert and Delete add and retire objects while queries are in
+// flight, with snapshot isolation — every query runs against the exact
+// object population that was live when it started. In-memory indexes
+// (NewIndex) and log-backed indexes (OpenLogIndex) accept mutations;
+// indexes over immutable store files (OpenIndex) are read-only.
 type Index struct {
 	inner    *query.Index
 	counting *store.Counting
-	disk     *store.DiskStore // non-nil when backed by OpenIndex
+	closer   io.Closer // non-nil when backed by a file (OpenIndex/OpenLogIndex)
 }
 
 // NewIndex builds an in-memory index over the given objects.
@@ -205,7 +219,9 @@ func SaveObjects(path string, dims int, objs []*Object) error {
 
 // OpenIndex opens a store file written by SaveObjects and builds an index
 // over it. Object probes during queries read from disk (optionally through
-// an LRU cache, see Config.CacheSize). Close the index when done.
+// an LRU cache, see Config.CacheSize). The resulting index is read-only
+// (Insert/Delete fail with ErrReadOnly); use OpenLogIndex for a mutable
+// on-disk index. Close the index when done.
 func OpenIndex(path string, cfg *Config) (*Index, error) {
 	ds, err := store.Open(path)
 	if err != nil {
@@ -219,7 +235,26 @@ func OpenIndex(path string, cfg *Config) (*Index, error) {
 	return ix, nil
 }
 
-func buildIndex(r store.Reader, disk *store.DiskStore, cfg Config) (*Index, error) {
+// OpenLogIndex opens (or creates) a mutable on-disk index backed by an
+// append-only log store: every Insert appends a durable put record, every
+// Delete a tombstone, and reopening replays the log — a file cut short by a
+// crash mid-append recovers by discarding the partial tail. For a new file,
+// dims fixes the dimensionality and must be >= 1; for an existing file it
+// must be 0 or match. Close the index when done.
+func OpenLogIndex(path string, dims int, cfg *Config) (*Index, error) {
+	ls, err := store.OpenLog(path, dims)
+	if err != nil {
+		return nil, fmt.Errorf("fuzzyknn: %w", err)
+	}
+	ix, err := buildIndex(ls, ls, cfg.orDefault())
+	if err != nil {
+		ls.Close()
+		return nil, err
+	}
+	return ix, nil
+}
+
+func buildIndex(r store.Reader, closer io.Closer, cfg Config) (*Index, error) {
 	var reader store.Reader = r
 	if cfg.CacheSize > 0 {
 		reader = store.NewLRU(reader, cfg.CacheSize)
@@ -249,7 +284,7 @@ func buildIndex(r store.Reader, disk *store.DiskStore, cfg Config) (*Index, erro
 		return nil, fmt.Errorf("fuzzyknn: %w", err)
 	}
 	counting.Reset() // exclude index construction from query accounting
-	return &Index{inner: inner, counting: counting, disk: disk}, nil
+	return &Index{inner: inner, counting: counting, closer: closer}, nil
 }
 
 // SaveSummaries persists the index's per-object summaries (MBRs,
@@ -262,10 +297,31 @@ func (ix *Index) SaveSummaries(path string) error {
 // Close releases the underlying store file, if any. The index must not be
 // used afterwards. Closing an in-memory index is a no-op.
 func (ix *Index) Close() error {
-	if ix.disk != nil {
-		return ix.disk.Close()
+	if ix.closer != nil {
+		return ix.closer.Close()
 	}
 	return nil
+}
+
+// Insert adds an object to the index and its store. The object becomes
+// visible to queries that start after Insert returns; queries already in
+// flight complete against the population they started with (snapshot
+// isolation). It fails with ErrInvalidQuery for nil or dimensionally
+// mismatched objects, ErrDuplicate for a live id collision, and
+// ErrReadOnly when the underlying store cannot be written (OpenIndex).
+func (ix *Index) Insert(obj *Object) error {
+	return ix.inner.Insert(obj)
+}
+
+// Delete retires the object with the given id. Queries already in flight
+// still see it (and can still probe its payload — deletes are logical
+// tombstones in the store); queries started after Delete returns do not.
+// It fails with ErrNotFound for ids that are not live and ErrReadOnly on
+// read-only indexes. Locating the object costs one object access (counted
+// in TotalObjectAccesses; BatchDelete responses carry it as Stats).
+func (ix *Index) Delete(id uint64) error {
+	_, err := ix.inner.Delete(id)
+	return err
 }
 
 // Len returns the number of indexed objects.

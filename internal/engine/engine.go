@@ -4,11 +4,14 @@
 // The paper's algorithms are single-query: one traversal of the R-tree, one
 // stats record. Serving workloads — classification back-ends issuing one
 // AKNN per unlabeled object, filter-verify pipelines, HTTP fan-in — need
-// many logically independent queries in flight at once. Because the index's
-// read path is immutable (verified by the race tests in internal/query and
-// here), queries parallelize without locking; the engine adds the missing
-// machinery: a bounded worker pool, per-request context cancellation, and
-// aggregate statistics across all requests it has executed.
+// many logically independent queries in flight at once. Because the index
+// serves every query from an immutable snapshot (verified by the race tests
+// in internal/query and here), queries parallelize without locking; the
+// engine adds the missing machinery: a bounded worker pool, per-request
+// context cancellation, and aggregate statistics across all requests it has
+// executed. Mutations (Insert/Delete kinds) ride the same pool: the index
+// serializes writers internally while readers proceed against their
+// snapshots.
 //
 // An Engine is cheap enough to keep for the life of a process. Submit work
 // with Do (one request) or DoBatch (many, answered in order); both are safe
@@ -27,14 +30,19 @@ import (
 	"fuzzyknn/internal/query"
 )
 
-// Kind selects the query type of a Request.
+// Kind selects the query or mutation type of a Request.
 type Kind int
 
-// Supported request kinds.
+// Supported request kinds. Insert and Delete are index mutations: they run
+// through the same worker pool and batching machinery as queries, so a
+// mixed batch can interleave reads and writes; the index's snapshot
+// isolation keeps the concurrently executing queries consistent.
 const (
 	AKNN Kind = iota
 	RKNN
 	RangeSearch
+	Insert
+	Delete
 )
 
 // String names the kind.
@@ -46,13 +54,18 @@ func (k Kind) String() string {
 		return "rknn"
 	case RangeSearch:
 		return "range"
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
-// Request describes one query. Fields beyond Kind, Q and K are read
-// per-kind: Alpha (AKNN, RangeSearch), AKNNAlgo (AKNN), AlphaStart/AlphaEnd
-// and RKNNAlgo (RKNN), Radius (RangeSearch).
+// Request describes one query or mutation. Fields beyond Kind, Q and K are
+// read per-kind: Alpha (AKNN, RangeSearch), AKNNAlgo (AKNN),
+// AlphaStart/AlphaEnd and RKNNAlgo (RKNN), Radius (RangeSearch), Obj
+// (Insert), ID (Delete).
 type Request struct {
 	Kind Kind
 	Q    *fuzzy.Object
@@ -65,6 +78,9 @@ type Request struct {
 	RKNNAlgo             query.RKNNAlgorithm
 
 	Radius float64
+
+	Obj *fuzzy.Object // object to add (Insert)
+	ID  uint64        // object to retire (Delete)
 }
 
 // Response is the answer to one Request. Results carries AKNN and
@@ -85,7 +101,11 @@ type Totals struct {
 	// Failures counts requests that returned an error — validation
 	// failures, cancellations and post-Close rejections alike.
 	Failures int64
-	// Stats sums the per-query statistics of all successful requests.
+	// Stats sums the per-request statistics of every executed request,
+	// failed ones included: a request that probed the store before failing
+	// (e.g. a delete of a tombstoned id) really performed those accesses,
+	// so counting them keeps the invariant "store access total == summed
+	// per-request stats" exact for mixed workloads.
 	Stats query.Stats
 }
 
@@ -177,12 +197,12 @@ func (e *Engine) execute(j job) {
 		if p := recover(); p != nil {
 			j.resp.Results, j.resp.Ranged = nil, nil
 			j.resp.Err = fmt.Errorf("engine: query panicked: %v", p)
-			e.record(j.req.Kind, nil)
+			e.record(j.req.Kind, j.resp.Stats, false)
 		}
 	}()
 	if err := j.ctx.Err(); err != nil {
 		j.resp.Err = err
-		e.record(j.req.Kind, nil)
+		e.record(j.req.Kind, j.resp.Stats, false)
 		return
 	}
 	r := &j.req
@@ -193,25 +213,27 @@ func (e *Engine) execute(j job) {
 		j.resp.Ranged, j.resp.Stats, j.resp.Err = e.ix.RKNN(r.Q, r.K, r.AlphaStart, r.AlphaEnd, r.RKNNAlgo)
 	case RangeSearch:
 		j.resp.Results, j.resp.Stats, j.resp.Err = e.ix.RangeSearch(r.Q, r.Alpha, r.Radius)
+	case Insert:
+		j.resp.Err = e.ix.Insert(r.Obj)
+	case Delete:
+		// The locate probe is a real store access; carrying it in the
+		// response (success or not) keeps the accounting invariant (store
+		// total == sum of per-request stats) intact for mixed workloads.
+		j.resp.Stats, j.resp.Err = e.ix.Delete(r.ID)
 	default:
 		j.resp.Err = fmt.Errorf("engine: unknown request kind %d (%w)", int(r.Kind), query.ErrInvalidArgument)
 	}
-	if j.resp.Err != nil {
-		e.record(r.Kind, nil)
-		return
-	}
-	e.record(r.Kind, &j.resp.Stats)
+	e.record(r.Kind, j.resp.Stats, j.resp.Err == nil)
 }
 
-func (e *Engine) record(k Kind, st *query.Stats) {
+func (e *Engine) record(k Kind, st query.Stats, ok bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.totals.Requests[k.String()]++
-	if st == nil {
+	if !ok {
 		e.totals.Failures++
-	} else {
-		e.totals.Stats.Add(*st)
 	}
+	e.totals.Stats.Add(st)
 }
 
 // Totals returns a snapshot of the engine's aggregate statistics.
@@ -248,7 +270,7 @@ func (e *Engine) DoBatch(ctx context.Context, reqs []Request) []Response {
 		wg.Add(1)
 		if err := e.submit(j); err != nil {
 			resps[i].Err = err
-			e.record(reqs[i].Kind, nil)
+			e.record(reqs[i].Kind, query.Stats{}, false)
 			wg.Done()
 		}
 	}

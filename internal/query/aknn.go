@@ -30,10 +30,11 @@ type Result struct {
 func (ix *Index) AKNN(q *fuzzy.Object, k int, alpha float64, algo AKNNAlgorithm) ([]Result, Stats, error) {
 	start := time.Now()
 	var st Stats
-	if err := ix.validateQuery(q, k, alpha); err != nil {
+	s := ix.read()
+	if err := ix.validateQuery(s, q, k, alpha); err != nil {
 		return nil, st, err
 	}
-	res, _, err := ix.aknn(q, k, alpha, algo, &st)
+	res, _, err := ix.aknn(s, q, k, alpha, algo, &st)
 	st.Duration = time.Since(start)
 	return res, st, err
 }
@@ -45,10 +46,10 @@ type gEntry struct {
 	item         *leafItem
 }
 
-// aknn is the shared implementation. It additionally returns the objects it
-// probed, which the RKNN algorithms reuse to build distance profiles without
-// re-reading storage.
-func (ix *Index) aknn(q *fuzzy.Object, k int, alpha float64, algo AKNNAlgorithm, st *Stats) ([]Result, map[uint64]*fuzzy.Object, error) {
+// aknn is the shared implementation, running entirely against one snapshot.
+// It additionally returns the objects it probed, which the RKNN algorithms
+// reuse to build distance profiles without re-reading storage.
+func (ix *Index) aknn(s *snapshot, q *fuzzy.Object, k int, alpha float64, algo AKNNAlgorithm, st *Stats) ([]Result, map[uint64]*fuzzy.Object, error) {
 	mq := q.MBR(alpha)
 	useLB := algo != Basic
 	lazy := algo == LBLP || algo == LBLPUB
@@ -88,8 +89,8 @@ func (ix *Index) aknn(q *fuzzy.Object, k int, alpha float64, algo AKNNAlgorithm,
 	}
 
 	h := newBestFirstQueue()
-	if root := ix.tree.Root(); len(root.Entries()) > 0 {
-		h.Push(pqItem{key: geom.MinDist(mq, ix.tree.Bounds()), kind: kindNode, node: root})
+	if root := s.tree.Root(); len(root.Entries()) > 0 {
+		h.Push(pqItem{key: geom.MinDist(mq, s.tree.Bounds()), kind: kindNode, node: root})
 	}
 
 	var results []Result
@@ -244,7 +245,8 @@ func enforceInvariantAlways(buffer *[]gEntry, bufferMin func() int, probe func(*
 func (ix *Index) LinearScanAKNN(q *fuzzy.Object, k int, alpha float64) ([]Result, Stats, error) {
 	start := time.Now()
 	var st Stats
-	if err := ix.validateQuery(q, k, alpha); err != nil {
+	s := ix.read()
+	if err := ix.validateQuery(s, q, k, alpha); err != nil {
 		return nil, st, err
 	}
 	type cand struct {
@@ -252,7 +254,9 @@ func (ix *Index) LinearScanAKNN(q *fuzzy.Object, k int, alpha float64) ([]Result
 		d  float64
 	}
 	var cands []cand
-	for _, id := range ix.store.IDs() {
+	// Scan the snapshot's population (not the live store) so the baseline
+	// stays consistent under concurrent mutation.
+	for _, id := range s.leafIDs() {
 		obj, err := ix.getObject(id, &st)
 		if err != nil {
 			return nil, st, err
@@ -281,7 +285,7 @@ func (ix *Index) LinearScanAKNN(q *fuzzy.Object, k int, alpha float64) ([]Result
 // and returns the set re-sorted by exact (distance, id).
 func (ix *Index) Refine(q *fuzzy.Object, alpha float64, rs []Result) ([]Result, Stats, error) {
 	var st Stats
-	if err := ix.validateQuery(q, 1, alpha); err != nil {
+	if err := ix.validateQuery(ix.read(), q, 1, alpha); err != nil {
 		return nil, st, err
 	}
 	out := make([]Result, len(rs))
@@ -314,13 +318,14 @@ func (ix *Index) Refine(q *fuzzy.Object, alpha float64, rs []Result) ([]Result, 
 func (ix *Index) RangeSearch(q *fuzzy.Object, alpha, radius float64) ([]Result, Stats, error) {
 	started := time.Now()
 	var st Stats
-	if err := ix.validateQuery(q, 1, alpha); err != nil {
+	s := ix.read()
+	if err := ix.validateQuery(s, q, 1, alpha); err != nil {
 		return nil, st, err
 	}
 	if radius < 0 || math.IsNaN(radius) {
 		return nil, st, badArgf("query: radius must be non-negative, got %v", radius)
 	}
-	_, dists, err := ix.rangeSearch(q, alpha, radius, true, &st)
+	_, dists, err := ix.rangeSearch(s, q, alpha, radius, true, &st)
 	if err != nil {
 		return nil, st, err
 	}
@@ -340,8 +345,9 @@ func (ix *Index) RangeSearch(q *fuzzy.Object, alpha, radius float64) ([]Result, 
 
 // rangeSearch collects every object with d_α(A, q) ≤ radius, probing only
 // entries whose lower bound passes the radius test (used by RSS, Lemma 3).
-// It returns the probed objects and their exact distances.
-func (ix *Index) rangeSearch(q *fuzzy.Object, alpha, radius float64, useLB bool, st *Stats) (map[uint64]*fuzzy.Object, map[uint64]float64, error) {
+// It runs against the given snapshot and returns the probed objects and
+// their exact distances.
+func (ix *Index) rangeSearch(s *snapshot, q *fuzzy.Object, alpha, radius float64, useLB bool, st *Stats) (map[uint64]*fuzzy.Object, map[uint64]float64, error) {
 	mq := q.MBR(alpha)
 	objs := make(map[uint64]*fuzzy.Object)
 	dists := make(map[uint64]float64)
@@ -379,7 +385,7 @@ func (ix *Index) rangeSearch(q *fuzzy.Object, alpha, radius float64, useLB bool,
 		}
 		return nil
 	}
-	if root := ix.tree.Root(); len(root.Entries()) > 0 {
+	if root := s.tree.Root(); len(root.Entries()) > 0 {
 		if err := visit(root); err != nil {
 			return nil, nil, err
 		}

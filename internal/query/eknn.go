@@ -18,7 +18,8 @@ import (
 func ExpectedDistKNN(ix *Index, q *fuzzy.Object, k int) ([]Result, Stats, error) {
 	started := time.Now()
 	var st Stats
-	if err := ix.validateQuery(q, k, 1); err != nil {
+	s := ix.read()
+	if err := ix.validateQuery(s, q, k, 1); err != nil {
 		return nil, st, err
 	}
 	type cand struct {
@@ -26,7 +27,7 @@ func ExpectedDistKNN(ix *Index, q *fuzzy.Object, k int) ([]Result, Stats, error)
 		e  float64
 	}
 	var cands []cand
-	for _, id := range ix.store.IDs() {
+	for _, id := range s.leafIDs() {
 		obj, err := ix.getObject(id, &st)
 		if err != nil {
 			return nil, st, err

@@ -24,6 +24,9 @@ package query
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"fuzzyknn/internal/fuzzy"
@@ -146,22 +149,79 @@ type leafItem struct {
 	rep    geom.Point
 }
 
-// Index is an immutable search index over a fuzzy object store.
+// Index is a search index over a fuzzy object store. It is mutable: Insert
+// and Delete add and retire objects while queries keep running.
+//
+// # Snapshot isolation
+//
+// Every query entry point atomically loads the current snapshot — an
+// immutable R-tree root plus the index dimensionality — and runs entirely
+// against it. Writers serialize among themselves, build a copy-on-write
+// successor tree (sharing all untouched nodes) and publish it atomically,
+// so an in-flight AKNN/RKNN/range query always sees the exact object
+// population that was live when it started, never a half-applied mutation.
+// Stores retain deleted payloads (see store.Mutator), which keeps the
+// snapshot's probes resolvable even after the object was retired.
 type Index struct {
-	tree  *rtree.Tree
-	store store.Reader
-	opts  Options
-	dims  int
+	store     store.Reader
+	opts      Options
+	estimator func(*fuzzy.Object) fuzzy.MBREstimator
+
+	// writeMu serializes Insert/Delete; readers never take it.
+	writeMu sync.Mutex
+	snap    atomic.Pointer[snapshot]
+}
+
+// snapshot is one immutable, consistent view of the index. The tree is
+// never mutated after publication (writers clone-and-replace instead).
+type snapshot struct {
+	tree *rtree.Tree
+	dims int
+}
+
+// read returns the current snapshot; all reads of one query must go through
+// a single read() result to stay consistent.
+func (ix *Index) read() *snapshot { return ix.snap.Load() }
+
+// leafIDs returns the ids of every object in the snapshot, ascending. It is
+// the snapshot-consistent replacement for store.Reader.IDs.
+func (s *snapshot) leafIDs() []uint64 {
+	out := make([]uint64, 0, s.tree.Len())
+	var walk func(n *rtree.Node)
+	walk = func(n *rtree.Node) {
+		for _, e := range n.Entries() {
+			if n.Leaf() {
+				out = append(out, e.Data.(*leafItem).id)
+			} else {
+				walk(e.Child)
+			}
+		}
+	}
+	walk(s.tree.Root())
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// resolveEstimator picks the leaf-summary estimator for opts.
+func resolveEstimator(opts Options) func(*fuzzy.Object) fuzzy.MBREstimator {
+	if opts.Estimator != nil {
+		return opts.Estimator
+	}
+	return func(o *fuzzy.Object) fuzzy.MBREstimator { return fuzzy.NewBoundaryApprox(o) }
+}
+
+// newIndex assembles an Index around a freshly built tree.
+func newIndex(tree *rtree.Tree, st store.Reader, opts Options) *Index {
+	ix := &Index{store: st, opts: opts, estimator: resolveEstimator(opts)}
+	ix.snap.Store(&snapshot{tree: tree, dims: st.Dims()})
+	return ix
 }
 
 // Build scans the store once, computes each object's summary and assembles
 // the R-tree (STR bulk load by default).
 func Build(st store.Reader, opts Options) (*Index, error) {
 	opts = opts.withDefaults()
-	estimator := opts.Estimator
-	if estimator == nil {
-		estimator = func(o *fuzzy.Object) fuzzy.MBREstimator { return fuzzy.NewBoundaryApprox(o) }
-	}
+	estimator := resolveEstimator(opts)
 	ids := st.IDs()
 	items := make([]rtree.BulkItem, 0, len(ids))
 	for _, id := range ids {
@@ -185,20 +245,91 @@ func Build(st store.Reader, opts Options) (*Index, error) {
 	} else {
 		tree = rtree.BulkLoad(items, opts.MinEntries, opts.MaxEntries)
 	}
-	return &Index{tree: tree, store: st, opts: opts, dims: st.Dims()}, nil
+	return newIndex(tree, st, opts), nil
 }
 
 // Len returns the number of indexed objects.
-func (ix *Index) Len() int { return ix.tree.Len() }
+func (ix *Index) Len() int { return ix.read().tree.Len() }
 
-// Dims returns the dimensionality of indexed objects.
-func (ix *Index) Dims() int { return ix.dims }
+// Dims returns the dimensionality of indexed objects (0 until the first
+// object is known).
+func (ix *Index) Dims() int { return ix.read().dims }
 
 // Store exposes the underlying reader (e.g. to fetch result objects).
 func (ix *Index) Store() store.Reader { return ix.store }
 
-// Tree exposes the R-tree for diagnostics and tests.
-func (ix *Index) Tree() *rtree.Tree { return ix.tree }
+// Tree exposes the current R-tree snapshot for diagnostics and tests. The
+// returned tree is immutable; a later Insert/Delete publishes a successor
+// rather than changing it.
+func (ix *Index) Tree() *rtree.Tree { return ix.read().tree }
+
+// Insert adds obj to the store and the index. The new object is visible to
+// queries that start after Insert returns; queries already in flight
+// complete against their snapshot. It fails with ErrInvalidArgument for nil
+// or dimensionally mismatched objects, store.ErrDuplicate when the id is
+// live, and store.ErrReadOnly when the store has no write side.
+func (ix *Index) Insert(obj *fuzzy.Object) error {
+	if obj == nil {
+		return badArgf("query: insert: nil object")
+	}
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	s := ix.read()
+	if s.dims != 0 && obj.Dims() != s.dims {
+		return badArgf("query: insert: object dims %d, index dims %d", obj.Dims(), s.dims)
+	}
+	m, ok := ix.store.(store.Mutator)
+	if !ok {
+		return fmt.Errorf("query: insert: %w: store %T has no write side", store.ErrReadOnly, ix.store)
+	}
+	if err := m.Insert(obj); err != nil {
+		return fmt.Errorf("query: insert: %w", err)
+	}
+	li := &leafItem{id: obj.ID(), approx: ix.estimator(obj), rep: obj.Rep()}
+	tree := s.tree.Clone()
+	tree.Insert(obj.SupportMBR(), li)
+	ix.snap.Store(&snapshot{tree: tree, dims: obj.Dims()})
+	return nil
+}
+
+// Delete retires the object with the given id from the index and
+// tombstones it in the store (the payload stays readable for in-flight
+// snapshot queries). It returns store.ErrNotFound for ids that are not
+// live and store.ErrReadOnly when the store has no write side. Locating
+// the object's rectangle costs one store probe, reported in the returned
+// Stats so callers aggregating per-request statistics stay consistent
+// with the store's raw access counter.
+func (ix *Index) Delete(id uint64) (Stats, error) {
+	started := time.Now()
+	var st Stats
+	ix.writeMu.Lock()
+	defer ix.writeMu.Unlock()
+	s := ix.read()
+	m, ok := ix.store.(store.Mutator)
+	if !ok {
+		return st, fmt.Errorf("query: delete: %w: store %T has no write side", store.ErrReadOnly, ix.store)
+	}
+	obj, err := ix.getObject(id, &st)
+	if err != nil {
+		return st, fmt.Errorf("query: delete: %w", err)
+	}
+	// Remove from the tree clone first: it has no durable effect until the
+	// snapshot is published, so a miss (tombstoned id whose payload Get
+	// still serves, or an unexpected tree/store skew) aborts cleanly
+	// before the store is mutated — no divergence window.
+	tree := s.tree.Clone()
+	if !tree.Delete(obj.SupportMBR(), func(d any) bool { return d.(*leafItem).id == id }) {
+		return st, fmt.Errorf("query: delete: %w: id %d not in index", store.ErrNotFound, id)
+	}
+	if err := m.Delete(id); err != nil {
+		// Store refused (e.g. raced liveness); the tree clone is discarded
+		// unpublished, so index and store stay consistent.
+		return st, fmt.Errorf("query: delete: %w", err)
+	}
+	ix.snap.Store(&snapshot{tree: tree, dims: s.dims})
+	st.Duration = time.Since(started)
+	return st, nil
+}
 
 // ErrInvalidArgument tags argument-validation failures of the public query
 // entry points, letting callers (e.g. an HTTP layer) separate client
@@ -218,13 +349,17 @@ func badArgf(format string, args ...any) error {
 	return &invalidArgError{msg: fmt.Sprintf(format, args...)}
 }
 
-// validateQuery checks arguments shared by all query entry points.
-func (ix *Index) validateQuery(q *fuzzy.Object, k int, alphas ...float64) error {
+// validateQuery checks arguments shared by all query entry points against
+// one snapshot. The dims check keys off the snapshot's dimensionality, not
+// its population: an index that was ever told its dimensionality (a typed
+// but empty store, or a populated-then-drained dynamic index) rejects
+// mismatched query objects consistently.
+func (ix *Index) validateQuery(s *snapshot, q *fuzzy.Object, k int, alphas ...float64) error {
 	if q == nil {
 		return badArgf("query: nil query object")
 	}
-	if q.Dims() != ix.dims && ix.tree.Len() > 0 {
-		return badArgf("query: query dims %d, index dims %d", q.Dims(), ix.dims)
+	if s.dims != 0 && q.Dims() != s.dims {
+		return badArgf("query: query dims %d, index dims %d", q.Dims(), s.dims)
 	}
 	if k < 1 {
 		return badArgf("query: k must be >= 1, got %d", k)

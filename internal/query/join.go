@@ -38,13 +38,14 @@ type JoinPair struct {
 func DistanceJoin(left, right *Index, alpha, eps float64) ([]JoinPair, Stats, error) {
 	started := time.Now()
 	var st Stats
-	if err := validateJoin(left, right, alpha); err != nil {
+	selfJoin := left == right
+	sl, sr := joinSnapshots(left, right)
+	if err := validateJoin(left, right, sl, sr, alpha); err != nil {
 		return nil, st, err
 	}
 	if eps < 0 || math.IsNaN(eps) {
 		return nil, st, fmt.Errorf("query: join epsilon must be non-negative, got %v", eps)
 	}
-	selfJoin := left == right
 
 	leftObjs := make(map[uint64]*fuzzy.Object)
 	rightObjs := leftObjs
@@ -123,8 +124,8 @@ func DistanceJoin(left, right *Index, alpha, eps float64) ([]JoinPair, Stats, er
 		}
 		return nil
 	}
-	if left.tree.Len() > 0 && right.tree.Len() > 0 {
-		if err := walk(left.tree.Root(), right.tree.Root()); err != nil {
+	if sl.tree.Len() > 0 && sr.tree.Len() > 0 {
+		if err := walk(sl.tree.Root(), sr.tree.Root()); err != nil {
 			return nil, st, err
 		}
 	}
@@ -149,12 +150,25 @@ func nodeBounds(n *rtree.Node) geom.Rect {
 	return r
 }
 
-func validateJoin(left, right *Index, alphas ...float64) error {
+// joinSnapshots loads one consistent snapshot per side; a self-join shares
+// a single snapshot so both sides see the same population.
+func joinSnapshots(left, right *Index) (*snapshot, *snapshot) {
+	if left == nil || right == nil {
+		return nil, nil
+	}
+	sl := left.read()
+	if left == right {
+		return sl, sl
+	}
+	return sl, right.read()
+}
+
+func validateJoin(left, right *Index, sl, sr *snapshot, alphas ...float64) error {
 	if left == nil || right == nil {
 		return fmt.Errorf("query: nil index in join")
 	}
-	if left.dims != right.dims && left.tree.Len() > 0 && right.tree.Len() > 0 {
-		return fmt.Errorf("query: join dims %d vs %d", left.dims, right.dims)
+	if sl.dims != 0 && sr.dims != 0 && sl.dims != sr.dims {
+		return fmt.Errorf("query: join dims %d vs %d", sl.dims, sr.dims)
 	}
 	for _, a := range alphas {
 		if !(a > 0 && a <= 1) {
@@ -204,14 +218,15 @@ func (p *pairQueue) Pop() any     { old := *p; it := old[len(old)-1]; *p = old[:
 func KClosestPairs(left, right *Index, k int, alpha float64) ([]JoinPair, Stats, error) {
 	started := time.Now()
 	var st Stats
-	if err := validateJoin(left, right, alpha); err != nil {
+	selfJoin := left == right
+	sl, sr := joinSnapshots(left, right)
+	if err := validateJoin(left, right, sl, sr, alpha); err != nil {
 		return nil, st, err
 	}
 	if k < 1 {
 		return nil, st, fmt.Errorf("query: k must be >= 1, got %d", k)
 	}
-	selfJoin := left == right
-	if left.tree.Len() == 0 || right.tree.Len() == 0 {
+	if sl.tree.Len() == 0 || sr.tree.Len() == 0 {
 		return nil, st, nil
 	}
 
@@ -241,8 +256,8 @@ func KClosestPairs(left, right *Index, k int, alpha float64) ([]JoinPair, Stats,
 	}
 	sideFor := func(n *rtree.Node) pairSide { return pairSide{node: n, rect: nodeBounds(n)} }
 	push(pairItem{
-		key: geom.MinDist(left.tree.Bounds(), right.tree.Bounds()),
-		a:   sideFor(left.tree.Root()), b: sideFor(right.tree.Root()),
+		key: geom.MinDist(sl.tree.Bounds(), sr.tree.Bounds()),
+		a:   sideFor(sl.tree.Root()), b: sideFor(sr.tree.Root()),
 	})
 
 	// expand enumerates an entry's children as pair sides at threshold α.

@@ -32,7 +32,8 @@ import (
 func ReverseKNN(ix *Index, q *fuzzy.Object, k int, alpha float64) ([]Result, Stats, error) {
 	started := time.Now()
 	var st Stats
-	if err := ix.validateQuery(q, k, alpha); err != nil {
+	s := ix.read()
+	if err := ix.validateQuery(s, q, k, alpha); err != nil {
 		return nil, st, err
 	}
 	mq := q.MBR(alpha)
@@ -50,7 +51,7 @@ func ReverseKNN(ix *Index, q *fuzzy.Object, k int, alpha float64) ([]Result, Sta
 			}
 		}
 	}
-	if root := ix.tree.Root(); len(root.Entries()) > 0 {
+	if root := s.tree.Root(); len(root.Entries()) > 0 {
 		walk(root)
 	}
 	if len(items) == 0 {
@@ -87,7 +88,7 @@ func ReverseKNN(ix *Index, q *fuzzy.Object, k int, alpha float64) ([]Result, Sta
 		}
 		st.DistanceEvals++
 		dq := fuzzy.AlphaDist(a, q, alpha)
-		closer, err := ix.countCloser(a, alpha, dq, q.ID(), k, &st)
+		closer, err := ix.countCloser(s, a, alpha, dq, q.ID(), k, &st)
 		if err != nil {
 			return nil, st, err
 		}
@@ -108,7 +109,7 @@ func ReverseKNN(ix *Index, q *fuzzy.Object, k int, alpha float64) ([]Result, Sta
 // countCloser counts stored objects B ≠ a with (d_α(a,B), id_B) <
 // (radius, qID), stopping at limit. It prunes subtrees and entries whose
 // lower bound already exceeds radius.
-func (ix *Index) countCloser(a *fuzzy.Object, alpha, radius float64, qID uint64, limit int, st *Stats) (int, error) {
+func (ix *Index) countCloser(s *snapshot, a *fuzzy.Object, alpha, radius float64, qID uint64, limit int, st *Stats) (int, error) {
 	ma := a.MBR(alpha)
 	count := 0
 	var visit func(n *rtree.Node) error
@@ -143,7 +144,7 @@ func (ix *Index) countCloser(a *fuzzy.Object, alpha, radius float64, qID uint64,
 		}
 		return nil
 	}
-	if root := ix.tree.Root(); len(root.Entries()) > 0 {
+	if root := s.tree.Root(); len(root.Entries()) > 0 {
 		if err := visit(root); err != nil {
 			return 0, err
 		}

@@ -31,14 +31,15 @@ type RangedResult struct {
 func (ix *Index) RKNN(q *fuzzy.Object, k int, alphaStart, alphaEnd float64, algo RKNNAlgorithm) ([]RangedResult, Stats, error) {
 	started := time.Now()
 	var st Stats
-	if err := ix.validateQuery(q, k, alphaStart, alphaEnd); err != nil {
+	s := ix.read()
+	if err := ix.validateQuery(s, q, k, alphaStart, alphaEnd); err != nil {
 		return nil, st, err
 	}
 	if alphaStart > alphaEnd {
 		return nil, st, badArgf("query: alphaStart %v > alphaEnd %v", alphaStart, alphaEnd)
 	}
 	ctx := &rknnCtx{
-		ix: ix, q: q, k: k, as: alphaStart, ae: alphaEnd, st: &st,
+		ix: ix, snap: s, q: q, k: k, as: alphaStart, ae: alphaEnd, st: &st,
 		probed:   make(map[uint64]*fuzzy.Object),
 		profiles: make(map[uint64]*fuzzy.Profile),
 		acc:      make(map[uint64]*interval.Set),
@@ -63,10 +64,12 @@ func (ix *Index) RKNN(q *fuzzy.Object, k int, alphaStart, alphaEnd float64, algo
 	return ctx.results(), st, nil
 }
 
-// rknnCtx carries one RKNN execution: caches of probed objects and distance
-// profiles, and the per-object qualifying-range accumulator.
+// rknnCtx carries one RKNN execution: the snapshot every sub-search runs
+// against, caches of probed objects and distance profiles, and the
+// per-object qualifying-range accumulator.
 type rknnCtx struct {
 	ix       *Index
+	snap     *snapshot
 	q        *fuzzy.Object
 	k        int
 	as, ae   float64
@@ -128,7 +131,7 @@ func justAbove(x float64) float64 { return math.Nextafter(x, 2) }
 // unprobed results) and merges its probes into the context cache.
 func (c *rknnCtx) subAKNN(alpha float64) ([]Result, error) {
 	c.st.AKNNCalls++
-	res, probed, err := c.ix.aknn(c.q, c.k, alpha, LB, c.st)
+	res, probed, err := c.ix.aknn(c.snap, c.q, c.k, alpha, LB, c.st)
 	if err != nil {
 		return nil, err
 	}
@@ -176,9 +179,9 @@ func (c *rknnCtx) basic() error {
 // membership-level set U_D (plus the query's own levels) inside the range.
 func (c *rknnCtx) naive() error {
 	// Collect the global level universe; the naive method pays for reading
-	// every object.
+	// every object (of the snapshot, so the result is churn-consistent).
 	var levels []float64
-	for _, id := range c.ix.store.IDs() {
+	for _, id := range c.snap.leafIDs() {
 		o, err := c.object(id)
 		if err != nil {
 			return err
@@ -256,7 +259,7 @@ func (c *rknnCtx) rss(improvedRefinement bool) error {
 	if len(resE) >= c.k {
 		radius = resE[len(resE)-1].Dist
 	}
-	objs, _, err := c.ix.rangeSearch(c.q, c.as, radius, true, c.st)
+	objs, _, err := c.ix.rangeSearch(c.snap, c.q, c.as, radius, true, c.st)
 	if err != nil {
 		return err
 	}

@@ -69,7 +69,7 @@ func (ix *Index) Summaries() ([]ObjectSummary, error) {
 			}
 		}
 	}
-	if root := ix.tree.Root(); len(root.Entries()) > 0 {
+	if root := ix.read().tree.Root(); len(root.Entries()) > 0 {
 		walk(root)
 	}
 	if firstErr != nil {
@@ -214,7 +214,7 @@ func (ix *Index) SaveSummaries(path string) error {
 	if err != nil {
 		return err
 	}
-	if err := WriteSummaries(f, ix.dims, sums); err != nil {
+	if err := WriteSummaries(f, ix.Dims(), sums); err != nil {
 		f.Close()
 		return err
 	}
@@ -263,5 +263,5 @@ func BuildFromSummaryFile(st store.Reader, path string, opts Options) (*Index, e
 	} else {
 		tree = rtree.BulkLoad(items, opts.MinEntries, opts.MaxEntries)
 	}
-	return &Index{tree: tree, store: st, opts: opts, dims: st.Dims()}, nil
+	return newIndex(tree, st, opts), nil
 }

@@ -8,8 +8,21 @@
 // quadratic split, and Sort-Tile-Recursive (STR) bulk loading for building
 // indexes over whole datasets deterministically.
 //
-// Deletion is intentionally out of scope — the paper's workloads are
-// read-only after index construction.
+// # Mutation and snapshots
+//
+// Insert and Delete never modify reachable nodes: every structural change
+// copies the root-to-leaf path it touches and leaves the previous nodes
+// intact (copy-on-write path copying). Clone is therefore O(1) — it copies
+// only the tree header — and the pair supports cheap snapshot isolation:
+//
+//	snap := t.Clone() // or keep t.Root()/Height()/Len() from before
+//	t.Insert(r, data) // snap still sees the old, fully consistent tree
+//
+// A Tree itself is not safe for concurrent mutation; callers serialize
+// writers and publish clones (e.g. through an atomic pointer) to readers.
+// Deletion follows Guttman's CondenseTree: underfull nodes are dissolved
+// and their leaf entries reinserted, so the min-fill invariant survives
+// arbitrary insert/delete sequences.
 package rtree
 
 import (
@@ -55,6 +68,12 @@ type Tree struct {
 	maxEntries int
 	height     int // number of levels; 1 = root is a leaf
 	size       int // number of leaf entries
+
+	// relaxedMinFill marks trees whose construction may legitimately leave
+	// underfull nodes (STR bulk loading packs full nodes and puts the
+	// remainder in the last one). CheckInvariants skips the min-fill check
+	// for such trees.
+	relaxedMinFill bool
 }
 
 // New returns an empty tree with the given node capacities. min must be at
@@ -99,49 +118,162 @@ func (t *Tree) Bounds() geom.Rect {
 	return r
 }
 
-// Insert adds a leaf entry with the given rectangle and payload.
+// Clone returns a snapshot of the tree in O(1): only the header is copied,
+// all nodes are shared. Because mutations path-copy (they never modify a
+// node reachable from any published root), the clone and the original can
+// each be mutated without disturbing the other's view.
+func (t *Tree) Clone() *Tree {
+	c := *t
+	return &c
+}
+
+// Insert adds a leaf entry with the given rectangle and payload. The
+// previous tree structure remains intact for snapshot holders: only fresh
+// copies of the nodes along the insertion path are modified.
 func (t *Tree) Insert(r geom.Rect, data any) {
 	if r.IsEmpty() {
 		panic("rtree: cannot insert empty rectangle")
 	}
-	e := Entry{Rect: r.Clone(), Data: data}
-	split := t.insert(t.root, e, t.height-1)
+	t.insertEntry(Entry{Rect: r.Clone(), Data: data})
+	t.size++
+}
+
+// insertEntry places a leaf entry without touching the size counter (shared
+// by Insert and the condense-tree reinsertion pass).
+func (t *Tree) insertEntry(e Entry) {
+	root, split := t.insert(t.root, e, t.height-1)
 	if split != nil {
 		// Root split: grow the tree by one level.
-		old := t.root
-		t.root = &Node{
+		root = &Node{
 			leaf: false,
 			entries: []Entry{
-				{Rect: nodeMBR(old), Child: old},
+				{Rect: nodeMBR(root), Child: root},
 				{Rect: nodeMBR(split), Child: split},
 			},
 		}
 		t.height++
 	}
-	t.size++
+	t.root = root
 }
 
-// insert places e at the given level (0 = leaf) below n, returning a new
-// node if n was split.
-func (t *Tree) insert(n *Node, e Entry, level int) *Node {
+// insert places e at the given level (0 = leaf) below n, returning the
+// replacement for n and, if the replacement overflowed, the node split off
+// of it. n itself is never modified.
+func (t *Tree) insert(n *Node, e Entry, level int) (*Node, *Node) {
+	nn := &Node{leaf: n.leaf, entries: make([]Entry, len(n.entries), len(n.entries)+1)}
+	copy(nn.entries, n.entries)
 	if level == 0 {
-		n.entries = append(n.entries, e)
-		if len(n.entries) > t.maxEntries {
-			return t.splitNode(n)
+		nn.entries = append(nn.entries, e)
+		if len(nn.entries) > t.maxEntries {
+			return nn, t.splitNode(nn)
 		}
-		return nil
+		return nn, nil
 	}
 	i := chooseSubtree(n, e.Rect)
-	child := n.entries[i].Child
-	split := t.insert(child, e, level-1)
-	n.entries[i].Rect = nodeMBR(child)
+	child, split := t.insert(n.entries[i].Child, e, level-1)
+	nn.entries[i] = Entry{Rect: nodeMBR(child), Child: child}
 	if split != nil {
-		n.entries = append(n.entries, Entry{Rect: nodeMBR(split), Child: split})
-		if len(n.entries) > t.maxEntries {
-			return t.splitNode(n)
+		nn.entries = append(nn.entries, Entry{Rect: nodeMBR(split), Child: split})
+		if len(nn.entries) > t.maxEntries {
+			return nn, t.splitNode(nn)
 		}
 	}
-	return nil
+	return nn, nil
+}
+
+// Delete removes one leaf entry whose rectangle equals r and whose payload
+// satisfies match, reporting whether such an entry was found. Underfull
+// nodes along the way are dissolved and their leaf entries reinserted
+// (Guttman's CondenseTree), and a root left with a single child is cut, so
+// the tree stays height-balanced with min-fill intact. Like Insert, the
+// change is copy-on-write: previously obtained roots keep their view.
+func (t *Tree) Delete(r geom.Rect, match func(data any) bool) bool {
+	if r.IsEmpty() || t.size == 0 {
+		return false
+	}
+	var orphans []Entry
+	root, found := t.deleteFrom(t.root, r, match, &orphans)
+	if !found {
+		return false
+	}
+	t.root = root
+	// Cut the root while it is an interior node with at most one child.
+	for !t.root.leaf {
+		switch len(t.root.entries) {
+		case 0:
+			t.root = &Node{leaf: true}
+			t.height = 1
+		case 1:
+			t.root = t.root.entries[0].Child
+			t.height--
+		default:
+			goto condensed
+		}
+	}
+condensed:
+	t.size--
+	for _, e := range orphans {
+		t.insertEntry(e)
+	}
+	return true
+}
+
+// deleteFrom removes the matching entry below n, returning n's replacement
+// (nil when n dissolved into orphans) and whether the entry was found. Leaf
+// entries of dissolved subtrees are appended to orphans for reinsertion.
+func (t *Tree) deleteFrom(n *Node, r geom.Rect, match func(any) bool, orphans *[]Entry) (*Node, bool) {
+	if n.leaf {
+		idx := -1
+		for i, e := range n.entries {
+			if e.Rect.Equal(r) && match(e.Data) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return n, false
+		}
+		nn := &Node{leaf: true, entries: make([]Entry, 0, len(n.entries)-1)}
+		nn.entries = append(nn.entries, n.entries[:idx]...)
+		nn.entries = append(nn.entries, n.entries[idx+1:]...)
+		if n != t.root && len(nn.entries) < t.minEntries {
+			*orphans = append(*orphans, nn.entries...)
+			return nil, true
+		}
+		return nn, true
+	}
+	for i, e := range n.entries {
+		if !e.Rect.ContainsRect(r) {
+			continue
+		}
+		child, found := t.deleteFrom(e.Child, r, match, orphans)
+		if !found {
+			continue
+		}
+		nn := &Node{leaf: false, entries: make([]Entry, 0, len(n.entries))}
+		nn.entries = append(nn.entries, n.entries[:i]...)
+		if child != nil {
+			nn.entries = append(nn.entries, Entry{Rect: nodeMBR(child), Child: child})
+		}
+		nn.entries = append(nn.entries, n.entries[i+1:]...)
+		if n != t.root && len(nn.entries) < t.minEntries {
+			collectLeafEntries(nn, orphans)
+			return nil, true
+		}
+		return nn, true
+	}
+	return n, false
+}
+
+// collectLeafEntries appends every leaf entry below n to out.
+func collectLeafEntries(n *Node, out *[]Entry) {
+	if n.leaf {
+		*out = append(*out, n.entries...)
+		return
+	}
+	for _, e := range n.entries {
+		collectLeafEntries(e.Child, out)
+	}
 }
 
 // chooseSubtree picks the child needing the least area enlargement to cover
@@ -287,6 +419,7 @@ type BulkItem struct {
 // deterministic for a given input order. Capacity semantics match New.
 func BulkLoad(items []BulkItem, min, max int) *Tree {
 	t := New(min, max)
+	t.relaxedMinFill = true
 	if len(items) == 0 {
 		return t
 	}
@@ -370,9 +503,13 @@ func sortByCenter(entries []Entry, dim int) {
 
 // CheckInvariants validates structural invariants; it is used by tests and
 // returns a descriptive error on the first violation found:
-//   - interior entry rectangles are the exact MBRs of their children,
+//   - interior entry rectangles are the exact MBRs of their children
+//     (which implies MBR containment down the whole tree),
 //   - all leaves sit at the same depth (height consistency),
 //   - no node exceeds maxEntries, and non-root nodes are non-empty,
+//   - non-root nodes of incrementally built trees hold at least minEntries
+//     (bulk-loaded trees are exempt: STR legitimately leaves the last node
+//     of a level underfull),
 //   - the recorded size matches the number of reachable leaf entries.
 func (t *Tree) CheckInvariants() error {
 	leafDepth := -1
@@ -384,6 +521,9 @@ func (t *Tree) CheckInvariants() error {
 		}
 		if len(n.entries) == 0 && n != t.root {
 			return errors.New("empty non-root node")
+		}
+		if !t.relaxedMinFill && n != t.root && len(n.entries) < t.minEntries {
+			return fmt.Errorf("node underflow: %d < %d", len(n.entries), t.minEntries)
 		}
 		if n.leaf {
 			if leafDepth == -1 {

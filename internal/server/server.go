@@ -3,11 +3,20 @@
 //
 // Endpoints (request/response bodies are JSON):
 //
-//	POST /aknn    {query|query_id, k, alpha, algo?}                → {results, stats}
-//	POST /rknn    {query|query_id, k, alpha_start, alpha_end, algo?} → {results, stats}
-//	POST /range   {query|query_id, alpha, radius}                  → {results, stats}
-//	GET  /stats   index size + engine lifetime totals
-//	GET  /healthz liveness probe
+//	POST   /aknn         {query|query_id, k, alpha, algo?}                → {results, stats}
+//	POST   /rknn         {query|query_id, k, alpha_start, alpha_end, algo?} → {results, stats}
+//	POST   /range        {query|query_id, alpha, radius}                  → {results, stats}
+//	POST   /objects      {object}                                        → {id, objects}
+//	DELETE /objects/{id}                                                 → {id, objects}
+//	GET    /stats        index size + engine lifetime totals
+//	GET    /healthz      liveness probe
+//
+// The mutation endpoints require a mutable index (in-memory or log-backed);
+// on a read-only index they answer 500. A duplicate insert id or malformed
+// object is the client's fault (400), deleting an id that is not live is
+// 404. Mutations are dispatched through the engine like queries, so they
+// share its worker pool, cancellation and lifetime statistics, and every
+// query in flight during a mutation keeps its consistent snapshot.
 //
 // The query object is given inline ({"points": [{"p": [x, y], "mu": 0.8},
 // ...]}) or as a stored id ({"query_id": 7}; resolving it counts as one
@@ -25,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"fuzzyknn"
 )
@@ -44,6 +54,8 @@ func New(ix *fuzzyknn.Index, eng *fuzzyknn.Engine) *Server {
 	s.mux.HandleFunc("POST /aknn", s.handleAKNN)
 	s.mux.HandleFunc("POST /rknn", s.handleRKNN)
 	s.mux.HandleFunc("POST /range", s.handleRange)
+	s.mux.HandleFunc("POST /objects", s.handleInsert)
+	s.mux.HandleFunc("DELETE /objects/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -93,6 +105,19 @@ type RangeRequest struct {
 	QueryID *uint64     `json:"query_id,omitempty"`
 	Alpha   float64     `json:"alpha"`
 	Radius  float64     `json:"radius"`
+}
+
+// InsertRequest is the body of POST /objects. The object's id must be
+// unique among live objects.
+type InsertRequest struct {
+	Object *ObjectJSON `json:"object"`
+}
+
+// MutationResponse is the body of successful /objects responses: the id
+// acted on and the live object count afterwards.
+type MutationResponse struct {
+	ID      uint64 `json:"id"`
+	Objects int    `json:"objects"`
 }
 
 // ResultJSON is one AKNN or range-search answer.
@@ -241,6 +266,42 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req InsertRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Object == nil {
+		writeError(w, http.StatusBadRequest, errors.New("missing object"))
+		return
+	}
+	obj, err := objectFromJSON(req.Object)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := s.eng.Do(r.Context(), fuzzyknn.BatchRequest{Kind: fuzzyknn.BatchInsertKind, Obj: obj})
+	if resp.Err != nil {
+		writeMutationError(w, resp.Err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, MutationResponse{ID: obj.ID(), Objects: s.ix.Len()})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid object id: %w", err))
+		return
+	}
+	resp := s.eng.Do(r.Context(), fuzzyknn.BatchRequest{Kind: fuzzyknn.BatchDeleteKind, ID: id})
+	if resp.Err != nil {
+		writeMutationError(w, resp.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MutationResponse{ID: id, Objects: s.ix.Len()})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	t := s.eng.Totals()
 	writeJSON(w, http.StatusOK, StatsResponse{
@@ -271,6 +332,15 @@ func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
+// objectFromJSON validates and builds a fuzzy object from its wire form.
+func objectFromJSON(obj *ObjectJSON) (*fuzzyknn.Object, error) {
+	pts := make([]fuzzyknn.WeightedPoint, len(obj.Points))
+	for i, p := range obj.Points {
+		pts[i] = fuzzyknn.WeightedPoint{P: fuzzyknn.Point(p.P), Mu: p.Mu}
+	}
+	return fuzzyknn.NewObject(obj.ID, pts)
+}
+
 // resolveQuery materializes the query object from an inline definition or a
 // stored id. Exactly one of the two must be present.
 func (s *Server) resolveQuery(w http.ResponseWriter, obj *ObjectJSON, id *uint64) (*fuzzyknn.Object, bool) {
@@ -290,11 +360,7 @@ func (s *Server) resolveQuery(w http.ResponseWriter, obj *ObjectJSON, id *uint64
 		}
 		return q, true
 	case obj != nil:
-		pts := make([]fuzzyknn.WeightedPoint, len(obj.Points))
-		for i, p := range obj.Points {
-			pts[i] = fuzzyknn.WeightedPoint{P: fuzzyknn.Point(p.P), Mu: p.Mu}
-		}
-		q, err := fuzzyknn.NewObject(obj.ID, pts)
+		q, err := objectFromJSON(obj)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return nil, false
@@ -312,6 +378,20 @@ func writeQueryError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	if errors.Is(err, fuzzyknn.ErrInvalidQuery) {
 		status = http.StatusBadRequest
+	}
+	writeError(w, status, err)
+}
+
+// writeMutationError maps Insert/Delete failures onto the same taxonomy:
+// invalid or duplicate objects are the client's fault (400), deleting a
+// dead id is 404, a read-only store (server configuration) is a 500.
+func writeMutationError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, fuzzyknn.ErrInvalidQuery), errors.Is(err, fuzzyknn.ErrDuplicate):
+		status = http.StatusBadRequest
+	case errors.Is(err, fuzzyknn.ErrNotFound):
+		status = http.StatusNotFound
 	}
 	writeError(w, status, err)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
@@ -310,3 +311,137 @@ func TestServeConcurrentClients(t *testing.T) {
 }
 
 func ptr[T any](v T) *T { return &v }
+
+// doRequest issues an arbitrary-method JSON request and decodes the reply.
+func doRequest(t *testing.T, method, url string, body, dst any) (status int) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		t.Fatalf("decoding %s %s response: %v", method, url, err)
+	}
+	return resp.StatusCode
+}
+
+// TestServeMutationsEndToEnd inserts an object over HTTP, finds it with a
+// query, deletes it again and checks the taxonomy of every failure mode.
+func TestServeMutationsEndToEnd(t *testing.T) {
+	ts, ix, _ := newTestServer(t)
+
+	// Insert a new object sitting exactly at the query point.
+	ins := InsertRequest{Object: queryJSON(t)}
+	ins.Object.ID = 900
+	var mut MutationResponse
+	if status := doRequest(t, http.MethodPost, ts.URL+"/objects", ins, &mut); status != http.StatusCreated {
+		t.Fatalf("insert status = %d", status)
+	}
+	if mut.ID != 900 || mut.Objects != 7 {
+		t.Fatalf("insert response = %+v", mut)
+	}
+	if ix.Len() != 7 {
+		t.Fatalf("index len = %d", ix.Len())
+	}
+
+	// The new object must answer /aknn as the exact nearest neighbor.
+	var qr QueryResponse
+	if status := postJSON(t, ts.URL+"/aknn", AKNNRequest{Query: queryJSON(t), K: 1, Alpha: 0.5}, &qr); status != http.StatusOK {
+		t.Fatalf("aknn status = %d", status)
+	}
+	if len(qr.Results) != 1 || qr.Results[0].ID != 900 {
+		t.Fatalf("inserted object not served: %+v", qr.Results)
+	}
+
+	// Duplicate insert: client mistake.
+	var er ErrorResponse
+	if status := doRequest(t, http.MethodPost, ts.URL+"/objects", ins, &er); status != http.StatusBadRequest {
+		t.Fatalf("duplicate insert status = %d (%s)", status, er.Error)
+	}
+	// Malformed object (empty points): 400.
+	if status := doRequest(t, http.MethodPost, ts.URL+"/objects",
+		InsertRequest{Object: &ObjectJSON{ID: 901}}, &er); status != http.StatusBadRequest {
+		t.Fatalf("empty object insert status = %d", status)
+	}
+	// Missing object: 400.
+	if status := doRequest(t, http.MethodPost, ts.URL+"/objects", InsertRequest{}, &er); status != http.StatusBadRequest {
+		t.Fatalf("missing object insert status = %d", status)
+	}
+
+	// Delete it.
+	if status := doRequest(t, http.MethodDelete, ts.URL+"/objects/900", nil, &mut); status != http.StatusOK {
+		t.Fatalf("delete status = %d", status)
+	}
+	if mut.ID != 900 || mut.Objects != 6 {
+		t.Fatalf("delete response = %+v", mut)
+	}
+	// Deleting again: 404. Garbage id: 400.
+	if status := doRequest(t, http.MethodDelete, ts.URL+"/objects/900", nil, &er); status != http.StatusNotFound {
+		t.Fatalf("double delete status = %d", status)
+	}
+	if status := doRequest(t, http.MethodDelete, ts.URL+"/objects/banana", nil, &er); status != http.StatusBadRequest {
+		t.Fatalf("garbage id delete status = %d", status)
+	}
+
+	// The query set is back to its original answers.
+	if status := postJSON(t, ts.URL+"/aknn", AKNNRequest{Query: queryJSON(t), K: 1, Alpha: 0.5}, &qr); status != http.StatusOK {
+		t.Fatalf("aknn status = %d", status)
+	}
+	if len(qr.Results) != 1 || qr.Results[0].ID == 900 {
+		t.Fatalf("deleted object still served: %+v", qr.Results)
+	}
+
+	// Mutations are engine requests: they must show up in /stats.
+	var sr StatsResponse
+	if status := doRequest(t, http.MethodGet, ts.URL+"/stats", nil, &sr); status != http.StatusOK {
+		t.Fatalf("stats status = %d", status)
+	}
+	// The successful and duplicate inserts reach the engine; the malformed
+	// ones are rejected at the HTTP layer. Same split for the deletes.
+	if sr.Requests["insert"] != 2 || sr.Requests["delete"] != 2 {
+		t.Fatalf("mutation accounting: %+v", sr.Requests)
+	}
+}
+
+// TestServeMutationsOnReadOnlyIndex pins the 500 answer for mutations
+// against an index whose store has no write side.
+func TestServeMutationsOnReadOnlyIndex(t *testing.T) {
+	dir := t.TempDir()
+	objs := []*fuzzyknn.Object{blob(t, 1, 2, 0), blob(t, 2, 3, 0.5)}
+	path := dir + "/ro.fzs"
+	if err := fuzzyknn.SaveObjects(path, 2, objs); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := fuzzyknn.OpenIndex(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := ix.NewEngine(nil)
+	ts := httptest.NewServer(New(ix, eng))
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+		ix.Close()
+	})
+	ins := InsertRequest{Object: queryJSON(t)}
+	var er ErrorResponse
+	if status := doRequest(t, http.MethodPost, ts.URL+"/objects", ins, &er); status != http.StatusInternalServerError {
+		t.Fatalf("read-only insert status = %d (%s)", status, er.Error)
+	}
+	if status := doRequest(t, http.MethodDelete, ts.URL+"/objects/1", nil, &er); status != http.StatusInternalServerError {
+		t.Fatalf("read-only delete status = %d (%s)", status, er.Error)
+	}
+}

@@ -1,0 +1,381 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"fuzzyknn/internal/fuzzy"
+)
+
+// LogStore is a mutable on-disk store: an append-only log of put and
+// tombstone records. It is the write-side counterpart of the immutable
+// DiskStore format — where DiskStore finalizes a directory and footer once,
+// LogStore recovers its directory by replaying the log on open, so the file
+// is always in a servable state, even right after a crash.
+//
+// File layout (little-endian):
+//
+//	header:  magic "FZKNNLG1" | version u32 | dims u32
+//	record:  kind u8 | length u32 | payload | crc32 u4 (of kind+length+payload)
+//
+// A put record's payload is an encodeObject record; a tombstone's payload is
+// the deleted id (u64). On open, a record cut short at end-of-file is a
+// crash tail: it is discarded and the file truncated to the last complete
+// record. A full-length record with a bad checksum, or a semantically
+// impossible record (duplicate live put, tombstone for a dead id), is
+// corruption and surfaces as ErrCorrupt.
+//
+// Deletes are logical: the payload bytes stay in the file and Get keeps
+// serving the most recent tombstoned version of an id, so index snapshots
+// taken before a delete still resolve their probes. Rewriting the log
+// without dead records (compaction) is future work.
+//
+// All methods are safe for concurrent use; appends are serialized, reads use
+// positioned I/O.
+type LogStore struct {
+	mu     sync.RWMutex
+	f      *os.File
+	dims   int
+	live   map[uint64]dirEntry
+	dead   map[uint64]dirEntry // most recent tombstoned version per id
+	ids    []uint64            // sorted live ids
+	offset int64               // append position
+}
+
+const (
+	logMagic      = "FZKNNLG1"
+	logVersion    = 1
+	logHeaderSize = 8 + 4 + 4
+	logFrameSize  = 1 + 4 // kind + payload length
+	recPut        = byte(1)
+	recTombstone  = byte(2)
+)
+
+// OpenLog opens (or creates) a log store at path. For a new file, dims
+// fixes the store's dimensionality and must be >= 1; for an existing file,
+// dims must be 0 or match the file's header. A trailing partial record —
+// the signature of a crash mid-append — is truncated away; any other
+// inconsistency returns ErrCorrupt.
+func OpenLog(path string, dims int) (*LogStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s, err := openLogFile(f, dims)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func openLogFile(f *os.File, dims int) (*LogStore, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	s := &LogStore{
+		f:    f,
+		live: make(map[uint64]dirEntry),
+		dead: make(map[uint64]dirEntry),
+	}
+	if st.Size() < logHeaderSize {
+		// Empty file, or a partial header left by a crash during creation
+		// (no record can have been committed): (re-)initialize.
+		if dims < 1 {
+			return nil, fmt.Errorf("store: creating a log store needs dims >= 1, got %d", dims)
+		}
+		if st.Size() > 0 {
+			if err := f.Truncate(0); err != nil {
+				return nil, err
+			}
+		}
+		hdr := make([]byte, logHeaderSize)
+		copy(hdr, logMagic)
+		binary.LittleEndian.PutUint32(hdr[8:], logVersion)
+		binary.LittleEndian.PutUint32(hdr[12:], uint32(dims))
+		if _, err := f.WriteAt(hdr, 0); err != nil {
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			return nil, err
+		}
+		s.dims = dims
+		s.offset = logHeaderSize
+		return s, nil
+	}
+
+	hdr := make([]byte, logHeaderSize)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, logHeaderSize), hdr); err != nil {
+		return nil, fmt.Errorf("%w: unreadable log header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:8]) != logMagic {
+		return nil, fmt.Errorf("%w: bad log magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != logVersion {
+		return nil, fmt.Errorf("%w: unsupported log version %d", ErrCorrupt, v)
+	}
+	s.dims = int(binary.LittleEndian.Uint32(hdr[12:]))
+	if s.dims < 1 {
+		return nil, fmt.Errorf("%w: log header dims %d", ErrCorrupt, s.dims)
+	}
+	if dims != 0 && dims != s.dims {
+		return nil, fmt.Errorf("store: log file dims %d, requested %d", s.dims, dims)
+	}
+	if err := s.replay(st.Size()); err != nil {
+		return nil, err
+	}
+	for id := range s.live {
+		s.ids = append(s.ids, id)
+	}
+	sort.Slice(s.ids, func(i, j int) bool { return s.ids[i] < s.ids[j] })
+	return s, nil
+}
+
+// replay scans the records, rebuilding the live/dead directories. A partial
+// record at the very end is a crash tail and gets truncated; everything
+// else must be coherent. Before trusting an apparent crash tail, the frame
+// is cross-checked against its own payload (see checkTailPlausible) so a
+// corrupted length field cannot masquerade as a crash and destroy the valid
+// records behind it.
+func (s *LogStore) replay(size int64) error {
+	pos := int64(logHeaderSize)
+	frame := make([]byte, logFrameSize)
+	for pos < size {
+		if size-pos < logFrameSize {
+			// Less than one frame header: cannot hide a valid record.
+			return s.truncateTail(pos)
+		}
+		if _, err := s.f.ReadAt(frame, pos); err != nil {
+			return fmt.Errorf("%w: unreadable record frame: %v", ErrCorrupt, err)
+		}
+		kind := frame[0]
+		length := int64(binary.LittleEndian.Uint32(frame[1:]))
+		if kind != recPut && kind != recTombstone {
+			return fmt.Errorf("%w: unknown record kind %d at offset %d", ErrCorrupt, kind, pos)
+		}
+		if size-pos < logFrameSize+length+4 {
+			if err := s.checkTailPlausible(kind, length, pos, size); err != nil {
+				return err
+			}
+			return s.truncateTail(pos)
+		}
+		buf := make([]byte, logFrameSize+length+4)
+		if _, err := s.f.ReadAt(buf, pos); err != nil {
+			return fmt.Errorf("%w: unreadable record: %v", ErrCorrupt, err)
+		}
+		body, crcB := buf[:len(buf)-4], buf[len(buf)-4:]
+		if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(crcB) {
+			return fmt.Errorf("%w: log record checksum mismatch at offset %d", ErrCorrupt, pos)
+		}
+		payload := body[logFrameSize:]
+		switch kind {
+		case recPut:
+			// The frame CRC guarantees byte integrity; validate the record's
+			// shape without materializing the object (Get decodes on demand).
+			id, err := checkPutShape(payload, s.dims)
+			if err != nil {
+				return fmt.Errorf("%w: put record at offset %d: %v", ErrCorrupt, pos, err)
+			}
+			if _, isLive := s.live[id]; isLive {
+				return fmt.Errorf("%w: duplicate live put for id %d at offset %d", ErrCorrupt, id, pos)
+			}
+			s.live[id] = dirEntry{id: id, offset: uint64(pos + logFrameSize), length: uint64(length)}
+		case recTombstone:
+			if length != 8 {
+				return fmt.Errorf("%w: tombstone length %d at offset %d", ErrCorrupt, length, pos)
+			}
+			id := binary.LittleEndian.Uint64(payload)
+			e, isLive := s.live[id]
+			if !isLive {
+				return fmt.Errorf("%w: tombstone for non-live id %d at offset %d", ErrCorrupt, id, pos)
+			}
+			delete(s.live, id)
+			s.dead[id] = e
+		}
+		pos += logFrameSize + length + 4
+	}
+	s.offset = pos
+	return nil
+}
+
+// checkPutShape validates a put payload structurally: coherent n/d for the
+// byte count (overflow-safe) and the expected dimensionality. It does not
+// allocate or verify the embedded object CRC — the frame CRC already
+// guarantees the bytes.
+func checkPutShape(payload []byte, dims int) (uint64, error) {
+	if len(payload) < 20 {
+		return 0, fmt.Errorf("payload too short (%d bytes)", len(payload))
+	}
+	id := binary.LittleEndian.Uint64(payload)
+	n := binary.LittleEndian.Uint32(payload[8:])
+	d := binary.LittleEndian.Uint32(payload[12:])
+	if int(d) != dims {
+		return 0, fmt.Errorf("record dims %d, store dims %d", d, dims)
+	}
+	if n == 0 || d == 0 || uint64(n)*(uint64(d)+1) >= 1<<29 {
+		return 0, fmt.Errorf("implausible record shape n=%d d=%d", n, d)
+	}
+	if want := 16 + uint64(n)*(uint64(d)+1)*8 + 4; want != uint64(len(payload)) {
+		return 0, fmt.Errorf("payload length %d, want %d", len(payload), want)
+	}
+	return id, nil
+}
+
+// checkTailPlausible decides whether a record extending past end-of-file
+// is a genuine crash tail (truncation-safe) or evidence of a corrupted
+// length field (which must NOT be truncated — the bytes behind it may be
+// valid, fsync'd records). A crashed append leaves a prefix of the record
+// that was being written, so whatever payload bytes are present must be
+// internally consistent with the frame's claimed length.
+func (s *LogStore) checkTailPlausible(kind byte, length, pos, size int64) error {
+	if kind == recTombstone && length != 8 {
+		return fmt.Errorf("%w: tombstone length %d at offset %d (refusing to truncate)", ErrCorrupt, length, pos)
+	}
+	if kind != recPut {
+		return nil
+	}
+	if length < 20 {
+		return fmt.Errorf("%w: put length %d at offset %d (refusing to truncate)", ErrCorrupt, length, pos)
+	}
+	// With 16+ payload bytes on disk we can read the record's own n and d
+	// and recompute the length the record would have had; a mismatch means
+	// the frame's length field is corrupt, not that the write was cut off.
+	if size-pos < logFrameSize+16 {
+		return nil // too little survived to judge; bounded loss, truncate
+	}
+	hdr := make([]byte, 16)
+	if _, err := s.f.ReadAt(hdr, pos+logFrameSize); err != nil {
+		return fmt.Errorf("%w: unreadable tail record: %v", ErrCorrupt, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[8:])
+	d := binary.LittleEndian.Uint32(hdr[12:])
+	if n == 0 || d == 0 || uint64(n)*(uint64(d)+1) >= 1<<29 ||
+		16+uint64(n)*(uint64(d)+1)*8+4 != uint64(length) {
+		return fmt.Errorf("%w: tail record length %d inconsistent with its shape n=%d d=%d at offset %d (refusing to truncate)",
+			ErrCorrupt, length, n, d, pos)
+	}
+	return nil
+}
+
+// truncateTail discards a partial trailing record left by a crash.
+func (s *LogStore) truncateTail(pos int64) error {
+	if err := s.f.Truncate(pos); err != nil {
+		return err
+	}
+	s.offset = pos
+	return nil
+}
+
+// appendRecord frames, checksums, writes and fsyncs one record at the
+// current end. The fsync is what makes an acknowledged mutation durable —
+// without it a power loss could silently drop the record (reopen would
+// truncate it as a crash tail); batching syncs is future work.
+func (s *LogStore) appendRecord(kind byte, payload []byte) error {
+	buf := make([]byte, logFrameSize+len(payload)+4)
+	buf[0] = kind
+	binary.LittleEndian.PutUint32(buf[1:], uint32(len(payload)))
+	copy(buf[logFrameSize:], payload)
+	crc := crc32.ChecksumIEEE(buf[:len(buf)-4])
+	binary.LittleEndian.PutUint32(buf[len(buf)-4:], crc)
+	if _, err := s.f.WriteAt(buf, s.offset); err != nil {
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	s.offset += int64(len(buf))
+	return nil
+}
+
+// Get implements Reader. The most recent version of a tombstoned id remains
+// readable (see the type comment).
+func (s *LogStore) Get(id uint64) (*fuzzy.Object, error) {
+	s.mu.RLock()
+	e, ok := s.live[id]
+	if !ok {
+		e, ok = s.dead[id]
+	}
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	buf := make([]byte, e.length)
+	if _, err := s.f.ReadAt(buf, int64(e.offset)); err != nil {
+		return nil, fmt.Errorf("%w: read object %d: %v", ErrCorrupt, id, err)
+	}
+	return decodeObject(buf, id, s.dims)
+}
+
+// IDs implements Reader.
+func (s *LogStore) IDs() []uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]uint64(nil), s.ids...)
+}
+
+// Len implements Reader.
+func (s *LogStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.ids)
+}
+
+// Dims implements Reader.
+func (s *LogStore) Dims() int { return s.dims }
+
+// Insert implements Mutator: one durable put record appended to the log.
+func (s *LogStore) Insert(o *fuzzy.Object) error {
+	if o.Dims() != s.dims {
+		return fmt.Errorf("store: object dims %d, store dims %d", o.Dims(), s.dims)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, isLive := s.live[o.ID()]; isLive {
+		return fmt.Errorf("%w: %d", ErrDuplicate, o.ID())
+	}
+	payload := encodeObject(o)
+	offset := uint64(s.offset + logFrameSize)
+	if err := s.appendRecord(recPut, payload); err != nil {
+		return err
+	}
+	s.live[o.ID()] = dirEntry{id: o.ID(), offset: offset, length: uint64(len(payload))}
+	s.ids = insertSortedID(s.ids, o.ID())
+	return nil
+}
+
+// Delete implements Mutator: one tombstone record appended to the log. The
+// payload stays readable through Get for in-flight snapshot queries.
+func (s *LogStore) Delete(id uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, isLive := s.live[id]
+	if !isLive {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	payload := make([]byte, 8)
+	binary.LittleEndian.PutUint64(payload, id)
+	if err := s.appendRecord(recTombstone, payload); err != nil {
+		return err
+	}
+	delete(s.live, id)
+	s.dead[id] = e
+	s.ids = removeSortedID(s.ids, id)
+	return nil
+}
+
+// Sync flushes the file to stable storage. Every append already syncs
+// itself; Sync is defense in depth for callers that bypassed none.
+func (s *LogStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync()
+}
+
+// Close releases the underlying file.
+func (s *LogStore) Close() error { return s.f.Close() }

@@ -20,6 +20,7 @@ import (
 	"math"
 	"os"
 	"sort"
+	"sync"
 
 	"fuzzyknn/internal/fuzzy"
 	"fuzzyknn/internal/geom"
@@ -28,14 +29,41 @@ import (
 // Reader is the read side of an object store. Implementations must be safe
 // for concurrent use by multiple goroutines.
 type Reader interface {
-	// Get returns the object with the given id, or ErrNotFound.
+	// Get returns the object with the given id, or ErrNotFound. Mutable
+	// stores retain deleted payloads (see Mutator), so Get may serve an
+	// object that a later Delete logically removed — this is what lets
+	// queries running against an older index snapshot still resolve their
+	// probes.
 	Get(id uint64) (*fuzzy.Object, error)
-	// IDs returns all stored object ids in ascending order.
+	// IDs returns the live object ids in ascending order.
 	IDs() []uint64
-	// Len returns the number of stored objects.
+	// Len returns the number of live objects.
 	Len() int
 	// Dims returns the dimensionality of stored objects.
 	Dims() int
+}
+
+// Mutator is the write side of an object store: a Reader that also accepts
+// live inserts and deletes. Implementations must be safe for concurrent use
+// and must retain deleted payloads for Get (deletes are logical —
+// tombstones — so snapshot readers keep working; reclaim space with a
+// store-specific Compact once no snapshot can reference the dead objects).
+//
+// Caveat of the versionless Get contract: re-inserting a previously
+// deleted id makes the new payload the one Get serves. A query whose
+// snapshot predates the delete and that races the delete + re-insert pair
+// of one id may therefore probe the successor payload and compute its
+// distances from it. Callers that need exact historical answers should not
+// recycle ids while such queries can be in flight.
+type Mutator interface {
+	Reader
+	// Insert adds a new object. The id must not collide with a live object
+	// (ErrDuplicate) and the dimensionality must match the store's
+	// (non-empty stores only).
+	Insert(o *fuzzy.Object) error
+	// Delete tombstones the object with the given id, or returns
+	// ErrNotFound if it is not live.
+	Delete(id uint64) error
 }
 
 // ErrNotFound is returned by Get for unknown object ids.
@@ -45,6 +73,12 @@ var ErrNotFound = errors.New("store: object not found")
 // truncated records).
 var ErrCorrupt = errors.New("store: corrupt data")
 
+// ErrReadOnly is returned for mutations on stores without a write side.
+var ErrReadOnly = errors.New("store: read-only")
+
+// ErrDuplicate is returned by Insert when the id is already live.
+var ErrDuplicate = errors.New("store: duplicate object id")
+
 const (
 	magic      = "FZKNNST1"
 	version    = 1
@@ -53,20 +87,27 @@ const (
 	dirEntSize = 8 + 8 + 8 // id + offset + length
 )
 
-// MemStore is an in-memory Reader, used by tests and small workloads.
+// MemStore is an in-memory Mutator, used by tests and small workloads.
+// Deletes are logical: the payload stays readable through Get (for index
+// snapshots still referencing it) until Compact reclaims it.
 type MemStore struct {
-	objs map[uint64]*fuzzy.Object
-	ids  []uint64
+	mu   sync.RWMutex
+	objs map[uint64]*fuzzy.Object // live and tombstoned payloads
+	live map[uint64]struct{}
+	ids  []uint64 // sorted live ids
 	dims int
 }
 
 // NewMemStore builds a MemStore over the given objects. Object ids must be
 // unique and dimensionalities consistent.
 func NewMemStore(objs []*fuzzy.Object) (*MemStore, error) {
-	m := &MemStore{objs: make(map[uint64]*fuzzy.Object, len(objs))}
+	m := &MemStore{
+		objs: make(map[uint64]*fuzzy.Object, len(objs)),
+		live: make(map[uint64]struct{}, len(objs)),
+	}
 	for _, o := range objs {
 		if _, dup := m.objs[o.ID()]; dup {
-			return nil, fmt.Errorf("store: duplicate object id %d", o.ID())
+			return nil, fmt.Errorf("%w: %d", ErrDuplicate, o.ID())
 		}
 		if m.dims == 0 {
 			m.dims = o.Dims()
@@ -74,15 +115,18 @@ func NewMemStore(objs []*fuzzy.Object) (*MemStore, error) {
 			return nil, fmt.Errorf("store: mixed dimensionality %d vs %d", o.Dims(), m.dims)
 		}
 		m.objs[o.ID()] = o
+		m.live[o.ID()] = struct{}{}
 		m.ids = append(m.ids, o.ID())
 	}
 	sort.Slice(m.ids, func(i, j int) bool { return m.ids[i] < m.ids[j] })
 	return m, nil
 }
 
-// Get implements Reader.
+// Get implements Reader. Tombstoned payloads remain readable.
 func (m *MemStore) Get(id uint64) (*fuzzy.Object, error) {
+	m.mu.RLock()
 	o, ok := m.objs[id]
+	m.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
 	}
@@ -90,13 +134,88 @@ func (m *MemStore) Get(id uint64) (*fuzzy.Object, error) {
 }
 
 // IDs implements Reader.
-func (m *MemStore) IDs() []uint64 { return m.ids }
+func (m *MemStore) IDs() []uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]uint64(nil), m.ids...)
+}
 
 // Len implements Reader.
-func (m *MemStore) Len() int { return len(m.ids) }
+func (m *MemStore) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.ids)
+}
 
 // Dims implements Reader.
-func (m *MemStore) Dims() int { return m.dims }
+func (m *MemStore) Dims() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.dims
+}
+
+// Insert implements Mutator. An empty store adopts the first object's
+// dimensionality; it stays fixed afterwards, even across deletion of every
+// object.
+func (m *MemStore) Insert(o *fuzzy.Object) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, isLive := m.live[o.ID()]; isLive {
+		return fmt.Errorf("%w: %d", ErrDuplicate, o.ID())
+	}
+	if m.dims == 0 {
+		m.dims = o.Dims()
+	} else if o.Dims() != m.dims {
+		return fmt.Errorf("store: object dims %d, store dims %d", o.Dims(), m.dims)
+	}
+	m.objs[o.ID()] = o
+	m.live[o.ID()] = struct{}{}
+	m.ids = insertSortedID(m.ids, o.ID())
+	return nil
+}
+
+// Delete implements Mutator: the id leaves the live set but its payload
+// stays readable for in-flight snapshot queries.
+func (m *MemStore) Delete(id uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, isLive := m.live[id]; !isLive {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	delete(m.live, id)
+	m.ids = removeSortedID(m.ids, id)
+	return nil
+}
+
+// insertSortedID splices id into the ascending slice.
+func insertSortedID(ids []uint64, id uint64) []uint64 {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	return ids
+}
+
+// removeSortedID splices id out of the ascending slice (no-op if absent).
+func removeSortedID(ids []uint64, id uint64) []uint64 {
+	i := sort.Search(len(ids), func(i int) bool { return ids[i] >= id })
+	if i < len(ids) && ids[i] == id {
+		ids = append(ids[:i], ids[i+1:]...)
+	}
+	return ids
+}
+
+// Compact drops tombstoned payloads. Call it only when no query snapshot
+// taken before the corresponding deletes is still running.
+func (m *MemStore) Compact() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id := range m.objs {
+		if _, isLive := m.live[id]; !isLive {
+			delete(m.objs, id)
+		}
+	}
+}
 
 // Writer streams objects into a store file. Create one with Create, Append
 // objects, then Close to finalize the directory and footer.
@@ -144,7 +263,7 @@ func (w *Writer) Append(o *fuzzy.Object) error {
 		return fmt.Errorf("store: object dims %d, writer dims %d", o.Dims(), w.dims)
 	}
 	if w.seen[o.ID()] {
-		return fmt.Errorf("store: duplicate object id %d", o.ID())
+		return fmt.Errorf("%w: %d", ErrDuplicate, o.ID())
 	}
 	rec := encodeObject(o)
 	if _, err := w.f.Write(rec); err != nil {
@@ -228,6 +347,14 @@ func decodeObject(buf []byte, wantID uint64, wantDims int) (*fuzzy.Object, error
 	}
 	if d != wantDims {
 		return nil, fmt.Errorf("%w: record dims %d, store dims %d", ErrCorrupt, d, wantDims)
+	}
+	// Bound n and d by the bytes actually present before doing arithmetic
+	// with them: the naive size formula overflows int for crafted headers
+	// (e.g. n=2^29, d=2^32-1 wraps to a tiny "want"), which would send the
+	// per-point allocation loop below into gigabytes on a 20-byte record.
+	avail := len(buf) - 20 // bytes available for coords + memberships
+	if d < 1 || d > avail/8 || n < 1 || n > avail/((d+1)*8) {
+		return nil, fmt.Errorf("%w: implausible record shape n=%d d=%d for %d bytes", ErrCorrupt, n, d, len(buf))
 	}
 	if want := 16 + n*d*8 + n*8 + 4; want != len(buf) {
 		return nil, fmt.Errorf("%w: record length %d, want %d", ErrCorrupt, len(buf), want)

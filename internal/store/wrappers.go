@@ -2,6 +2,7 @@ package store
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -31,6 +32,34 @@ func (c *Counting) Count() int64 { return c.n.Load() }
 // Reset zeroes the access counter.
 func (c *Counting) Reset() { c.n.Store(0) }
 
+// asMutator resolves r's write side, or fails with ErrReadOnly.
+func asMutator(r Reader) (Mutator, error) {
+	if m, ok := r.(Mutator); ok {
+		return m, nil
+	}
+	return nil, fmt.Errorf("%w: %T has no write side", ErrReadOnly, r)
+}
+
+// Insert implements Mutator by forwarding to the wrapped store's write side
+// (ErrReadOnly when it has none). Writes are not counted: the paper's cost
+// metric charges object retrievals only.
+func (c *Counting) Insert(o *fuzzy.Object) error {
+	m, err := asMutator(c.Reader)
+	if err != nil {
+		return err
+	}
+	return m.Insert(o)
+}
+
+// Delete implements Mutator by forwarding; see Insert.
+func (c *Counting) Delete(id uint64) error {
+	m, err := asMutator(c.Reader)
+	if err != nil {
+		return err
+	}
+	return m.Delete(id)
+}
+
 // LRU wraps a Reader with a fixed-capacity least-recently-used object cache.
 // It is an extension beyond the paper (which always charges a probe) used by
 // the cache-ablation benchmarks; place it *under* a Counting wrapper to keep
@@ -42,6 +71,7 @@ type LRU struct {
 	mu    sync.Mutex
 	ll    *list.List // front = most recent; values are *lruItem
 	items map[uint64]*list.Element
+	gen   uint64 // bumped by invalidate; stale fetches must not re-cache
 
 	hits, misses atomic.Int64
 }
@@ -74,6 +104,7 @@ func (l *LRU) Get(id uint64) (*fuzzy.Object, error) {
 		l.hits.Add(1)
 		return obj, nil
 	}
+	gen := l.gen
 	l.mu.Unlock()
 	l.misses.Add(1)
 	obj, err := l.inner.Get(id)
@@ -81,7 +112,10 @@ func (l *LRU) Get(id uint64) (*fuzzy.Object, error) {
 		return nil, err
 	}
 	l.mu.Lock()
-	if _, ok := l.items[id]; !ok {
+	// An invalidate between the unlocked fetch and here means obj may be a
+	// superseded version (delete + re-insert of the id); serve it to this
+	// caller but do not cache it.
+	if _, ok := l.items[id]; !ok && l.gen == gen {
 		l.items[id] = l.ll.PushFront(&lruItem{id: id, obj: obj})
 		if l.ll.Len() > l.capacity {
 			victim := l.ll.Back()
@@ -104,3 +138,47 @@ func (l *LRU) Dims() int { return l.inner.Dims() }
 
 // Stats returns cache hits and misses since construction.
 func (l *LRU) Stats() (hits, misses int64) { return l.hits.Load(), l.misses.Load() }
+
+// invalidate drops id from the cache so the next Get refetches it, and
+// bumps the generation so in-flight fetches cannot re-cache a stale copy.
+// The generation is deliberately global rather than per-id: it only
+// suppresses caching for fetches whose microsecond unlock window overlaps
+// a mutation (the next Get of the same id caches normally), which costs
+// far less than tracking per-id generations for every mutated id forever.
+func (l *LRU) invalidate(id uint64) {
+	l.mu.Lock()
+	if el, ok := l.items[id]; ok {
+		l.ll.Remove(el)
+		delete(l.items, id)
+	}
+	l.gen++
+	l.mu.Unlock()
+}
+
+// Insert implements Mutator by forwarding to the wrapped store's write side
+// (ErrReadOnly when it has none), invalidating any cached version of the id.
+func (l *LRU) Insert(o *fuzzy.Object) error {
+	m, err := asMutator(l.inner)
+	if err != nil {
+		return err
+	}
+	if err := m.Insert(o); err != nil {
+		return err
+	}
+	l.invalidate(o.ID())
+	return nil
+}
+
+// Delete implements Mutator by forwarding; the cached version is dropped so
+// a later re-insert of the id cannot serve stale data.
+func (l *LRU) Delete(id uint64) error {
+	m, err := asMutator(l.inner)
+	if err != nil {
+		return err
+	}
+	if err := m.Delete(id); err != nil {
+		return err
+	}
+	l.invalidate(id)
+	return nil
+}
