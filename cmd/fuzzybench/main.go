@@ -1,29 +1,51 @@
 // Command fuzzybench regenerates the paper's evaluation figures as text
-// tables. Each experiment id names one figure panel (fig11a … fig15b) or
-// the §5 cost-model validation (sec5).
+// tables. Each experiment id names one figure panel (fig11a … fig15b), the
+// §5 cost-model validation (sec5), or the sharding comparison (shards).
 //
 // Examples:
 //
 //	fuzzybench -list
 //	fuzzybench -experiment fig11a
+//	fuzzybench -experiment sec5,shards -json BENCH.json
 //	fuzzybench -experiment all -scale paper   # Table 2 scale; slow
+//
+// With -json, the tables are additionally written to the given path in the
+// machine-readable fuzzybench/v1 format (see internal/bench.Report) — the
+// format of the repository's BENCH_*.json perf-trajectory files and of the
+// CI bench artifact. -note attaches one free-form context line per use
+// (repeat the flag for several), e.g. baseline numbers the run is
+// compared to.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"fuzzyknn/internal/bench"
 )
 
+// noteList collects repeated -note flags.
+type noteList []string
+
+func (n *noteList) String() string { return strings.Join(*n, "; ") }
+
+func (n *noteList) Set(v string) error {
+	*n = append(*n, v)
+	return nil
+}
+
 func main() {
+	var notes noteList
 	var (
-		experiment = flag.String("experiment", "all", "experiment id (figNNx, sec5) or 'all'")
+		experiment = flag.String("experiment", "all", "comma-separated experiment ids (figNNx, sec5, shards) or 'all'")
 		scaleName  = flag.String("scale", "small", "workload scale: small | paper")
+		jsonPath   = flag.String("json", "", "also write results as machine-readable JSON to this path")
 		list       = flag.Bool("list", false, "list experiments and exit")
 	)
+	flag.Var(&notes, "note", "context note to embed in the -json report (repeatable)")
 	flag.Parse()
 
 	if *list {
@@ -48,13 +70,16 @@ func main() {
 	if *experiment == "all" {
 		exps = bench.Experiments()
 	} else {
-		e, err := bench.Lookup(*experiment)
-		if err != nil {
-			fatal(err)
+		for _, id := range strings.Split(*experiment, ",") {
+			e, err := bench.Lookup(strings.TrimSpace(id))
+			if err != nil {
+				fatal(err)
+			}
+			exps = append(exps, e)
 		}
-		exps = []bench.Experiment{e}
 	}
 
+	var tables []*bench.Table
 	for i, e := range exps {
 		if i > 0 {
 			fmt.Println()
@@ -68,6 +93,23 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("(completed in %v)\n", time.Since(started).Round(time.Millisecond))
+		tables = append(tables, tbl)
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fatal(err)
+		}
+		report := bench.NewReport(*scaleName, notes, tables)
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "fuzzybench: wrote %s\n", *jsonPath)
 	}
 }
 

@@ -15,6 +15,14 @@
 //
 //	fuzzyserve -demo 2000
 //
+// Any mode can shard the index across N parallel R-trees (queries fan out
+// and merge exactly; /stats reports per-shard depth, size and accesses).
+// A -log index creates one log file per shard and must be reopened with
+// the same -shards value:
+//
+//	fuzzyserve -demo 10000 -shards 4
+//	fuzzyserve -log objects.fzl -dims 2 -shards 4
+//
 // Then query it:
 //
 //	curl -s localhost:8080/aknn -d '{"query_id": 7, "k": 5, "alpha": 0.5}'
@@ -56,6 +64,7 @@ func main() {
 		dims        = flag.Int("dims", 0, "dimensionality when creating a new -log store")
 		summary     = flag.String("summary", "", "index summary file (skips the store scan on open)")
 		cacheSize   = flag.Int("cache", 0, "LRU object cache size (0 = none)")
+		shards      = flag.Int("shards", 1, "hash-partitioned index shards queried in parallel (1 = single tree)")
 		parallelism = flag.Int("parallelism", 0, "max queries executing at once (0 = GOMAXPROCS)")
 		demo        = flag.Int("demo", 0, "serve a generated synthetic dataset of this many objects instead of a store file")
 		demoSeed    = flag.Uint64("demo-seed", 1, "seed for the -demo dataset")
@@ -63,7 +72,7 @@ func main() {
 	)
 	flag.Parse()
 
-	idx, err := openIndex(*storePath, *logPath, *summary, *cacheSize, *dims, *demo, *demoSeed)
+	idx, err := openIndex(*storePath, *logPath, *summary, *cacheSize, *shards, *dims, *demo, *demoSeed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -71,8 +80,8 @@ func main() {
 
 	eng := idx.NewEngine(&fuzzyknn.EngineConfig{Parallelism: *parallelism})
 	defer eng.Close()
-	log.Printf("serving %d objects (%d dims) on %s, parallelism %d",
-		idx.Len(), idx.Dims(), *addr, eng.Parallelism())
+	log.Printf("serving %d objects (%d dims) on %s, shards %d, parallelism %d",
+		idx.Len(), idx.Dims(), *addr, idx.NumShards(), eng.Parallelism())
 
 	srv := &http.Server{Addr: *addr, Handler: server.New(idx, eng)}
 
@@ -99,24 +108,30 @@ func main() {
 
 // openIndex opens the store- or log-backed index, or builds an in-memory
 // synthetic one in -demo mode. Log-backed and demo indexes are mutable.
-func openIndex(storePath, logPath, summary string, cacheSize, dims, demo int, demoSeed uint64) (*fuzzyknn.Index, error) {
+func openIndex(storePath, logPath, summary string, cacheSize, shards, dims, demo int, demoSeed uint64) (*fuzzyknn.Index, error) {
 	modes := 0
 	for _, set := range []bool{storePath != "", logPath != "", demo > 0} {
 		if set {
 			modes++
 		}
 	}
+	cfg := &fuzzyknn.Config{CacheSize: cacheSize, Shards: shards}
 	switch {
 	case modes > 1:
 		return nil, errors.New("give exactly one of -store, -log or -demo")
+	case shards < 1:
+		return nil, errors.New("-shards must be >= 1")
 	case summary != "" && storePath == "":
 		return nil, errors.New("-summary only applies to -store indexes")
+	case summary != "" && shards > 1:
+		return nil, errors.New("-summary requires -shards 1")
 	case dims != 0 && logPath == "":
 		return nil, errors.New("-dims only applies to -log indexes")
 	case storePath != "":
-		return fuzzyknn.OpenIndex(storePath, &fuzzyknn.Config{CacheSize: cacheSize, SummaryFile: summary})
+		cfg.SummaryFile = summary
+		return fuzzyknn.OpenIndex(storePath, cfg)
 	case logPath != "":
-		return fuzzyknn.OpenLogIndex(logPath, dims, &fuzzyknn.Config{CacheSize: cacheSize})
+		return fuzzyknn.OpenLogIndex(logPath, dims, cfg)
 	case demo > 0:
 		p := dataset.Default(dataset.Synthetic)
 		p.N = demo
@@ -125,7 +140,7 @@ func openIndex(storePath, logPath, summary string, cacheSize, dims, demo int, de
 		if err != nil {
 			return nil, err
 		}
-		return fuzzyknn.NewIndex(objs, nil)
+		return fuzzyknn.NewIndex(objs, cfg)
 	default:
 		return nil, fmt.Errorf("missing -store, -log or -demo; run %s -h for usage", os.Args[0])
 	}

@@ -46,7 +46,7 @@ func main() {
 		fatal(err)
 	}
 
-	canvas := viz.New(ix.Tree().Bounds(), *pixels)
+	canvas := viz.New(ix.Bounds(), *pixels)
 
 	// Background objects in gray (capped to keep files manageable).
 	ids := st.IDs()

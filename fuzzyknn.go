@@ -181,6 +181,16 @@ type Config struct {
 	// levels (the future-work variant of §3.2): tighter bounds, more memory
 	// per object. Indexes built this way cannot persist summaries.
 	StaircaseSteps int
+	// Shards, when at least 2, hash-partitions the objects across that many
+	// independent R-trees behind a coordinator that fans every query out in
+	// parallel and merges exactly — same results, byte for byte, as a
+	// single tree over the same objects (AKNN answers always come refined).
+	// Mutations route to the owning shard by id hash. With OpenLogIndex
+	// each shard appends to its own log file ("<path>.shard<i>-of-<n>"), so
+	// an index must be reopened with the same shard count it was created
+	// with. Shards > 1 cannot be combined with SummaryFile. 0 or 1 selects
+	// the single-tree layout.
+	Shards int
 }
 
 func (c *Config) orDefault() Config {
@@ -196,19 +206,87 @@ func (c *Config) orDefault() Config {
 // object population that was live when it started. In-memory indexes
 // (NewIndex) and log-backed indexes (OpenLogIndex) accept mutations;
 // indexes over immutable store files (OpenIndex) are read-only.
+//
+// With Config.Shards > 1 the objects are hash-partitioned across that many
+// independent R-trees and every query fans out in parallel behind the same
+// API; see Config.Shards.
 type Index struct {
-	inner    *query.Index
-	counting *store.Counting
-	closer   io.Closer // non-nil when backed by a file (OpenIndex/OpenLogIndex)
+	inner     query.Searcher
+	single    *query.Index      // non-nil iff unsharded (summary persistence)
+	countings []*store.Counting // per-shard access counters, in shard order
+	closers   []io.Closer       // underlying files (OpenIndex/OpenLogIndex)
 }
 
-// NewIndex builds an in-memory index over the given objects.
+// NewIndex builds an in-memory index over the given objects: one MemStore
+// and tree, or — with cfg.Shards > 1 — one MemStore and tree per shard.
 func NewIndex(objs []*Object, cfg *Config) (*Index, error) {
-	ms, err := store.NewMemStore(objs)
+	c := cfg.orDefault()
+	n := shardCount(c)
+	if n == 1 {
+		ms, err := store.NewMemStore(objs)
+		if err != nil {
+			return nil, fmt.Errorf("fuzzyknn: %w", err)
+		}
+		return buildIndex(ms, nil, c)
+	}
+	if err := checkShardedConfig(c); err != nil {
+		return nil, err
+	}
+	parts := make([][]*Object, n)
+	for _, o := range objs {
+		if o == nil {
+			return nil, fmt.Errorf("fuzzyknn: %w: nil object", ErrInvalidQuery)
+		}
+		s := query.ShardOf(o.ID(), n)
+		parts[s] = append(parts[s], o)
+	}
+	shards := make([]*query.Index, n)
+	countings := make([]*store.Counting, n)
+	for i := range shards {
+		ms, err := store.NewMemStore(parts[i])
+		if err != nil {
+			return nil, fmt.Errorf("fuzzyknn: %w", err)
+		}
+		shards[i], countings[i], err = buildShard(ms, perShardCache(c.CacheSize, n), c, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return assembleSharded(shards, countings, nil)
+}
+
+// shardCount normalizes Config.Shards (0 and 1 are both the single-tree
+// layout).
+func shardCount(c Config) int {
+	if c.Shards > 1 {
+		return c.Shards
+	}
+	return 1
+}
+
+// perShardCache splits a whole-index cache budget across n shards.
+func perShardCache(total, n int) int {
+	if total <= 0 {
+		return 0
+	}
+	return (total + n - 1) / n
+}
+
+// checkShardedConfig rejects options that only make sense on one tree.
+func checkShardedConfig(c Config) error {
+	if c.SummaryFile != "" {
+		return fmt.Errorf("fuzzyknn: Config.SummaryFile requires Shards <= 1")
+	}
+	return nil
+}
+
+// assembleSharded wraps built shards into a public Index.
+func assembleSharded(shards []*query.Index, countings []*store.Counting, closers []io.Closer) (*Index, error) {
+	sx, err := query.NewSharded(shards)
 	if err != nil {
 		return nil, fmt.Errorf("fuzzyknn: %w", err)
 	}
-	return buildIndex(ms, nil, cfg.orDefault())
+	return &Index{inner: sx, countings: countings, closers: closers}, nil
 }
 
 // SaveObjects persists objects into a single store file that OpenIndex can
@@ -221,13 +299,45 @@ func SaveObjects(path string, dims int, objs []*Object) error {
 // over it. Object probes during queries read from disk (optionally through
 // an LRU cache, see Config.CacheSize). The resulting index is read-only
 // (Insert/Delete fail with ErrReadOnly); use OpenLogIndex for a mutable
-// on-disk index. Close the index when done.
+// on-disk index. With cfg.Shards > 1 the single store file serves several
+// trees: each shard indexes its hash partition of the stored objects and
+// counts its own accesses, while probes share one file handle (and one
+// cache). Close the index when done.
 func OpenIndex(path string, cfg *Config) (*Index, error) {
+	c := cfg.orDefault()
 	ds, err := store.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("fuzzyknn: %w", err)
 	}
-	ix, err := buildIndex(ds, ds, cfg.orDefault())
+	n := shardCount(c)
+	if n == 1 {
+		ix, err := buildIndex(ds, ds, c)
+		if err != nil {
+			ds.Close()
+			return nil, err
+		}
+		return ix, nil
+	}
+	if err := checkShardedConfig(c); err != nil {
+		ds.Close()
+		return nil, err
+	}
+	var reader store.Reader = ds
+	if c.CacheSize > 0 {
+		reader = store.NewLRU(reader, c.CacheSize)
+	}
+	shards := make([]*query.Index, n)
+	countings := make([]*store.Counting, n)
+	for i := range shards {
+		i := i
+		keep := func(id uint64) bool { return query.ShardOf(id, n) == i }
+		shards[i], countings[i], err = buildShard(reader, 0, c, keep)
+		if err != nil {
+			ds.Close()
+			return nil, err
+		}
+	}
+	ix, err := assembleSharded(shards, countings, []io.Closer{ds})
 	if err != nil {
 		ds.Close()
 		return nil, err
@@ -240,24 +350,82 @@ func OpenIndex(path string, cfg *Config) (*Index, error) {
 // Delete a tombstone, and reopening replays the log — a file cut short by a
 // crash mid-append recovers by discarding the partial tail. For a new file,
 // dims fixes the dimensionality and must be >= 1; for an existing file it
-// must be 0 or match. Close the index when done.
+// must be 0 or match. With cfg.Shards > 1 every shard owns its own log
+// ("<path>.shard<i>-of-<n>"), so shards replay, append and fsync
+// independently; reopen with the same shard count. Close the index when
+// done.
 func OpenLogIndex(path string, dims int, cfg *Config) (*Index, error) {
-	ls, err := store.OpenLog(path, dims)
-	if err != nil {
-		return nil, fmt.Errorf("fuzzyknn: %w", err)
+	c := cfg.orDefault()
+	n := shardCount(c)
+	if n == 1 {
+		ls, err := store.OpenLog(path, dims)
+		if err != nil {
+			return nil, fmt.Errorf("fuzzyknn: %w", err)
+		}
+		ix, err := buildIndex(ls, ls, c)
+		if err != nil {
+			ls.Close()
+			return nil, err
+		}
+		return ix, nil
 	}
-	ix, err := buildIndex(ls, ls, cfg.orDefault())
-	if err != nil {
-		ls.Close()
+	if err := checkShardedConfig(c); err != nil {
 		return nil, err
+	}
+	shards := make([]*query.Index, n)
+	countings := make([]*store.Counting, n)
+	var closers []io.Closer
+	fail := func(err error) (*Index, error) {
+		for _, cl := range closers {
+			cl.Close()
+		}
+		return nil, err
+	}
+	for i := range shards {
+		ls, err := store.OpenLog(shardLogPath(path, i, n), dims)
+		if err != nil {
+			return fail(fmt.Errorf("fuzzyknn: shard %d: %w", i, err))
+		}
+		closers = append(closers, ls)
+		shards[i], countings[i], err = buildShard(ls, perShardCache(c.CacheSize, n), c, nil)
+		if err != nil {
+			return fail(err)
+		}
+	}
+	ix, err := assembleSharded(shards, countings, closers)
+	if err != nil {
+		return fail(err)
 	}
 	return ix, nil
 }
 
+// shardLogPath names shard i's log file. The shard count is baked into the
+// name so a reopen with a different Shards value finds empty fresh logs
+// instead of silently replaying a wrong partition.
+func shardLogPath(path string, i, n int) string {
+	return fmt.Sprintf("%s.shard%d-of-%d", path, i, n)
+}
+
+// buildIndex assembles the single-tree layout (the pre-sharding code path,
+// kept byte-identical for Shards <= 1).
 func buildIndex(r store.Reader, closer io.Closer, cfg Config) (*Index, error) {
+	inner, counting, err := buildShard(r, cfg.CacheSize, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{inner: inner, single: inner, countings: []*store.Counting{counting}}
+	if closer != nil {
+		ix.closers = []io.Closer{closer}
+	}
+	return ix, nil
+}
+
+// buildShard stacks one shard's readers (optional LRU, then the access
+// counter) and builds its tree over the ids keep admits (nil = all).
+func buildShard(r store.Reader, cacheCap int, cfg Config, keep func(uint64) bool) (*query.Index, *store.Counting, error) {
 	var reader store.Reader = r
-	if cfg.CacheSize > 0 {
-		reader = store.NewLRU(reader, cfg.CacheSize)
+	if cacheCap > 0 {
+		reader = store.NewLRU(reader, cacheCap)
 	}
 	counting := store.NewCounting(reader)
 	opts := query.Options{
@@ -278,29 +446,36 @@ func buildIndex(r store.Reader, closer io.Closer, cfg Config) (*Index, error) {
 	if cfg.SummaryFile != "" {
 		inner, err = query.BuildFromSummaryFile(counting, cfg.SummaryFile, opts)
 	} else {
-		inner, err = query.Build(counting, opts)
+		inner, err = query.BuildFiltered(counting, opts, keep)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("fuzzyknn: %w", err)
+		return nil, nil, fmt.Errorf("fuzzyknn: %w", err)
 	}
 	counting.Reset() // exclude index construction from query accounting
-	return &Index{inner: inner, counting: counting, closer: closer}, nil
+	return inner, counting, nil
 }
 
 // SaveSummaries persists the index's per-object summaries (MBRs,
 // conservative boundary lines, representative points) so a later OpenIndex
-// with Config.SummaryFile can skip the full store scan.
+// with Config.SummaryFile can skip the full store scan. Not supported on
+// sharded indexes (a summary file describes exactly one tree's store).
 func (ix *Index) SaveSummaries(path string) error {
-	return ix.inner.SaveSummaries(path)
+	if ix.single == nil {
+		return fmt.Errorf("fuzzyknn: SaveSummaries requires Shards <= 1")
+	}
+	return ix.single.SaveSummaries(path)
 }
 
-// Close releases the underlying store file, if any. The index must not be
+// Close releases the underlying store files, if any. The index must not be
 // used afterwards. Closing an in-memory index is a no-op.
 func (ix *Index) Close() error {
-	if ix.closer != nil {
-		return ix.closer.Close()
+	var first error
+	for _, c := range ix.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
 	}
-	return nil
+	return first
 }
 
 // Insert adds an object to the index and its store. The object becomes
@@ -331,8 +506,42 @@ func (ix *Index) Len() int { return ix.inner.Len() }
 func (ix *Index) Dims() int { return ix.inner.Dims() }
 
 // TotalObjectAccesses returns the cumulative number of object probes since
-// the index was built (all queries combined).
-func (ix *Index) TotalObjectAccesses() int64 { return ix.counting.Count() }
+// the index was built (all queries combined, summed across shards).
+func (ix *Index) TotalObjectAccesses() int64 {
+	var n int64
+	for _, c := range ix.countings {
+		n += c.Count()
+	}
+	return n
+}
+
+// NumShards returns the number of shards (1 for a single-tree index).
+func (ix *Index) NumShards() int { return len(ix.countings) }
+
+// ShardInfo describes one shard for diagnostics: its live object count,
+// dimensionality, R-tree height and cumulative object accesses.
+type ShardInfo struct {
+	Objects        int
+	Dims           int
+	TreeHeight     int
+	ObjectAccesses int64
+}
+
+// ShardInfo reports per-shard physical state, in shard order (one entry
+// for a single-tree index).
+func (ix *Index) ShardInfo() []ShardInfo {
+	st := ix.inner.Stats()
+	out := make([]ShardInfo, len(st.Shards))
+	for i, s := range st.Shards {
+		out[i] = ShardInfo{
+			Objects:        s.Objects,
+			Dims:           s.Dims,
+			TreeHeight:     s.TreeHeight,
+			ObjectAccesses: ix.countings[i].Count(),
+		}
+	}
+	return out
+}
 
 // AKNN answers the ad-hoc kNN query: the k objects with smallest α-distance
 // to q. Results come ordered by ascending distance. With the lazy-probe
@@ -393,7 +602,7 @@ func KClosestPairs(left, right *Index, k int, alpha float64) ([]JoinPair, Stats,
 // nearest neighbors at threshold α — the reverse kNN query the paper names
 // as future work (§8). Results are ordered by (distance to q, id).
 func (ix *Index) ReverseKNN(q *Object, k int, alpha float64) ([]Result, Stats, error) {
-	return query.ReverseKNN(ix.inner, q, k, alpha)
+	return ix.inner.ReverseKNN(q, k, alpha)
 }
 
 // ExpectedDistKNN ranks objects by the integrated distance ∫₀¹ d_α dα
@@ -401,10 +610,11 @@ func (ix *Index) ReverseKNN(q *Object, k int, alpha float64) ([]Result, Stats, e
 // paper contrasts with its queries (§2.1). Result Dist fields carry the
 // expected distance. This baseline scans every object.
 func (ix *Index) ExpectedDistKNN(q *Object, k int) ([]Result, Stats, error) {
-	return query.ExpectedDistKNN(ix.inner, q, k)
+	return ix.inner.ExpectedDistKNN(q, k)
 }
 
-// Object fetches a stored object by id (counted as an access).
+// Object fetches a stored object by id (counted as an access, charged to
+// the owning shard).
 func (ix *Index) Object(id uint64) (*Object, error) {
-	return ix.counting.Get(id)
+	return ix.countings[query.ShardOf(id, len(ix.countings))].Get(id)
 }

@@ -201,19 +201,19 @@ func MeasureRKNN(e *Env, k int, as, ae float64, algo query.RKNNAlgorithm) (Measu
 
 // Series is one labeled line of a figure.
 type Series struct {
-	Label string
-	Y     []float64
+	Label string    `json:"label"`
+	Y     []float64 `json:"y"`
 }
 
 // Table is one reproduced figure: column headers (the x sweep) and one
-// series per algorithm.
+// series per algorithm. The JSON tags are the fuzzybench -json wire form.
 type Table struct {
-	ID     string
-	Title  string
-	XLabel string
-	X      []string
-	YLabel string
-	Series []Series
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	XLabel string   `json:"x_label"`
+	X      []string `json:"x"`
+	YLabel string   `json:"y_label"`
+	Series []Series `json:"series"`
 }
 
 // AKNNAlgos is the paper's Figure 11/12/15 line-up.
@@ -231,7 +231,7 @@ func RKNNAlgos() []query.RKNNAlgorithm {
 func CostModel(e *Env, k int) analysis.Model {
 	return analysis.DefaultModel(
 		e.Workload.N, k,
-		e.Index.Tree().MaxEntries(),
+		e.Index.Stats().Shards[0].TreeMaxEntries,
 		e.Params.Radius, e.Params.Space,
 	)
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -83,8 +84,66 @@ func TestLookup(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 15 {
-		t.Fatalf("expected 15 experiments (14 figure panels + §5), got %d", len(seen))
+	if len(seen) != 16 {
+		t.Fatalf("expected 16 experiments (14 figure panels + §5 + shards), got %d", len(seen))
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	tbl := &Table{
+		ID: "shards", Title: "demo", XLabel: "layout", X: []string{"shards=1", "shards=4"},
+		YLabel: "qps",
+		Series: []Series{{Label: "batch throughput [qps]", Y: []float64{100, 350}}},
+	}
+	r := NewReport("small", []string{"baseline: abc"}, []*Table{tbl})
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if back.Schema != ReportSchema || back.Scale != "small" || back.GOMAXPROCS < 1 {
+		t.Fatalf("report header = %+v", back)
+	}
+	if len(back.Experiments) != 1 || back.Experiments[0].ID != "shards" ||
+		back.Experiments[0].Series[0].Y[1] != 350 {
+		t.Fatalf("report experiments = %+v", back.Experiments)
+	}
+	if len(back.Notes) != 1 {
+		t.Fatalf("notes = %v", back.Notes)
+	}
+}
+
+// TestShardsExperimentMicro runs the sharding comparison end to end on the
+// micro workload (shrunk via the experiment's own scale plumbing is not
+// possible, so run the measurement helpers directly over tiny indexes).
+func TestShardsExperimentMicro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	ResetCache()
+	defer ResetCache()
+	e, err := Setup(tinyWorkload(dataset.Ideal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, acc, err := measureSerialAKNN(e.Index, e.QueryObj, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LBLPUB may answer tiny workloads with zero probes (pure bound
+	// admission), so only the latency must be positive.
+	if ms <= 0 || acc < 0 {
+		t.Fatalf("serial measurement: %v ms, %v accesses", ms, acc)
+	}
+	qps, err := measureBatchAKNN(e.Index, e.QueryObj, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qps <= 0 {
+		t.Fatalf("qps = %v", qps)
 	}
 }
 

@@ -34,6 +34,7 @@ func Experiments() []Experiment {
 		{"fig15a", "Effect of dataset on AKNN — object access (Fig. 15a)", fig15a},
 		{"fig15b", "Effect of dataset on AKNN — running time (Fig. 15b)", fig15b},
 		{"sec5", "Cost model validation — measured vs. predicted accesses (§5)", sec5},
+		{"shards", "Sharded fan-out vs single tree — latency, accesses, throughput", shardsExp},
 	}
 }
 

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+)
+
+// Report is the machine-readable form of one fuzzybench run — the same
+// tables the text renderer prints, plus enough environment metadata to
+// compare runs across commits. It is what populates the repository's
+// BENCH_*.json perf-trajectory files and the CI bench artifact.
+type Report struct {
+	// Schema versions the wire format.
+	Schema string `json:"schema"`
+	// Scale is the workload scale the run used ("small" or "paper").
+	Scale string `json:"scale"`
+	// GOMAXPROCS records the parallelism available to the run — throughput
+	// numbers are meaningless without it.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// GOOS/GOARCH locate the hardware class.
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	// Notes carries free-form context (e.g. baseline numbers a comparison
+	// was made against).
+	Notes []string `json:"notes,omitempty"`
+	// Experiments holds one table per experiment run, in run order. Each
+	// table's YLabel names its metric (object accesses, running time [ms],
+	// qps, ...).
+	Experiments []*Table `json:"experiments"`
+}
+
+// ReportSchema is the current Report wire-format version.
+const ReportSchema = "fuzzybench/v1"
+
+// NewReport assembles a report over the given tables.
+func NewReport(scale string, notes []string, tables []*Table) *Report {
+	return &Report{
+		Schema:      ReportSchema,
+		Scale:       scale,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Notes:       notes,
+		Experiments: tables,
+	}
+}
+
+// WriteJSON serializes the report, indented for diff-friendly check-in.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,5 +1,6 @@
 // Package engine executes batches of fuzzy-object queries concurrently
-// against one shared query.Index.
+// against one shared query.Searcher — a single-tree query.Index or a
+// sharded query.ShardedIndex; the engine is agnostic.
 //
 // The paper's algorithms are single-query: one traversal of the R-tree, one
 // stats record. Serving workloads — classification back-ends issuing one
@@ -134,7 +135,7 @@ type job struct {
 // Engine is a bounded worker pool over one shared index. Create with New,
 // release with Close.
 type Engine struct {
-	ix          *query.Index
+	ix          query.Searcher
 	jobs        chan job
 	workers     sync.WaitGroup
 	parallelism int
@@ -149,8 +150,9 @@ type Engine struct {
 	totals Totals
 }
 
-// New starts an engine over ix.
-func New(ix *query.Index, opts Options) *Engine {
+// New starts an engine over ix — any Searcher: per-request parallelism
+// (the worker pool) composes with a sharded index's per-query fan-out.
+func New(ix query.Searcher, opts Options) *Engine {
 	p := opts.Parallelism
 	if p < 1 {
 		p = runtime.GOMAXPROCS(0)
@@ -173,7 +175,7 @@ func New(ix *query.Index, opts Options) *Engine {
 }
 
 // Index returns the index the engine executes against.
-func (e *Engine) Index() *query.Index { return e.ix }
+func (e *Engine) Index() query.Searcher { return e.ix }
 
 // Parallelism returns the worker count.
 func (e *Engine) Parallelism() int { return e.parallelism }

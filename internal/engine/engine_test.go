@@ -421,7 +421,7 @@ func TestEngineQueriesDuringMutations(t *testing.T) {
 	if got := env.ix.Len(); got != base+len(inserted) {
 		t.Fatalf("index len = %d, want %d", got, base+len(inserted))
 	}
-	if err := env.ix.Tree().CheckInvariants(); err != nil {
+	if err := env.ix.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 	if queryFailures.Load() != 0 {

@@ -22,11 +22,19 @@ type Result struct {
 	Upper float64 // upper bound d+α (equals Dist when Exact)
 }
 
+// sortResults orders rs by the canonical ascending (Dist, ID) result
+// order (resultLess — the same comparator the cross-shard merge uses).
+// Breaking distance ties by object id (rather than heap pop order) makes
+// outputs byte-identical across runs and across shard layouts.
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool { return resultLess(rs[i], rs[j]) })
+}
+
 // AKNN answers the ad-hoc kNN query (Definition 4): the k objects with the
 // smallest α-distance to q, using the selected algorithm variant. Results
-// are ordered by ascending distance (by ascending lower bound for non-exact
-// results). If the index holds fewer than k objects, all of them are
-// returned.
+// are ordered by ascending (distance, id), taking the lower bound as the
+// distance for non-exact results. If the index holds fewer than k objects,
+// all of them are returned.
 func (ix *Index) AKNN(q *fuzzy.Object, k int, alpha float64, algo AKNNAlgorithm) ([]Result, Stats, error) {
 	start := time.Now()
 	var st Stats
@@ -166,10 +174,14 @@ func (ix *Index) aknn(s *snapshot, q *fuzzy.Object, k int, alpha float64, algo A
 				}
 				continue
 			}
-			// If the buffer's best lower bound precedes everything in H, it
-			// must be resolved before any exact object in H may be emitted.
+			// If the buffer's best lower bound precedes — or ties — the best
+			// of H, it must be resolved before any exact object in H may be
+			// emitted. The tie case matters for determinism: the buffered
+			// entry could hide an equal-distance object with a smaller id,
+			// which must then win the (distance, id) ranking through the
+			// heap's id tiebreak rather than lose to pop order.
 			j := bufferMin()
-			if buffer[j].lower < hKey {
+			if buffer[j].lower <= hKey {
 				g := buffer[j]
 				buffer = append(buffer[:j], buffer[j+1:]...)
 				d, err := probe(g.item)
@@ -221,6 +233,10 @@ func (ix *Index) aknn(s *snapshot, q *fuzzy.Object, k int, alpha float64, algo A
 			}
 		}
 	}
+	// Results were appended in best-first emission order, which already
+	// ascends by distance; the final sort only re-ranks equal-distance
+	// neighbors by id so the output is deterministic.
+	sortResults(results)
 	return results, probed, nil
 }
 
@@ -302,12 +318,7 @@ func (ix *Index) Refine(q *fuzzy.Object, alpha float64, rs []Result) ([]Result, 
 		d := fuzzy.AlphaDist(obj, q, alpha)
 		out[i] = Result{ID: out[i].ID, Dist: d, Exact: true, Lower: d, Upper: d}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].ID < out[j].ID
-	})
+	sortResults(out)
 	return out, st, nil
 }
 
@@ -333,12 +344,7 @@ func (ix *Index) RangeSearch(q *fuzzy.Object, alpha, radius float64) ([]Result, 
 	for id, d := range dists {
 		results = append(results, Result{ID: id, Dist: d, Exact: true, Lower: d, Upper: d})
 	}
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Dist != results[j].Dist {
-			return results[i].Dist < results[j].Dist
-		}
-		return results[i].ID < results[j].ID
-	})
+	sortResults(results)
 	st.Duration = time.Since(started)
 	return results, st, nil
 }

@@ -68,7 +68,7 @@ func TestInsertDeleteBasics(t *testing.T) {
 	if err := ix.Insert(threeD); !errors.Is(err, ErrInvalidArgument) {
 		t.Fatalf("mismatched dims insert: %v", err)
 	}
-	if err := ix.Tree().CheckInvariants(); err != nil {
+	if err := ix.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -162,7 +162,7 @@ func TestSnapshotIsolation(t *testing.T) {
 	rng := rand.New(rand.NewPCG(33, 1))
 	objs := makeObjects(rng, 40, 10, 12, 8)
 	ix := buildIndex(t, objs, Options{MinEntries: 2, MaxEntries: 6})
-	before := ix.Tree()
+	before := ix.treeForTest()
 
 	for i := 0; i < 20; i++ {
 		if _, err := ix.Delete(objs[i].ID()); err != nil {
@@ -185,7 +185,7 @@ func TestSnapshotIsolation(t *testing.T) {
 	if ix.Len() != 30 {
 		t.Fatalf("live Len = %d", ix.Len())
 	}
-	if err := ix.Tree().CheckInvariants(); err != nil {
+	if err := ix.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -259,7 +259,7 @@ func TestConcurrentQueriesDuringMutation(t *testing.T) {
 	for err := range errs {
 		t.Errorf("query during mutation: %v", err)
 	}
-	if err := ix.Tree().CheckInvariants(); err != nil {
+	if err := ix.CheckInvariants(); err != nil {
 		t.Fatal(err)
 	}
 	if ix.Len() != len(live) {

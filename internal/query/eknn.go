@@ -15,22 +15,41 @@ import (
 // so applications can compare the two semantics; there is no index
 // acceleration (the expected distance needs the full profile of every
 // object, so the scan probes everything).
-func ExpectedDistKNN(ix *Index, q *fuzzy.Object, k int) ([]Result, Stats, error) {
+func (ix *Index) ExpectedDistKNN(q *fuzzy.Object, k int) ([]Result, Stats, error) {
 	started := time.Now()
 	var st Stats
 	s := ix.read()
 	if err := ix.validateQuery(s, q, k, 1); err != nil {
 		return nil, st, err
 	}
+	out, err := ix.expectedDistTopK(s, q, k, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Duration = time.Since(started)
+	return out, st, nil
+}
+
+// ExpectedDistKNN is the package-level form of Index.ExpectedDistKNN, kept
+// for callers holding a concrete *Index.
+func ExpectedDistKNN(ix *Index, q *fuzzy.Object, k int) ([]Result, Stats, error) {
+	return ix.ExpectedDistKNN(q, k)
+}
+
+// expectedDistTopK scans one snapshot's population and returns its local
+// top k by (expected distance, id). Because the per-tree ranking is exact,
+// a sharded coordinator can merge the shard-local top-k lists into the
+// global answer without further probes.
+func (ix *Index) expectedDistTopK(s *snapshot, q *fuzzy.Object, k int, st *Stats) ([]Result, error) {
 	type cand struct {
 		id uint64
 		e  float64
 	}
 	var cands []cand
 	for _, id := range s.leafIDs() {
-		obj, err := ix.getObject(id, &st)
+		obj, err := ix.getObject(id, st)
 		if err != nil {
-			return nil, st, err
+			return nil, err
 		}
 		st.ProfilesBuilt++
 		e := fuzzy.ComputeProfile(obj, q).Integrate()
@@ -49,6 +68,5 @@ func ExpectedDistKNN(ix *Index, q *fuzzy.Object, k int) ([]Result, Stats, error)
 	for i, c := range cands {
 		out[i] = Result{ID: c.id, Dist: c.e, Exact: true, Lower: c.e, Upper: c.e}
 	}
-	st.Duration = time.Since(started)
-	return out, st, nil
+	return out, nil
 }

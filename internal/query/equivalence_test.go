@@ -64,7 +64,7 @@ func (s *equivState) churn(ops int) {
 			s.live = s.live[:len(s.live)-1]
 		}
 		if op%50 == 0 || op == ops-1 {
-			if err := s.ix.Tree().CheckInvariants(); err != nil {
+			if err := s.ix.CheckInvariants(); err != nil {
 				s.t.Fatalf("churn op %d: %v", op, err)
 			}
 			if s.ix.Len() != len(s.live) {
@@ -151,7 +151,7 @@ func (s *equivState) assertAllEquivalent(label string, queries int) {
 func TestCrossVariantEquivalenceUnderChurn(t *testing.T) {
 	for _, seed := range []uint64{1, 7, 23} {
 		s := newEquivState(t, seed, 50)
-		if err := s.ix.Tree().CheckInvariants(); err != nil {
+		if err := s.ix.CheckInvariants(); err != nil {
 			t.Fatal(err)
 		}
 		s.assertAllEquivalent("fresh", 2)
@@ -169,7 +169,7 @@ func TestCrossVariantEquivalenceUnderChurn(t *testing.T) {
 			s.live[i] = s.live[len(s.live)-1]
 			s.live = s.live[:len(s.live)-1]
 		}
-		if err := s.ix.Tree().CheckInvariants(); err != nil {
+		if err := s.ix.CheckInvariants(); err != nil {
 			t.Fatal(err)
 		}
 		s.assertAllEquivalent("drained", 1)

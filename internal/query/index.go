@@ -99,6 +99,14 @@ type Stats struct {
 	Duration       time.Duration // wall time of the public call
 }
 
+// addParallel accumulates a concurrently executed sub-query's stats into
+// st, excluding Duration: work that overlapped in time must not inflate
+// the coordinator's wall clock, which the caller stamps once at the end.
+func addParallel(st *Stats, o Stats) {
+	o.Duration = 0
+	st.Add(o)
+}
+
 // Add accumulates o into s (Duration included).
 func (s *Stats) Add(o Stats) {
 	s.ObjectAccesses += o.ObjectAccesses
@@ -220,9 +228,22 @@ func newIndex(tree *rtree.Tree, st store.Reader, opts Options) *Index {
 // Build scans the store once, computes each object's summary and assembles
 // the R-tree (STR bulk load by default).
 func Build(st store.Reader, opts Options) (*Index, error) {
+	return BuildFiltered(st, opts, nil)
+}
+
+// BuildFiltered is Build restricted to the store's ids for which keep
+// returns true (nil keeps everything). It is how one shard of a
+// hash-partitioned index is built over a store shared by all shards: each
+// shard keeps exactly the ids ShardOf assigns to it.
+func BuildFiltered(st store.Reader, opts Options, keep func(uint64) bool) (*Index, error) {
 	opts = opts.withDefaults()
 	estimator := resolveEstimator(opts)
-	ids := st.IDs()
+	var ids []uint64
+	for _, id := range st.IDs() {
+		if keep == nil || keep(id) {
+			ids = append(ids, id)
+		}
+	}
 	items := make([]rtree.BulkItem, 0, len(ids))
 	for _, id := range ids {
 		obj, err := st.Get(id)
@@ -258,10 +279,31 @@ func (ix *Index) Dims() int { return ix.read().dims }
 // Store exposes the underlying reader (e.g. to fetch result objects).
 func (ix *Index) Store() store.Reader { return ix.store }
 
-// Tree exposes the current R-tree snapshot for diagnostics and tests. The
-// returned tree is immutable; a later Insert/Delete publishes a successor
-// rather than changing it.
-func (ix *Index) Tree() *rtree.Tree { return ix.read().tree }
+// Bounds returns the minimum bounding rectangle of the current snapshot's
+// objects (the zero Rect when empty).
+func (ix *Index) Bounds() geom.Rect { return ix.read().tree.Bounds() }
+
+// CheckInvariants verifies the current snapshot's R-tree structure (entry
+// counts, MBR containment, uniform leaf depth); see rtree.CheckInvariants.
+func (ix *Index) CheckInvariants() error { return ix.read().tree.CheckInvariants() }
+
+// Stats reports the index's physical layout: a plain Index is one shard.
+func (ix *Index) Stats() IndexStats {
+	s := ix.read()
+	sh := ShardStats{
+		Objects:        s.tree.Len(),
+		Dims:           s.dims,
+		TreeHeight:     s.tree.Height(),
+		TreeMaxEntries: s.tree.MaxEntries(),
+	}
+	return IndexStats{Objects: sh.Objects, Dims: sh.Dims, Shards: []ShardStats{sh}}
+}
+
+// treeForTest exposes the live snapshot's tree to in-package tests. The
+// tree is shared, not a copy: callers must treat it as read-only — mutating
+// it would corrupt the published snapshot under concurrent readers. (The
+// old exported Tree() accessor was removed for exactly that reason.)
+func (ix *Index) treeForTest() *rtree.Tree { return ix.read().tree }
 
 // Insert adds obj to the store and the index. The new object is visible to
 // queries that start after Insert returns; queries already in flight
@@ -355,11 +397,17 @@ func badArgf(format string, args ...any) error {
 // but empty store, or a populated-then-drained dynamic index) rejects
 // mismatched query objects consistently.
 func (ix *Index) validateQuery(s *snapshot, q *fuzzy.Object, k int, alphas ...float64) error {
+	return validateArgs(s.dims, q, k, alphas...)
+}
+
+// validateArgs is the shared argument check behind validateQuery, also used
+// by the sharded coordinator (whose dimensionality spans shards).
+func validateArgs(dims int, q *fuzzy.Object, k int, alphas ...float64) error {
 	if q == nil {
 		return badArgf("query: nil query object")
 	}
-	if s.dims != 0 && q.Dims() != s.dims {
-		return badArgf("query: query dims %d, index dims %d", q.Dims(), s.dims)
+	if dims != 0 && q.Dims() != dims {
+		return badArgf("query: query dims %d, index dims %d", q.Dims(), dims)
 	}
 	if k < 1 {
 		return badArgf("query: k must be >= 1, got %d", k)

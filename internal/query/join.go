@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"fuzzyknn/internal/fuzzy"
@@ -25,6 +26,13 @@ import (
 //
 // Both support self-joins (left == right), in which case each unordered
 // pair is reported once with LeftID < RightID.
+//
+// Sharded indexes join by fan-out: every (left shard, right shard) tree
+// pair runs the single-tree algorithm concurrently and the per-pair
+// results are merged. Shard partitions are disjoint, so the union over
+// tree pairs is exact; a self-join over n shards decomposes into n
+// self-pairs plus n(n−1)/2 cross pairs, each unordered pair appearing in
+// exactly one of them.
 
 // JoinPair is one result pair of a join query.
 type JoinPair struct {
@@ -32,24 +40,132 @@ type JoinPair struct {
 	Dist            float64
 }
 
+// sortPairs orders ps by (Dist, LeftID, RightID) in place — the canonical
+// join result order.
+func sortPairs(ps []JoinPair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Dist != ps[j].Dist {
+			return ps[i].Dist < ps[j].Dist
+		}
+		if ps[i].LeftID != ps[j].LeftID {
+			return ps[i].LeftID < ps[j].LeftID
+		}
+		return ps[i].RightID < ps[j].RightID
+	})
+}
+
+// treePair is one unit of join fan-out: a pair of single-tree indexes,
+// each pinned to the snapshot read once at query start — so every pair a
+// shard participates in sees the same population even under concurrent
+// mutation. self marks a same-tree pair (dedup inside the traversal);
+// normalize marks a cross-shard pair of a self-join, whose pairs must be
+// ordered LeftID < RightID.
+type treePair struct {
+	left, right     *Index
+	sl, sr          *snapshot
+	self, normalize bool
+}
+
+// joinPairs decomposes a (possibly sharded) join into single-tree pairs
+// over per-shard snapshots pinned exactly once.
+func joinPairs(ls, rs []*Index, selfJoin bool) []treePair {
+	lsnaps := make([]*snapshot, len(ls))
+	for i, ix := range ls {
+		lsnaps[i] = ix.read()
+	}
+	var tasks []treePair
+	if selfJoin {
+		for i := range ls {
+			tasks = append(tasks, treePair{left: ls[i], right: ls[i], sl: lsnaps[i], sr: lsnaps[i], self: true})
+			for j := i + 1; j < len(ls); j++ {
+				tasks = append(tasks, treePair{left: ls[i], right: ls[j], sl: lsnaps[i], sr: lsnaps[j], normalize: true})
+			}
+		}
+		return tasks
+	}
+	rsnaps := make([]*snapshot, len(rs))
+	for j, ix := range rs {
+		rsnaps[j] = ix.read()
+	}
+	for i := range ls {
+		for j := range rs {
+			tasks = append(tasks, treePair{left: ls[i], right: rs[j], sl: lsnaps[i], sr: rsnaps[j]})
+		}
+	}
+	return tasks
+}
+
+// runJoinPairs executes one join worker per tree pair concurrently and
+// merges results and stats (first error wins). Worker outputs are
+// normalized (self-join cross pairs swapped to LeftID < RightID) but not
+// yet sorted.
+func runJoinPairs(tasks []treePair, worker func(treePair) ([]JoinPair, Stats, error)) ([]JoinPair, Stats, error) {
+	outs := make([][]JoinPair, len(tasks))
+	stats := make([]Stats, len(tasks))
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	for i, tk := range tasks {
+		wg.Add(1)
+		go func(i int, tk treePair) {
+			defer wg.Done()
+			outs[i], stats[i], errs[i] = worker(tk)
+		}(i, tk)
+	}
+	wg.Wait()
+	var st Stats
+	var all []JoinPair
+	for i := range tasks {
+		if errs[i] != nil {
+			return nil, st, errs[i]
+		}
+		addParallel(&st, stats[i])
+		if tasks[i].normalize {
+			for j := range outs[i] {
+				if outs[i][j].LeftID > outs[i][j].RightID {
+					outs[i][j].LeftID, outs[i][j].RightID = outs[i][j].RightID, outs[i][j].LeftID
+				}
+			}
+		}
+		all = append(all, outs[i]...)
+	}
+	return all, st, nil
+}
+
 // DistanceJoin returns every pair (a ∈ left, b ∈ right) with
 // d_α(a, b) ≤ eps, ordered by (Dist, LeftID, RightID). Objects are probed
-// at most once per side; Stats.ObjectAccesses counts probes on both sides.
-func DistanceJoin(left, right *Index, alpha, eps float64) ([]JoinPair, Stats, error) {
+// at most once per side per tree pair; Stats.ObjectAccesses counts probes
+// on both sides. Pass the same index twice for a self-join; each unordered
+// pair is then reported once.
+func DistanceJoin(left, right Searcher, alpha, eps float64) ([]JoinPair, Stats, error) {
 	started := time.Now()
 	var st Stats
-	selfJoin := left == right
-	sl, sr := joinSnapshots(left, right)
-	if err := validateJoin(left, right, sl, sr, alpha); err != nil {
+	ls, rs, selfJoin, err := joinSides(left, right, alpha)
+	if err != nil {
 		return nil, st, err
 	}
 	if eps < 0 || math.IsNaN(eps) {
 		return nil, st, fmt.Errorf("query: join epsilon must be non-negative, got %v", eps)
 	}
+	out, st, err := runJoinPairs(joinPairs(ls, rs, selfJoin), func(tk treePair) ([]JoinPair, Stats, error) {
+		return distanceJoinTrees(tk, alpha, eps)
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	sortPairs(out)
+	st.Duration = time.Since(started)
+	return out, st, nil
+}
+
+// distanceJoinTrees is the single-tree-pair ε-join worker.
+func distanceJoinTrees(tk treePair, alpha, eps float64) ([]JoinPair, Stats, error) {
+	var st Stats
+	left, right := tk.left, tk.right
+	sl, sr, selfPair := tk.sl, tk.sr, tk.self
 
 	leftObjs := make(map[uint64]*fuzzy.Object)
 	rightObjs := leftObjs
-	if !selfJoin {
+	if left != right {
 		rightObjs = make(map[uint64]*fuzzy.Object)
 	}
 	probe := func(ix *Index, cache map[uint64]*fuzzy.Object, it *leafItem) (*fuzzy.Object, error) {
@@ -101,7 +217,7 @@ func DistanceJoin(left, right *Index, alpha, eps float64) ([]JoinPair, Stats, er
 				ra := ia.approx.EstimateMBR(alpha)
 				for _, eb := range b.Entries() {
 					ib := eb.Data.(*leafItem)
-					if selfJoin && ia.id >= ib.id {
+					if selfPair && ia.id >= ib.id {
 						continue // each unordered pair once; no self-pairs
 					}
 					if geom.MinDist(ra, ib.approx.EstimateMBR(alpha)) > eps {
@@ -129,16 +245,6 @@ func DistanceJoin(left, right *Index, alpha, eps float64) ([]JoinPair, Stats, er
 			return nil, st, err
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		if out[i].LeftID != out[j].LeftID {
-			return out[i].LeftID < out[j].LeftID
-		}
-		return out[i].RightID < out[j].RightID
-	})
-	st.Duration = time.Since(started)
 	return out, st, nil
 }
 
@@ -150,32 +256,40 @@ func nodeBounds(n *rtree.Node) geom.Rect {
 	return r
 }
 
-// joinSnapshots loads one consistent snapshot per side; a self-join shares
-// a single snapshot so both sides see the same population.
-func joinSnapshots(left, right *Index) (*snapshot, *snapshot) {
+// joinSides validates a join's arguments and decomposes both sides into
+// their single-tree shards.
+func joinSides(left, right Searcher, alphas ...float64) (ls, rs []*Index, selfJoin bool, err error) {
 	if left == nil || right == nil {
-		return nil, nil
+		return nil, nil, false, fmt.Errorf("query: nil index in join")
 	}
-	sl := left.read()
-	if left == right {
-		return sl, sl
+	ls, err = shardTrees(left)
+	if err != nil {
+		return nil, nil, false, err
 	}
-	return sl, right.read()
-}
-
-func validateJoin(left, right *Index, sl, sr *snapshot, alphas ...float64) error {
-	if left == nil || right == nil {
-		return fmt.Errorf("query: nil index in join")
+	rs, err = shardTrees(right)
+	if err != nil {
+		return nil, nil, false, err
 	}
-	if sl.dims != 0 && sr.dims != 0 && sl.dims != sr.dims {
-		return fmt.Errorf("query: join dims %d vs %d", sl.dims, sr.dims)
+	if ld, rd := left.Dims(), right.Dims(); ld != 0 && rd != 0 && ld != rd {
+		return nil, nil, false, fmt.Errorf("query: join dims %d vs %d", ld, rd)
 	}
 	for _, a := range alphas {
 		if !(a > 0 && a <= 1) {
-			return fmt.Errorf("query: alpha must be in (0, 1], got %v", a)
+			return nil, nil, false, fmt.Errorf("query: alpha must be in (0, 1], got %v", a)
 		}
 	}
-	return nil
+	return ls, rs, left == right, nil
+}
+
+// shardTrees returns the single-tree indexes behind a Searcher.
+func shardTrees(s Searcher) ([]*Index, error) {
+	switch v := s.(type) {
+	case *Index:
+		return []*Index{v}, nil
+	case *ShardedIndex:
+		return v.shards, nil
+	}
+	return nil, fmt.Errorf("query: join over unsupported index type %T", s)
 }
 
 // pair-queue element kinds for KClosestPairs: a pair of entries, each
@@ -191,7 +305,7 @@ type pairItem struct {
 	exact bool
 	a, b  pairSide
 	dist  float64 // for exact pairs
-	seq   uint64  // FIFO tiebreak for determinism
+	seq   uint64  // FIFO tiebreak for unresolved entries
 }
 
 type pairQueue []pairItem
@@ -205,6 +319,15 @@ func (p pairQueue) Less(i, j int) bool {
 	if p[i].exact != p[j].exact {
 		return !p[i].exact
 	}
+	// Exact pairs at equal distance emit in (LeftID, RightID) order so the
+	// k-th slot is deterministic under ties; unresolved entries keep FIFO
+	// order (their expansion order cannot change the result set).
+	if p[i].exact {
+		if l, r := p[i].a.item.id, p[j].a.item.id; l != r {
+			return l < r
+		}
+		return p[i].b.item.id < p[j].b.item.id
+	}
 	return p[i].seq < p[j].seq
 }
 func (p pairQueue) Swap(i, j int) { p[i], p[j] = p[j], p[i] }
@@ -212,27 +335,47 @@ func (p *pairQueue) Push(x any)   { *p = append(*p, x.(pairItem)) }
 func (p *pairQueue) Pop() any     { old := *p; it := old[len(old)-1]; *p = old[:len(old)-1]; return it }
 
 // KClosestPairs returns the k pairs (a ∈ left, b ∈ right) with the smallest
-// α-distances, ordered ascending — the fuzzy-object version of the k
-// closest pair query. Fewer than k pairs are returned when the data admits
-// fewer (including self-joins on small sets).
-func KClosestPairs(left, right *Index, k int, alpha float64) ([]JoinPair, Stats, error) {
+// α-distances, ordered by (Dist, LeftID, RightID) — the fuzzy-object
+// version of the k closest pair query. Fewer than k pairs are returned
+// when the data admits fewer (including self-joins on small sets).
+func KClosestPairs(left, right Searcher, k int, alpha float64) ([]JoinPair, Stats, error) {
 	started := time.Now()
 	var st Stats
-	selfJoin := left == right
-	sl, sr := joinSnapshots(left, right)
-	if err := validateJoin(left, right, sl, sr, alpha); err != nil {
+	ls, rs, selfJoin, err := joinSides(left, right, alpha)
+	if err != nil {
 		return nil, st, err
 	}
 	if k < 1 {
 		return nil, st, fmt.Errorf("query: k must be >= 1, got %d", k)
 	}
+	out, st, err := runJoinPairs(joinPairs(ls, rs, selfJoin), func(tk treePair) ([]JoinPair, Stats, error) {
+		return kClosestPairsTrees(tk, k, alpha)
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	// Each tree pair contributed its local k best; the global k best live
+	// in that union.
+	sortPairs(out)
+	if len(out) > k {
+		out = out[:k]
+	}
+	st.Duration = time.Since(started)
+	return out, st, nil
+}
+
+// kClosestPairsTrees is the single-tree-pair k-closest-pairs worker.
+func kClosestPairsTrees(tk treePair, k int, alpha float64) ([]JoinPair, Stats, error) {
+	var st Stats
+	left, right := tk.left, tk.right
+	sl, sr, selfPair := tk.sl, tk.sr, tk.self
 	if sl.tree.Len() == 0 || sr.tree.Len() == 0 {
 		return nil, st, nil
 	}
 
 	leftObjs := make(map[uint64]*fuzzy.Object)
 	rightObjs := leftObjs
-	if !selfJoin {
+	if left != right {
 		rightObjs = make(map[uint64]*fuzzy.Object)
 	}
 	probe := func(ix *Index, cache map[uint64]*fuzzy.Object, it *leafItem) (*fuzzy.Object, error) {
@@ -285,7 +428,7 @@ func KClosestPairs(left, right *Index, k int, alpha float64) ([]JoinPair, Stats,
 		case e.a.node == nil && e.b.node == nil:
 			// Leaf-leaf: evaluate the exact α-distance.
 			ia, ib := e.a.item, e.b.item
-			if selfJoin && ia.id >= ib.id {
+			if selfPair && ia.id >= ib.id {
 				continue
 			}
 			oa, err := probe(left, leftObjs, ia)
@@ -298,6 +441,14 @@ func KClosestPairs(left, right *Index, k int, alpha float64) ([]JoinPair, Stats,
 			}
 			st.DistanceEvals++
 			d := fuzzy.AlphaDist(oa, ob, alpha)
+			// Cross-shard pairs of a self-join are stored with the smaller
+			// id on the left BEFORE entering the heap: the local top-k cut
+			// truncates equal-distance pairs in heap order, which must be
+			// the canonical (LeftID, RightID) order or a tie at the k-th
+			// slot could keep a different pair than the single tree would.
+			if tk.normalize && ia.id > ib.id {
+				e.a, e.b = e.b, e.a
+			}
 			push(pairItem{key: d, exact: true, a: e.a, b: e.b, dist: d})
 
 		default:
@@ -317,6 +468,5 @@ func KClosestPairs(left, right *Index, k int, alpha float64) ([]JoinPair, Stats,
 			}
 		}
 	}
-	st.Duration = time.Since(started)
 	return results, st, nil
 }

@@ -1,0 +1,243 @@
+package query
+
+import (
+	"math"
+	"sync"
+
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/geom"
+)
+
+// Cross-shard AKNN: every shard contributes an incremental best-first
+// stream of its objects in exact (α-distance, id) order, and the
+// coordinator k-way-merges the streams. The paper's §3 lower bounds carry
+// across shards unchanged: a cursor's queue head key lower-bounds the
+// distance of everything the shard has not yet emitted, so the coordinator
+// simply never pulls a shard whose bound exceeds the best buffered
+// candidate — the shard's subtrees beyond that bound are never probed,
+// which keeps total object accesses close to a single tree over the union.
+
+// nnCursor incrementally enumerates one shard snapshot's objects in exact
+// ascending (α-distance, id) order. It is the streaming form of the
+// Basic/LB search (§3.1–3.2): nodes expand by MinDist, leaf entries are
+// probed when they reach the queue head, and probed objects re-enter the
+// queue keyed by exact distance. The pqueue's (key, kind, id) ordering
+// guarantees that when an object pops, every entry that could still yield
+// an equal-or-smaller (distance, id) has already been resolved — so the
+// emission order is exact and deterministic.
+//
+// Lazy probing (§3.3) is deliberately not streamed: its admission rule is
+// only sound relative to one tree's own top-k budget, which a cross-shard
+// merge does not have. Cursors therefore always resolve exact distances;
+// the algo variant only selects the leaf-entry lower bound (support MBR
+// for Basic, the §3.2 conservative boundary MBR otherwise).
+type nnCursor struct {
+	ix    *Index
+	q     *fuzzy.Object
+	mq    geom.Rect
+	alpha float64
+	useLB bool
+	h     *bestFirstQueue
+	st    Stats
+}
+
+// newNNCursor opens a stream over one shard snapshot.
+func newNNCursor(ix *Index, s *snapshot, q *fuzzy.Object, alpha float64, useLB bool) *nnCursor {
+	c := &nnCursor{
+		ix:    ix,
+		q:     q,
+		mq:    q.MBR(alpha),
+		alpha: alpha,
+		useLB: useLB,
+		h:     newBestFirstQueue(),
+	}
+	if root := s.tree.Root(); len(root.Entries()) > 0 {
+		c.h.Push(pqItem{key: geom.MinDist(c.mq, s.tree.Bounds()), kind: kindNode, node: root})
+	}
+	return c
+}
+
+// pendingLower lower-bounds the α-distance of every object the cursor has
+// not yet emitted (+Inf when drained). This is the shard's "remaining
+// subtree MinDist" bound the coordinator's early stop keys off.
+func (c *nnCursor) pendingLower() float64 {
+	if c.h.Len() == 0 {
+		return math.Inf(1)
+	}
+	return c.h.PeekKey()
+}
+
+// next emits the shard's next object in (distance, id) order, probing as
+// many queue entries as needed; ok is false when the shard is exhausted.
+func (c *nnCursor) next() (r Result, ok bool, err error) {
+	for c.h.Len() > 0 {
+		e := c.h.Pop()
+		switch e.kind {
+		case kindObject:
+			return Result{ID: e.id, Dist: e.dist, Exact: true, Lower: e.dist, Upper: e.dist}, true, nil
+		case kindNode:
+			c.st.NodeAccesses++
+			for _, ent := range e.node.Entries() {
+				if e.node.Leaf() {
+					it := ent.Data.(*leafItem)
+					key := geom.MinDist(ent.Rect, c.mq)
+					if c.useLB {
+						key = geom.MinDist(it.approx.EstimateMBR(c.alpha), c.mq)
+					}
+					c.h.Push(pqItem{key: key, kind: kindLeaf, id: it.id, item: it})
+				} else {
+					c.h.Push(pqItem{key: geom.MinDist(c.mq, ent.Rect), kind: kindNode, node: ent.Child})
+				}
+			}
+		case kindLeaf:
+			obj, err := c.ix.getObject(e.item.id, &c.st)
+			if err != nil {
+				return Result{}, false, err
+			}
+			c.st.DistanceEvals++
+			d := fuzzy.AlphaDist(obj, c.q, c.alpha)
+			c.h.Push(pqItem{key: d, kind: kindObject, id: e.item.id, dist: d})
+		}
+	}
+	return Result{}, false, nil
+}
+
+// shardStream is one shard's position in the merge: its cursor plus the
+// results pulled but not yet emitted globally (in (dist, id) order).
+type shardStream struct {
+	cur *nnCursor
+	buf []Result
+	err error
+}
+
+func (s *shardStream) head() (Result, bool) {
+	if len(s.buf) == 0 {
+		return Result{}, false
+	}
+	return s.buf[0], true
+}
+
+// pull advances the cursor by one emission into buf; reports whether the
+// buffer grew.
+func (s *shardStream) pull() (bool, error) {
+	r, ok, err := s.cur.next()
+	if err != nil {
+		return false, err
+	}
+	if ok {
+		s.buf = append(s.buf, r)
+	}
+	return ok, nil
+}
+
+// resultLess is the global (distance, id) merge order.
+func resultLess(a, b Result) bool {
+	if a.Dist != b.Dist {
+		return a.Dist < b.Dist
+	}
+	return a.ID < b.ID
+}
+
+// mergeAKNN runs the cross-shard k-way merge over one cursor per shard and
+// returns the global top k, exact, in (distance, id) order. st accumulates
+// every cursor's probes and traversal counts.
+//
+// Two phases:
+//
+//  1. Prefill (parallel): every shard independently streams its first
+//     ⌈k/n⌉ neighbors. This is the fan-out that buys within-query
+//     parallelism; the budget bounds wasted probes to about one extra k
+//     across all shards in the worst case (all answers in one shard).
+//  2. Merge (sequential): repeatedly emit the smallest buffered (dist, id)
+//     across shards. Before emitting, any shard with an empty buffer whose
+//     pendingLower ≤ that candidate's distance is pulled first — it could
+//     still hold a closer object, or an equal-distance one with a smaller
+//     id. A shard whose bound exceeds the candidate is left untouched:
+//     that is the early stop, and it is exact because pendingLower is a
+//     true lower bound (§3.2 applied across shards).
+func mergeAKNN(streams []*shardStream, k int, st *Stats) ([]Result, error) {
+	// Phase 1: parallel prefill.
+	budget := (k + len(streams) - 1) / len(streams)
+	var wg sync.WaitGroup
+	for _, s := range streams {
+		wg.Add(1)
+		go func(s *shardStream) {
+			defer wg.Done()
+			for len(s.buf) < budget {
+				ok, err := s.pull()
+				if err != nil {
+					s.err = err
+					return
+				}
+				if !ok {
+					break
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, s := range streams {
+		if s.err != nil {
+			return nil, s.err
+		}
+	}
+
+	// Phase 2: sequential bound-guided merge.
+	out := make([]Result, 0, k)
+	for len(out) < k {
+		best := -1
+		for i, s := range streams {
+			if h, ok := s.head(); ok {
+				if best < 0 {
+					best = i
+				} else if bh, _ := streams[best].head(); resultLess(h, bh) {
+					best = i
+				}
+			}
+		}
+		progressed := false
+		for _, s := range streams {
+			if _, ok := s.head(); ok {
+				continue
+			}
+			if best >= 0 {
+				if bh, _ := streams[best].head(); s.cur.pendingLower() > bh.Dist {
+					continue // early stop: this shard cannot beat or tie the candidate
+				}
+			}
+			ok, err := s.pull()
+			if err != nil {
+				return nil, err
+			}
+			progressed = progressed || ok
+		}
+		if progressed {
+			continue // a pull may have produced a new global minimum
+		}
+		if best < 0 {
+			break // every shard drained
+		}
+		out = append(out, streams[best].buf[0])
+		streams[best].buf = streams[best].buf[1:]
+	}
+	for _, s := range streams {
+		addParallel(st, s.cur.st)
+	}
+	return out, nil
+}
+
+// mergeTopK merges per-shard result lists (each already sorted by
+// (distance, id)) into the global top k. Used by the fan-out paths whose
+// shard answers are complete local top-k lists (linear scan, expected
+// distance): the global top k is contained in the union of local top k's.
+func mergeTopK(lists [][]Result, k int) []Result {
+	var all []Result
+	for _, l := range lists {
+		all = append(all, l...)
+	}
+	sortResults(all)
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}

@@ -1,7 +1,6 @@
 package query
 
 import (
-	"sort"
 	"time"
 
 	"fuzzyknn/internal/fuzzy"
@@ -29,13 +28,48 @@ import (
 //
 // Results are ordered by (d_α(A, q), id). The query object's id only
 // breaks exact distance ties.
-func ReverseKNN(ix *Index, q *fuzzy.Object, k int, alpha float64) ([]Result, Stats, error) {
+func (ix *Index) ReverseKNN(q *fuzzy.Object, k int, alpha float64) ([]Result, Stats, error) {
 	started := time.Now()
 	var st Stats
 	s := ix.read()
 	if err := ix.validateQuery(s, q, k, alpha); err != nil {
 		return nil, st, err
 	}
+	cands, err := ix.reverseCandidates(s, q, k, alpha, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	results := make([]Result, len(cands))
+	for i, c := range cands {
+		results[i] = Result{ID: c.obj.ID(), Dist: c.dist, Exact: true, Lower: c.dist, Upper: c.dist}
+	}
+	sortResults(results)
+	st.Duration = time.Since(started)
+	return results, st, nil
+}
+
+// ReverseKNN is the package-level form of Index.ReverseKNN, kept for
+// callers holding a concrete *Index.
+func ReverseKNN(ix *Index, q *fuzzy.Object, k int, alpha float64) ([]Result, Stats, error) {
+	return ix.ReverseKNN(q, k, alpha)
+}
+
+// revCandidate is one verified reverse-kNN answer within a single tree: the
+// probed object, its exact distance to q, and how many objects of the SAME
+// tree are strictly closer to it than q (exact, in [0, k)).
+type revCandidate struct {
+	obj    *fuzzy.Object
+	dist   float64
+	closer int
+}
+
+// reverseCandidates runs the filter+verify pipeline against one snapshot
+// and returns the surviving candidates in tree order. On a single-tree
+// index these are the final answers; a sharded coordinator treats them as
+// a conservative candidate set (membership in the global answer requires
+// that the closer-counts summed across all shards stay below k) and
+// finishes the count against the other shards.
+func (ix *Index) reverseCandidates(s *snapshot, q *fuzzy.Object, k int, alpha float64, st *Stats) ([]revCandidate, error) {
 	mq := q.MBR(alpha)
 
 	// Collect leaf entries and build the representative-point tree.
@@ -55,7 +89,7 @@ func ReverseKNN(ix *Index, q *fuzzy.Object, k int, alpha float64) ([]Result, Sta
 		walk(root)
 	}
 	if len(items) == 0 {
-		return nil, st, nil
+		return nil, nil
 	}
 	reps := make([]geom.Point, len(items))
 	for i, it := range items {
@@ -63,7 +97,7 @@ func ReverseKNN(ix *Index, q *fuzzy.Object, k int, alpha float64) ([]Result, Sta
 	}
 	repTree := kdtree.Build(reps)
 
-	var results []Result
+	var cands []revCandidate
 	for i, it := range items {
 		lb := geom.MinDist(it.approx.EstimateMBR(alpha), mq)
 		// Filter: k other representatives strictly within lb of rep(A)
@@ -82,28 +116,21 @@ func ReverseKNN(ix *Index, q *fuzzy.Object, k int, alpha float64) ([]Result, Sta
 			}
 		}
 		// Verify: exact d_α(A, q), then count strictly closer objects.
-		a, err := ix.getObject(it.id, &st)
+		a, err := ix.getObject(it.id, st)
 		if err != nil {
-			return nil, st, err
+			return nil, err
 		}
 		st.DistanceEvals++
 		dq := fuzzy.AlphaDist(a, q, alpha)
-		closer, err := ix.countCloser(s, a, alpha, dq, q.ID(), k, &st)
+		closer, err := ix.countCloser(s, a, alpha, dq, q.ID(), k, st)
 		if err != nil {
-			return nil, st, err
+			return nil, err
 		}
 		if closer < k {
-			results = append(results, Result{ID: it.id, Dist: dq, Exact: true, Lower: dq, Upper: dq})
+			cands = append(cands, revCandidate{obj: a, dist: dq, closer: closer})
 		}
 	}
-	sort.Slice(results, func(i, j int) bool {
-		if results[i].Dist != results[j].Dist {
-			return results[i].Dist < results[j].Dist
-		}
-		return results[i].ID < results[j].ID
-	})
-	st.Duration = time.Since(started)
-	return results, st, nil
+	return cands, nil
 }
 
 // countCloser counts stored objects B ≠ a with (d_α(a,B), id_B) <

@@ -66,7 +66,9 @@ func (ix *Index) RKNN(q *fuzzy.Object, k int, alphaStart, alphaEnd float64, algo
 
 // rknnCtx carries one RKNN execution: the snapshot every sub-search runs
 // against, caches of probed objects and distance profiles, and the
-// per-object qualifying-range accumulator.
+// per-object qualifying-range accumulator. The single-tree drivers (naive,
+// basic, rss) set ix/snap; the sharded coordinator builds a ctx with only
+// fetch set (its candidate refinement never touches a tree).
 type rknnCtx struct {
 	ix       *Index
 	snap     *snapshot
@@ -77,13 +79,20 @@ type rknnCtx struct {
 	probed   map[uint64]*fuzzy.Object
 	profiles map[uint64]*fuzzy.Profile
 	acc      map[uint64]*interval.Set
+	// fetch overrides how cache-missed objects are loaded (nil = probe
+	// ix's store). The sharded coordinator routes by owning shard here.
+	fetch func(id uint64, st *Stats) (*fuzzy.Object, error)
 }
 
 func (c *rknnCtx) object(id uint64) (*fuzzy.Object, error) {
 	if o, ok := c.probed[id]; ok {
 		return o, nil
 	}
-	o, err := c.ix.getObject(id, c.st)
+	get := c.fetch
+	if get == nil {
+		get = c.ix.getObject
+	}
+	o, err := get(id, c.st)
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +278,7 @@ func (c *rknnCtx) rss(improvedRefinement bool) error {
 		c.probed[id] = o
 		cands = append(cands, id)
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	sortIDs(cands)
 	// Profiles for every candidate: pure CPU, no further object access.
 	for _, id := range cands {
 		if _, err := c.profile(id); err != nil {

@@ -1,0 +1,509 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/interval"
+	"fuzzyknn/internal/store"
+)
+
+// ShardedIndex is a Searcher over N hash-partitioned shards. Each shard is
+// a complete, independently mutable, snapshot-isolated Index (usually with
+// its own store); ShardOf assigns every object id to exactly one shard.
+// Queries fan out across the shards in parallel and merge exactly:
+//
+//   - AKNN: per-shard incremental best-first streams, k-way merged with
+//     the cross-shard lower-bound early stop (see merge.go).
+//   - RKNN: one cross-shard AKNN at αe fixes the pruning radius (Lemma 3),
+//     per-shard α-range searches collect the global candidate set, and the
+//     candidates are refined in memory through the interval.Set algebra —
+//     the RSS plan (Algorithm 4/5) with the search phase fanned out.
+//   - RangeSearch: per-shard range searches, union, one sort.
+//   - ReverseKNN: per-shard filter+verify yields conservative candidates
+//     (an object with ≥ k closer neighbors in its own shard can never
+//     qualify globally); the shared refine completes each candidate's
+//     closer-count against the remaining shards with early exit at k.
+//   - ExpectedDistKNN: per-shard local top-k scans, merged.
+//
+// Mutations route by ShardOf and inherit the owning shard's snapshot
+// isolation. There is no global snapshot: one sharded query reads each
+// shard's snapshot at fan-out time, so a mutation concurrent with a query
+// may be visible in some shards' view and not others. Each individual
+// shard view is still a consistent population, and quiescent reads (no
+// writer in flight) are byte-identical to a single-tree index over the
+// same objects — the property the equivalence tests pin down.
+type ShardedIndex struct {
+	shards []*Index
+}
+
+// NewSharded assembles a sharded index over pre-built shards. Shard i must
+// hold exactly the objects with ShardOf(id, len(shards)) == i — mutations
+// route by that function, and the exact-merge arguments rely on the
+// partition being disjoint and complete. Shards with known dimensionality
+// must agree.
+func NewSharded(shards []*Index) (*ShardedIndex, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("query: sharded index needs at least one shard")
+	}
+	dims := 0
+	for i, sh := range shards {
+		if sh == nil {
+			return nil, fmt.Errorf("query: shard %d is nil", i)
+		}
+		d := sh.Dims()
+		if d == 0 {
+			continue
+		}
+		if dims == 0 {
+			dims = d
+		} else if d != dims {
+			return nil, fmt.Errorf("query: shard %d has dims %d, shard set has dims %d", i, d, dims)
+		}
+	}
+	return &ShardedIndex{shards: shards}, nil
+}
+
+// BuildSharded partitions the store's objects across n shards by ShardOf
+// and builds each shard as a filtered Index over the same reader. It is
+// the single-store construction path (one file serving several trees);
+// callers wanting per-shard stores build the shards themselves and use
+// NewSharded.
+func BuildSharded(st store.Reader, n int, opts Options) (*ShardedIndex, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("query: shard count must be >= 1, got %d", n)
+	}
+	shards := make([]*Index, n)
+	for i := range shards {
+		i := i
+		ix, err := BuildFiltered(st, opts, func(id uint64) bool { return ShardOf(id, n) == i })
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = ix
+	}
+	return NewSharded(shards)
+}
+
+// NumShards returns the shard count.
+func (sx *ShardedIndex) NumShards() int { return len(sx.shards) }
+
+// Shard returns the i-th shard for diagnostics and tests.
+func (sx *ShardedIndex) Shard(i int) *Index { return sx.shards[i] }
+
+// shardFor returns the shard owning id.
+func (sx *ShardedIndex) shardFor(id uint64) *Index {
+	return sx.shards[ShardOf(id, len(sx.shards))]
+}
+
+// Len returns the total number of indexed objects.
+func (sx *ShardedIndex) Len() int {
+	n := 0
+	for _, sh := range sx.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// Dims returns the index dimensionality: the first shard-known value (all
+// non-empty shards agree by construction).
+func (sx *ShardedIndex) Dims() int {
+	for _, sh := range sx.shards {
+		if d := sh.Dims(); d != 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// Stats reports per-shard physical layout.
+func (sx *ShardedIndex) Stats() IndexStats {
+	out := IndexStats{Dims: sx.Dims(), Shards: make([]ShardStats, len(sx.shards))}
+	for i, sh := range sx.shards {
+		out.Shards[i] = sh.Stats().Shards[0]
+		out.Objects += out.Shards[i].Objects
+	}
+	return out
+}
+
+// CheckInvariants verifies every shard's R-tree structure and that each
+// shard only holds ids it owns.
+func (sx *ShardedIndex) CheckInvariants() error {
+	for i, sh := range sx.shards {
+		if err := sh.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		for _, id := range sh.read().leafIDs() {
+			if ShardOf(id, len(sx.shards)) != i {
+				return fmt.Errorf("shard %d holds id %d owned by shard %d", i, id, ShardOf(id, len(sx.shards)))
+			}
+		}
+	}
+	return nil
+}
+
+// Insert adds obj to its owning shard. See Index.Insert for the error
+// taxonomy; dimensionality is additionally validated against the whole
+// shard set, so an object cannot slip a mismatched dimensionality into an
+// empty shard of a populated index.
+func (sx *ShardedIndex) Insert(obj *fuzzy.Object) error {
+	if obj == nil {
+		return badArgf("query: insert: nil object")
+	}
+	if d := sx.Dims(); d != 0 && obj.Dims() != d {
+		return badArgf("query: insert: object dims %d, index dims %d", obj.Dims(), d)
+	}
+	return sx.shardFor(obj.ID()).Insert(obj)
+}
+
+// Delete retires id from its owning shard. See Index.Delete.
+func (sx *ShardedIndex) Delete(id uint64) (Stats, error) {
+	return sx.shardFor(id).Delete(id)
+}
+
+// shardView pins one shard to one snapshot for the duration of a query, so
+// a multi-phase plan (e.g. RKNN's AKNN + range search) reads a consistent
+// population per shard.
+type shardView struct {
+	ix *Index
+	s  *snapshot
+}
+
+func (sx *ShardedIndex) views() []shardView {
+	out := make([]shardView, len(sx.shards))
+	for i, sh := range sx.shards {
+		out[i] = shardView{ix: sh, s: sh.read()}
+	}
+	return out
+}
+
+// fanOut runs fn once per shard view concurrently and returns the first
+// error (by shard order, for determinism).
+func fanOut(views []shardView, fn func(i int, v shardView) error) error {
+	errs := make([]error, len(views))
+	var wg sync.WaitGroup
+	for i := range views {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i, views[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AKNN answers the ad-hoc kNN query across all shards. The coordinator
+// merges exactly, so results are always exact, ascending by (distance,
+// id), regardless of the variant: algo only selects the per-shard leaf
+// lower bound (support MBR for Basic, the §3.2 boundary MBR otherwise) —
+// lazy probing is a single-tree optimization that does not survive a
+// cross-shard merge (see merge.go). A refined single-tree answer over the
+// same objects is byte-identical.
+func (sx *ShardedIndex) AKNN(q *fuzzy.Object, k int, alpha float64, algo AKNNAlgorithm) ([]Result, Stats, error) {
+	started := time.Now()
+	var st Stats
+	if err := validateArgs(sx.Dims(), q, k, alpha); err != nil {
+		return nil, st, err
+	}
+	if algo < Basic || algo > LBLPUB {
+		return nil, st, badArgf("query: unknown AKNN algorithm %d", int(algo))
+	}
+	res, err := sx.aknnMerged(sx.views(), q, k, alpha, algo != Basic, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Duration = time.Since(started)
+	return res, st, nil
+}
+
+// aknnMerged fans the cursor search out over the given views and merges.
+func (sx *ShardedIndex) aknnMerged(views []shardView, q *fuzzy.Object, k int, alpha float64, useLB bool, st *Stats) ([]Result, error) {
+	streams := make([]*shardStream, len(views))
+	for i, v := range views {
+		streams[i] = &shardStream{cur: newNNCursor(v.ix, v.s, q, alpha, useLB)}
+	}
+	return mergeAKNN(streams, k, st)
+}
+
+// LinearScanAKNN fans the exhaustive baseline out and merges the local
+// top-k lists.
+func (sx *ShardedIndex) LinearScanAKNN(q *fuzzy.Object, k int, alpha float64) ([]Result, Stats, error) {
+	started := time.Now()
+	var st Stats
+	if err := validateArgs(sx.Dims(), q, k, alpha); err != nil {
+		return nil, st, err
+	}
+	views := sx.views()
+	lists := make([][]Result, len(views))
+	stats := make([]Stats, len(views))
+	err := fanOut(views, func(i int, v shardView) error {
+		var err error
+		lists[i], stats[i], err = v.ix.LinearScanAKNN(q, k, alpha)
+		return err
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	for _, s := range stats {
+		addParallel(&st, s)
+	}
+	out := mergeTopK(lists, k)
+	st.Duration = time.Since(started)
+	return out, st, nil
+}
+
+// Refine probes any non-exact results through their owning shards and
+// re-sorts by exact (distance, id). Sharded AKNN answers are always exact
+// already; this exists so arbitrary Result sets (e.g. relayed from a
+// single-tree index) refine correctly.
+func (sx *ShardedIndex) Refine(q *fuzzy.Object, alpha float64, rs []Result) ([]Result, Stats, error) {
+	var st Stats
+	if err := validateArgs(sx.Dims(), q, 1, alpha); err != nil {
+		return nil, st, err
+	}
+	out := make([]Result, len(rs))
+	copy(out, rs)
+	for i := range out {
+		if out[i].Exact {
+			continue
+		}
+		sh := sx.shardFor(out[i].ID)
+		obj, err := sh.getObject(out[i].ID, &st)
+		if err != nil {
+			return nil, st, err
+		}
+		st.DistanceEvals++
+		d := fuzzy.AlphaDist(obj, q, alpha)
+		out[i] = Result{ID: out[i].ID, Dist: d, Exact: true, Lower: d, Upper: d}
+	}
+	sortResults(out)
+	return out, st, nil
+}
+
+// RangeSearch fans the α-range query out and unions the per-shard answers
+// (disjoint by partition), ascending by (distance, id).
+func (sx *ShardedIndex) RangeSearch(q *fuzzy.Object, alpha, radius float64) ([]Result, Stats, error) {
+	started := time.Now()
+	var st Stats
+	if err := validateArgs(sx.Dims(), q, 1, alpha); err != nil {
+		return nil, st, err
+	}
+	if radius < 0 || math.IsNaN(radius) {
+		return nil, st, badArgf("query: radius must be non-negative, got %v", radius)
+	}
+	views := sx.views()
+	lists := make([][]Result, len(views))
+	stats := make([]Stats, len(views))
+	err := fanOut(views, func(i int, v shardView) error {
+		_, dists, err := v.ix.rangeSearch(v.s, q, alpha, radius, true, &stats[i])
+		if err != nil {
+			return err
+		}
+		for id, d := range dists {
+			lists[i] = append(lists[i], Result{ID: id, Dist: d, Exact: true, Lower: d, Upper: d})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	var out []Result
+	for i := range lists {
+		addParallel(&st, stats[i])
+		out = append(out, lists[i]...)
+	}
+	sortResults(out)
+	st.Duration = time.Since(started)
+	return out, st, nil
+}
+
+// RKNN answers the range kNN query across all shards with the RSS plan
+// fanned out (Algorithms 4/5 of the paper, the search phase parallelized):
+//
+//  1. One cross-shard AKNN at αe fixes the global pruning radius — the
+//     k-th nearest distance at the range's top (Lemma 3).
+//  2. Every shard runs one α-range search at αs with that radius in
+//     parallel; the union is the exact global candidate set (any object
+//     ever in a kNN set within [αs, αe] is within the radius at αs).
+//  3. Candidates are refined in memory: distance profiles are built once
+//     from the objects the range searches already probed (no further IO),
+//     and the per-object qualifying ranges accumulate through the
+//     interval.Set algebra — critical-probability hopping for Naive/Basic/
+//     RSS, Lemma 4 safe ranges for RSSICR.
+//
+// All variants return byte-identical ranges (the same equivalence the
+// paper proves for the single-tree variants); they differ only in
+// refinement cost. Results ascend by object id.
+func (sx *ShardedIndex) RKNN(q *fuzzy.Object, k int, alphaStart, alphaEnd float64, algo RKNNAlgorithm) ([]RangedResult, Stats, error) {
+	started := time.Now()
+	var st Stats
+	if err := validateArgs(sx.Dims(), q, k, alphaStart, alphaEnd); err != nil {
+		return nil, st, err
+	}
+	if alphaStart > alphaEnd {
+		return nil, st, badArgf("query: alphaStart %v > alphaEnd %v", alphaStart, alphaEnd)
+	}
+	if algo < Naive || algo > RSSICR {
+		return nil, st, badArgf("query: unknown RKNN algorithm %d", int(algo))
+	}
+	views := sx.views()
+
+	// Phase 1: global pruning radius from one cross-shard AKNN at αe.
+	st.AKNNCalls++
+	resE, err := sx.aknnMerged(views, q, k, alphaEnd, true, &st)
+	if err != nil {
+		return nil, st, err
+	}
+	if len(resE) == 0 {
+		st.Duration = time.Since(started)
+		return nil, st, nil // empty index
+	}
+	radius := math.Inf(1)
+	if len(resE) >= k {
+		radius = resE[len(resE)-1].Dist
+	}
+
+	// Phase 2: parallel per-shard range searches at αs.
+	objMaps := make([]map[uint64]*fuzzy.Object, len(views))
+	stats := make([]Stats, len(views))
+	err = fanOut(views, func(i int, v shardView) error {
+		objs, _, err := v.ix.rangeSearch(v.s, q, alphaStart, radius, true, &stats[i])
+		objMaps[i] = objs
+		return err
+	})
+	if err != nil {
+		return nil, st, err
+	}
+
+	// Phase 3: shared in-memory refinement over the candidate union.
+	ctx := &rknnCtx{
+		q: q, k: k, as: alphaStart, ae: alphaEnd, st: &st,
+		probed:   make(map[uint64]*fuzzy.Object),
+		profiles: make(map[uint64]*fuzzy.Profile),
+		acc:      make(map[uint64]*interval.Set),
+		fetch: func(id uint64, st *Stats) (*fuzzy.Object, error) {
+			// Candidates are pre-probed below; this only runs if refinement
+			// ever touches a non-candidate id, which would be a logic error —
+			// route to the owning shard rather than crash.
+			return sx.shardFor(id).getObject(id, st)
+		},
+	}
+	var cands []uint64
+	for i := range objMaps {
+		addParallel(&st, stats[i])
+		for id, o := range objMaps[i] {
+			ctx.probed[id] = o
+			cands = append(cands, id)
+		}
+	}
+	st.Candidates = len(cands)
+	sortIDs(cands)
+	for _, id := range cands {
+		if _, err := ctx.profile(id); err != nil {
+			return nil, st, err
+		}
+	}
+	if algo == RSSICR {
+		err = ctx.refineICR(cands)
+	} else {
+		err = ctx.refineBasic(cands)
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	st.Duration = time.Since(started)
+	return ctx.results(), st, nil
+}
+
+// ReverseKNN fans the filter+verify pipeline out per shard, then finishes
+// each surviving candidate's closer-count against the remaining shards.
+// Per-shard verification is a conservative filter: an object with ≥ k
+// closer neighbors in its own shard has ≥ k globally and is pruned without
+// cross-shard work; a survivor qualifies iff its closer-counts summed over
+// all shards stay below k, which the shared refine checks with early exit.
+// Results ascend by (distance to q, id).
+func (sx *ShardedIndex) ReverseKNN(q *fuzzy.Object, k int, alpha float64) ([]Result, Stats, error) {
+	started := time.Now()
+	var st Stats
+	if err := validateArgs(sx.Dims(), q, k, alpha); err != nil {
+		return nil, st, err
+	}
+	views := sx.views()
+	cands := make([][]revCandidate, len(views))
+	stats := make([]Stats, len(views))
+	err := fanOut(views, func(i int, v shardView) error {
+		var err error
+		cands[i], err = v.ix.reverseCandidates(v.s, q, k, alpha, &stats[i])
+		return err
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	for i := range stats {
+		addParallel(&st, stats[i])
+	}
+	var results []Result
+	for i, shardCands := range cands {
+		for _, c := range shardCands {
+			total := c.closer
+			for j, v := range views {
+				if j == i || total >= k {
+					continue
+				}
+				n, err := v.ix.countCloser(v.s, c.obj, alpha, c.dist, q.ID(), k-total, &st)
+				if err != nil {
+					return nil, st, err
+				}
+				total += n
+			}
+			if total < k {
+				results = append(results, Result{ID: c.obj.ID(), Dist: c.dist, Exact: true, Lower: c.dist, Upper: c.dist})
+			}
+		}
+	}
+	sortResults(results)
+	st.Duration = time.Since(started)
+	return results, st, nil
+}
+
+// ExpectedDistKNN fans the full-profile scan out per shard and merges the
+// exact local top-k lists.
+func (sx *ShardedIndex) ExpectedDistKNN(q *fuzzy.Object, k int) ([]Result, Stats, error) {
+	started := time.Now()
+	var st Stats
+	if err := validateArgs(sx.Dims(), q, k, 1); err != nil {
+		return nil, st, err
+	}
+	views := sx.views()
+	lists := make([][]Result, len(views))
+	stats := make([]Stats, len(views))
+	err := fanOut(views, func(i int, v shardView) error {
+		var err error
+		lists[i], err = v.ix.expectedDistTopK(v.s, q, k, &stats[i])
+		return err
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	for i := range stats {
+		addParallel(&st, stats[i])
+	}
+	out := mergeTopK(lists, k)
+	st.Duration = time.Since(started)
+	return out, st, nil
+}
+
+// sortIDs sorts ids ascending in place.
+func sortIDs(ids []uint64) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -165,12 +165,23 @@ type RKNNResponse struct {
 	Stats   StatsJSON          `json:"stats"`
 }
 
-// StatsResponse is the body of GET /stats.
+// ShardJSON is one shard's physical state in GET /stats.
+type ShardJSON struct {
+	Objects        int   `json:"objects"`
+	Dims           int   `json:"dims"`
+	TreeHeight     int   `json:"tree_height"`
+	ObjectAccesses int64 `json:"object_accesses"`
+}
+
+// StatsResponse is the body of GET /stats. Shards always has one entry per
+// shard (a single entry for an unsharded index), so dashboards can watch
+// per-shard size, tree depth and access skew.
 type StatsResponse struct {
 	Objects             int              `json:"objects"`
 	Dims                int              `json:"dims"`
 	Parallelism         int              `json:"parallelism"`
 	TotalObjectAccesses int64            `json:"total_object_accesses"`
+	Shards              []ShardJSON      `json:"shards"`
 	Requests            map[string]int64 `json:"requests"`
 	Failures            int64            `json:"failures"`
 	EngineStats         StatsJSON        `json:"engine_stats"`
@@ -304,11 +315,22 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	t := s.eng.Totals()
+	info := s.ix.ShardInfo()
+	shards := make([]ShardJSON, len(info))
+	for i, sh := range info {
+		shards[i] = ShardJSON{
+			Objects:        sh.Objects,
+			Dims:           sh.Dims,
+			TreeHeight:     sh.TreeHeight,
+			ObjectAccesses: sh.ObjectAccesses,
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Objects:             s.ix.Len(),
 		Dims:                s.ix.Dims(),
 		Parallelism:         s.eng.Parallelism(),
 		TotalObjectAccesses: s.ix.TotalObjectAccesses(),
+		Shards:              shards,
 		Requests:            t.Requests,
 		Failures:            t.Failures,
 		EngineStats:         toStats(t.Stats),

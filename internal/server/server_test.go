@@ -212,6 +212,87 @@ func TestServeStats(t *testing.T) {
 	if st.EngineStats.ObjectAccesses == 0 {
 		t.Fatal("engine stats empty after traffic")
 	}
+	if len(st.Shards) != 1 || st.Shards[0].Objects != 6 {
+		t.Fatalf("single-tree /stats shards = %+v", st.Shards)
+	}
+}
+
+// TestServeShardedIndex serves a 4-shard index: queries must answer
+// identically to an unsharded server and /stats must expose per-shard
+// size, depth and access counts.
+func TestServeShardedIndex(t *testing.T) {
+	objs := []*fuzzyknn.Object{
+		blob(t, 1, 2, 0), blob(t, 2, 3, 0.5), blob(t, 3, 4, -1),
+		blob(t, 4, 8, 2), blob(t, 5, -3, 1), blob(t, 6, 0, 6),
+	}
+	ix, err := fuzzyknn.NewIndex(objs, &fuzzyknn.Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := ix.NewEngine(&fuzzyknn.EngineConfig{Parallelism: 4})
+	ts := httptest.NewServer(New(ix, eng))
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+		ix.Close()
+	})
+
+	tsSingle, _, _ := newTestServer(t)
+	var sharded, single QueryResponse
+	// The lb variant probes exactly on a single tree too, so both servers
+	// answer with exact distances and the comparison is byte-level. (The
+	// lazy variants return bounds on one tree but exact results from the
+	// sharded coordinator — same set, different wire encoding.)
+	req := AKNNRequest{Query: queryJSON(t), K: 3, Alpha: 0.5, Algo: "lb"}
+	if s := postJSON(t, ts.URL+"/aknn", req, &sharded); s != http.StatusOK {
+		t.Fatalf("sharded aknn status = %d", s)
+	}
+	if s := postJSON(t, tsSingle.URL+"/aknn", req, &single); s != http.StatusOK {
+		t.Fatalf("single aknn status = %d", s)
+	}
+	if len(sharded.Results) != len(single.Results) {
+		t.Fatalf("sharded %d results, single %d", len(sharded.Results), len(single.Results))
+	}
+	for i := range sharded.Results {
+		if sharded.Results[i].ID != single.Results[i].ID ||
+			math.Abs(sharded.Results[i].Dist-single.Results[i].Dist) > 1e-12 {
+			t.Fatalf("result %d diverges: %+v vs %+v", i, sharded.Results[i], single.Results[i])
+		}
+	}
+
+	// A mutation routes to a shard and shows up in the population.
+	var mr MutationResponse
+	ins := InsertRequest{Object: &ObjectJSON{ID: 50, Points: []PointJSON{{P: []float64{1, 1}, Mu: 1}}}}
+	if s := postJSON(t, ts.URL+"/objects", ins, &mr); s != http.StatusCreated {
+		t.Fatalf("insert status = %d", s)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Objects != 7 {
+		t.Fatalf("objects = %d", st.Objects)
+	}
+	if len(st.Shards) != 4 {
+		t.Fatalf("shards = %+v", st.Shards)
+	}
+	total, accesses := 0, int64(0)
+	for _, sh := range st.Shards {
+		total += sh.Objects
+		accesses += sh.ObjectAccesses
+	}
+	if total != 7 {
+		t.Fatalf("per-shard objects sum to %d", total)
+	}
+	if accesses != st.TotalObjectAccesses {
+		t.Fatalf("per-shard accesses %d, total %d", accesses, st.TotalObjectAccesses)
+	}
 }
 
 // TestServeBadRequests checks validation failures map to 4xx JSON errors.

@@ -1,0 +1,345 @@
+package fuzzyknn
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// shardedPair builds a single-tree and a 4-shard index over the same
+// objects.
+func shardedPair(t *testing.T, objs []*Object) (*Index, *Index) {
+	t.Helper()
+	single, err := NewIndex(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := NewIndex(objs, &Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return single, sharded
+}
+
+// TestPublicShardedMatchesSingle drives the public API end to end: every
+// query family answers byte-identically on shards=4 and shards=1,
+// including after mirrored mutations.
+func TestPublicShardedMatchesSingle(t *testing.T) {
+	objs, q := smallDataset(t, 80, 5)
+	single, sharded := shardedPair(t, objs)
+	defer single.Close()
+	defer sharded.Close()
+
+	if sharded.NumShards() != 4 || single.NumShards() != 1 {
+		t.Fatalf("NumShards: sharded %d, single %d", sharded.NumShards(), single.NumShards())
+	}
+	if sharded.Len() != single.Len() || sharded.Dims() != single.Dims() {
+		t.Fatalf("population: sharded %d/%dd, single %d/%dd",
+			sharded.Len(), sharded.Dims(), single.Len(), single.Dims())
+	}
+
+	check := func(label string) {
+		t.Helper()
+		want, _, err := single.LinearScanAKNN(q, 8, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range []AKNNAlgorithm{Basic, LB, LBLP, LBLPUB} {
+			got, _, err := sharded.AKNN(q, 8, 0.5, algo)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", label, algo, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s/%v: sharded AKNN diverges\n got %+v\nwant %+v", label, algo, got, want)
+			}
+		}
+		wantR, _, err := single.RKNN(q, 5, 0.3, 0.8, RSSICR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, algo := range []RKNNAlgorithm{Naive, BasicRKNN, RSS, RSSICR} {
+			gotR, _, err := sharded.RKNN(q, 5, 0.3, 0.8, algo)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", label, algo, err)
+			}
+			if len(gotR) != len(wantR) {
+				t.Fatalf("%s/%v: %d ranged results, want %d", label, algo, len(gotR), len(wantR))
+			}
+			for i := range gotR {
+				if gotR[i].ID != wantR[i].ID ||
+					gotR[i].Qualifying.String() != wantR[i].Qualifying.String() {
+					t.Fatalf("%s/%v: ranged result %d diverges: %d %s vs %d %s", label, algo, i,
+						gotR[i].ID, gotR[i].Qualifying.String(), wantR[i].ID, wantR[i].Qualifying.String())
+				}
+			}
+		}
+		wantRange, _, err := single.RangeSearch(q, 0.5, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRange, _, err := sharded.RangeSearch(q, 0.5, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotRange, wantRange) && (len(gotRange) > 0 || len(wantRange) > 0) {
+			t.Fatalf("%s: range search diverges", label)
+		}
+		wantRev, _, err := single.ReverseKNN(q, 4, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRev, _, err := sharded.ReverseKNN(q, 4, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotRev, wantRev) && (len(gotRev) > 0 || len(wantRev) > 0) {
+			t.Fatalf("%s: reverse kNN diverges", label)
+		}
+		wantE, _, err := single.ExpectedDistKNN(q, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotE, _, err := sharded.ExpectedDistKNN(q, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotE, wantE) {
+			t.Fatalf("%s: expected-distance kNN diverges", label)
+		}
+	}
+	check("fresh")
+
+	// Mirrored churn through the public mutation API.
+	extra, _ := smallDataset(t, 30, 77)
+	for i, o := range extra {
+		obj, err := NewObject(uint64(10000+i), o.WeightedPoints())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := single.Insert(obj); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.Insert(obj); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, o := range objs[:40] {
+		if err := single.Delete(o.ID()); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.Delete(o.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sharded.Len() != single.Len() {
+		t.Fatalf("after churn: sharded %d, single %d", sharded.Len(), single.Len())
+	}
+	check("churned")
+
+	// Per-shard diagnostics: object counts must sum to the population and
+	// accesses must land on shards.
+	info := sharded.ShardInfo()
+	if len(info) != 4 {
+		t.Fatalf("ShardInfo has %d entries", len(info))
+	}
+	total, accesses := 0, int64(0)
+	for _, sh := range info {
+		total += sh.Objects
+		accesses += sh.ObjectAccesses
+	}
+	if total != sharded.Len() {
+		t.Fatalf("ShardInfo objects sum %d, Len %d", total, sharded.Len())
+	}
+	if accesses != sharded.TotalObjectAccesses() || accesses == 0 {
+		t.Fatalf("ShardInfo accesses sum %d, total %d", accesses, sharded.TotalObjectAccesses())
+	}
+
+	// Joins through the public API.
+	wantJ, _, err := DistanceJoin(single, single, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJ, _, err := DistanceJoin(sharded, sharded, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotJ, wantJ) && (len(gotJ) > 0 || len(wantJ) > 0) {
+		t.Fatal("sharded self-join diverges")
+	}
+	wantP, _, err := KClosestPairs(single, sharded, 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantP) != 5 {
+		t.Fatalf("mixed-layout closest pairs returned %d", len(wantP))
+	}
+}
+
+// TestPublicShardedEngine runs sharded indexes through the batch engine
+// and checks a mixed batch behaves like the single-tree engine path.
+func TestPublicShardedEngine(t *testing.T) {
+	objs, q := smallDataset(t, 60, 9)
+	single, sharded := shardedPair(t, objs)
+	defer single.Close()
+	defer sharded.Close()
+	engS := single.NewEngine(&EngineConfig{Parallelism: 2})
+	defer engS.Close()
+	engX := sharded.NewEngine(&EngineConfig{Parallelism: 2})
+	defer engX.Close()
+
+	queries := []*Object{q, q, q}
+	want, _, err := engS.BatchAKNN(context.Background(), queries, 6, 0.5, LBLPUB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := engX.BatchAKNN(context.Background(), queries, 6, 0.5, LBLPUB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		refined, _, err := single.Refine(q, 0.5, want[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], refined) {
+			t.Fatalf("batch %d: sharded engine diverges", i)
+		}
+	}
+
+	// Mutations through the engine route to shards.
+	obj, err := NewObject(777777, q.WeightedPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs, err := engX.BatchInsert(context.Background(), []*Object{obj}); err != nil || errs[0] != nil {
+		t.Fatalf("engine insert: %v %v", err, errs)
+	}
+	if got := sharded.Len(); got != 61 {
+		t.Fatalf("Len after engine insert = %d", got)
+	}
+	if errs, err := engX.BatchDelete(context.Background(), []uint64{777777}); err != nil || errs[0] != nil {
+		t.Fatalf("engine delete: %v %v", err, errs)
+	}
+}
+
+// TestPublicShardedLogIndex covers the one-log-per-shard durable layout:
+// create, mutate, close, reopen, byte-identical answers to a single-tree
+// log reopened from equivalent history.
+func TestPublicShardedLogIndex(t *testing.T) {
+	objs, q := smallDataset(t, 50, 13)
+	dir := t.TempDir()
+	pathX := filepath.Join(dir, "sharded.fzl")
+	pathS := filepath.Join(dir, "single.fzl")
+
+	open := func() (*Index, *Index) {
+		sharded, err := OpenLogIndex(pathX, 2, &Config{Shards: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := OpenLogIndex(pathS, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return single, sharded
+	}
+	single, sharded := open()
+	for _, o := range objs {
+		if err := single.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, o := range objs[:20] {
+		if err := single.Delete(o.ID()); err != nil {
+			t.Fatal(err)
+		}
+		if err := sharded.Delete(o.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sharded.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := single.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	single, sharded = open()
+	defer single.Close()
+	defer sharded.Close()
+	if sharded.Len() != 30 || single.Len() != 30 {
+		t.Fatalf("reopened Len: sharded %d, single %d", sharded.Len(), single.Len())
+	}
+	want, _, err := single.LinearScanAKNN(q, 10, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := sharded.AKNN(q, 10, 0.5, LBLPUB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("reopened sharded log diverges\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestPublicShardedStoreFile covers the shared-store-file sharded open.
+func TestPublicShardedStoreFile(t *testing.T) {
+	objs, q := smallDataset(t, 50, 21)
+	path := filepath.Join(t.TempDir(), "objects.fzs")
+	if err := SaveObjects(path, 2, objs); err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := OpenIndex(path, &Config{Shards: 4, CacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	single, err := NewIndex(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+
+	// Read-only: mutations must fail on every shard route.
+	if err := sharded.Delete(objs[0].ID()); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("delete on store-file index: %v", err)
+	}
+	want, _, err := single.LinearScanAKNN(q, 7, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := sharded.AKNN(q, 7, 0.4, LBLPUB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("store-file sharded AKNN diverges")
+	}
+	if _, err := sharded.Object(objs[3].ID()); err != nil {
+		t.Fatal(err)
+	}
+	if sharded.TotalObjectAccesses() == 0 {
+		t.Fatal("accesses not counted")
+	}
+}
+
+// TestPublicShardedConfigErrors pins the unsupported-combination errors.
+func TestPublicShardedConfigErrors(t *testing.T) {
+	objs, _ := smallDataset(t, 10, 3)
+	if _, err := NewIndex(objs, &Config{Shards: 2, SummaryFile: "x"}); err == nil {
+		t.Fatal("Shards+SummaryFile accepted")
+	}
+	sharded, err := NewIndex(objs, &Config{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+	if err := sharded.SaveSummaries(filepath.Join(t.TempDir(), "s.fzx")); err == nil {
+		t.Fatal("SaveSummaries on sharded index accepted")
+	}
+}
