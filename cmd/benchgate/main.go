@@ -1,0 +1,98 @@
+// Command benchgate decides the CI perf-regression gate: it parses two
+// `go test -bench -count=N` output files — the merge-base run and the PR
+// head run — and fails (exit 1) when any benchmark present in both shows a
+// statistically significant regression above the threshold on a gated
+// metric (ns/op or allocs/op by default; two-sided Mann-Whitney U at
+// α=0.05). New benchmarks with no baseline pass by construction.
+//
+// benchstat renders the same pair of files for the human-readable artifact;
+// benchgate exists so the pass/fail decision is deterministic, offline and
+// unit-tested (see internal/bench/gate.go).
+//
+// Usage:
+//
+//	benchgate -base base.txt -head head.txt [-threshold 5] [-alpha 0.05] [-metrics ns/op,allocs/op]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fuzzyknn/internal/bench"
+)
+
+func main() {
+	var (
+		basePath  = flag.String("base", "", "go test -bench output of the merge base")
+		headPath  = flag.String("head", "", "go test -bench output of the PR head")
+		threshold = flag.Float64("threshold", 5, "median regression percentage that fails the gate")
+		alpha     = flag.Float64("alpha", 0.05, "significance level of the Mann-Whitney test")
+		metrics   = flag.String("metrics", "ns/op,allocs/op", "comma-separated metrics the gate enforces")
+	)
+	flag.Parse()
+	if *basePath == "" || *headPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -base and -head are required")
+		os.Exit(2)
+	}
+	base, err := parseFile(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	head, err := parseFile(*headPath)
+	if err != nil {
+		fatal(err)
+	}
+	results := bench.Gate(base, head, bench.GateOptions{
+		Metrics:      strings.Split(*metrics, ","),
+		ThresholdPct: *threshold,
+		Alpha:        *alpha,
+	})
+	if len(results) == 0 {
+		fmt.Println("benchgate: no shared benchmarks between base and head; nothing to gate")
+		return
+	}
+	if n := minSamples(base, head); n < 6 {
+		fmt.Fprintf(os.Stderr, "benchgate: WARNING: only %d samples per benchmark — the rank test cannot reach α=%.2g below 6; run with -count=10\n", n, *alpha)
+	}
+	bench.FormatResults(os.Stdout, results)
+	if regs := bench.Regressions(results); len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: FAIL — %d significant regression(s) above %.1f%%\n", len(regs), *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: PASS — no significant regressions above %.1f%%\n", *threshold)
+}
+
+// minSamples returns the smallest per-metric sample count across both runs
+// (0 when either run is empty).
+func minSamples(runs ...bench.BenchSamples) int {
+	min := -1
+	for _, run := range runs {
+		for _, metrics := range run {
+			for _, xs := range metrics {
+				if min < 0 || len(xs) < min {
+					min = len(xs)
+				}
+			}
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+func parseFile(path string) (bench.BenchSamples, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return bench.ParseGoBench(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -18,11 +18,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
 	"fuzzyknn/internal/bench"
 )
@@ -79,37 +79,22 @@ func main() {
 		}
 	}
 
-	var tables []*bench.Table
-	for i, e := range exps {
-		if i > 0 {
-			fmt.Println()
-		}
-		started := time.Now()
-		tbl, err := e.Run(scale)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
-		}
-		if err := bench.WriteTable(os.Stdout, tbl); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("(completed in %v)\n", time.Since(started).Round(time.Millisecond))
-		tables = append(tables, tbl)
+	// RunToReport writes the -json report even when an experiment fails
+	// mid-run: completed tables are never discarded by a late failure.
+	report, err := bench.RunToReport(exps, bench.RunOptions{
+		Scale:     scale,
+		ScaleName: *scaleName,
+		Notes:     notes,
+		Stdout:    os.Stdout,
+		JSONPath:  *jsonPath,
+	})
+	// The "wrote" line must not claim an artifact that never hit the disk:
+	// ErrReportWrite tags exactly that failure.
+	if *jsonPath != "" && report != nil && !errors.Is(err, bench.ErrReportWrite) {
+		fmt.Fprintf(os.Stderr, "fuzzybench: wrote %s (%d experiment(s))\n", *jsonPath, len(report.Experiments))
 	}
-
-	if *jsonPath != "" {
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			fatal(err)
-		}
-		report := bench.NewReport(*scaleName, notes, tables)
-		if err := report.WriteJSON(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "fuzzybench: wrote %s\n", *jsonPath)
+	if err != nil {
+		fatal(err)
 	}
 }
 

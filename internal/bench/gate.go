@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The perf-regression gate: parse two `go test -bench` outputs (merge-base
+// and PR head, each run with -count=N), compare every benchmark metric
+// present in both, and flag statistically significant regressions above a
+// threshold. CI runs benchstat over the same two files for the
+// human-readable artifact; the pass/fail decision is made here so it is
+// deterministic, dependency-free and unit-tested in-repo. The significance
+// test is the same family benchstat uses (two-sided Mann-Whitney U).
+
+// BenchSamples maps benchmark name → metric unit → ordered samples.
+type BenchSamples map[string]map[string][]float64
+
+// ParseGoBench reads `go test -bench` output, collecting one sample per
+// (benchmark, metric) per line. Benchmark names are normalized by dropping
+// the trailing -GOMAXPROCS suffix. Lines that are not benchmark results are
+// ignored.
+func ParseGoBench(r io.Reader) (BenchSamples, error) {
+	out := BenchSamples{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			unit := fields[i+1]
+			m := out[name]
+			if m == nil {
+				m = map[string][]float64{}
+				out[name] = m
+			}
+			m[unit] = append(m[unit], v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GateOptions configures Gate.
+type GateOptions struct {
+	// Metrics are the units the gate enforces (others are reported but
+	// never fail the gate). Default: ns/op and allocs/op.
+	Metrics []string
+	// ThresholdPct is the median regression above which a significant
+	// change fails the gate. Default 5.
+	ThresholdPct float64
+	// Alpha is the significance level of the Mann-Whitney test. Default
+	// 0.05.
+	Alpha float64
+}
+
+func (o GateOptions) withDefaults() GateOptions {
+	if o.Metrics == nil {
+		o.Metrics = []string{"ns/op", "allocs/op"}
+	}
+	if o.ThresholdPct == 0 {
+		o.ThresholdPct = 5
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.05
+	}
+	return o
+}
+
+// GateResult is the comparison of one (benchmark, metric) pair.
+type GateResult struct {
+	Benchmark  string
+	Metric     string
+	BaseMedian float64
+	HeadMedian float64
+	// DeltaPct is the median change in percent (positive = head is worse
+	// for cost metrics, which all gate metrics are).
+	DeltaPct float64
+	// P is the two-sided Mann-Whitney p-value (0 when both sides are
+	// constant and different — a deterministic metric that moved).
+	P float64
+	// Significant reports P < alpha.
+	Significant bool
+	// Regression reports a gate-enforced metric with a significant median
+	// increase above the threshold.
+	Regression bool
+}
+
+// Gate compares base and head samples and returns one result per gated
+// (benchmark, metric) pair present in both, sorted by benchmark then
+// metric. Benchmarks absent from either side are skipped: a brand-new
+// benchmark has no baseline to regress against.
+func Gate(base, head BenchSamples, opts GateOptions) []GateResult {
+	opts = opts.withDefaults()
+	var out []GateResult
+	names := make([]string, 0, len(head))
+	for name := range head {
+		if _, ok := base[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, metric := range opts.Metrics {
+			bs, hs := base[name][metric], head[name][metric]
+			if len(bs) == 0 || len(hs) == 0 {
+				continue
+			}
+			r := GateResult{
+				Benchmark:  name,
+				Metric:     metric,
+				BaseMedian: median(bs),
+				HeadMedian: median(hs),
+			}
+			if r.BaseMedian != 0 {
+				r.DeltaPct = (r.HeadMedian - r.BaseMedian) / r.BaseMedian * 100
+			} else if r.HeadMedian != 0 {
+				r.DeltaPct = math.Inf(1)
+			}
+			r.P = mannWhitneyP(bs, hs)
+			r.Significant = r.P < opts.Alpha
+			r.Regression = r.Significant && r.DeltaPct > opts.ThresholdPct
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Regressions filters results down to gate failures.
+func Regressions(results []GateResult) []GateResult {
+	var out []GateResult
+	for _, r := range results {
+		if r.Regression {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// FormatResults renders a gate summary table.
+func FormatResults(w io.Writer, results []GateResult) {
+	fmt.Fprintf(w, "%-40s %-10s %14s %14s %9s %8s  %s\n",
+		"benchmark", "metric", "base median", "head median", "delta", "p", "verdict")
+	for _, r := range results {
+		verdict := "ok"
+		switch {
+		case r.Regression:
+			verdict = "REGRESSION"
+		case r.Significant && r.DeltaPct < 0:
+			verdict = "improved"
+		case !r.Significant:
+			verdict = "~"
+		}
+		fmt.Fprintf(w, "%-40s %-10s %14.4g %14.4g %+8.2f%% %8.3g  %s\n",
+			r.Benchmark, r.Metric, r.BaseMedian, r.HeadMedian, r.DeltaPct, r.P, verdict)
+	}
+}
+
+func median(xs []float64) float64 {
+	s := slices.Clone(xs)
+	slices.Sort(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// mannWhitneyP computes the two-sided p-value of the Mann-Whitney U test
+// via the tie-corrected normal approximation with continuity correction —
+// adequate for the -count=10 sample sizes the gate runs with. Two special
+// cases keep deterministic metrics (allocs/op) exact: identical constant
+// samples are never significant (p=1), and disjoint constant samples are
+// maximally significant (p=0).
+func mannWhitneyP(a, b []float64) float64 {
+	n1, n2 := float64(len(a)), float64(len(b))
+	if n1 == 0 || n2 == 0 {
+		return 1
+	}
+	if constant(a) && constant(b) {
+		if a[0] == b[0] {
+			return 1
+		}
+		return 0
+	}
+	// Rank the pooled samples with midranks for ties.
+	type obs struct {
+		v    float64
+		from int8
+	}
+	pool := make([]obs, 0, len(a)+len(b))
+	for _, v := range a {
+		pool = append(pool, obs{v, 0})
+	}
+	for _, v := range b {
+		pool = append(pool, obs{v, 1})
+	}
+	slices.SortFunc(pool, func(x, y obs) int {
+		switch {
+		case x.v < y.v:
+			return -1
+		case x.v > y.v:
+			return 1
+		}
+		return 0
+	})
+	var rankSumA float64
+	var tieTerm float64
+	for i := 0; i < len(pool); {
+		j := i
+		for j < len(pool) && pool[j].v == pool[i].v {
+			j++
+		}
+		rank := float64(i+j+1) / 2 // midrank, 1-based
+		if t := float64(j - i); t > 1 {
+			tieTerm += t*t*t - t
+		}
+		for k := i; k < j; k++ {
+			if pool[k].from == 0 {
+				rankSumA += rank
+			}
+		}
+		i = j
+	}
+	u := rankSumA - n1*(n1+1)/2
+	mean := n1 * n2 / 2
+	nTot := n1 + n2
+	variance := n1 * n2 / 12 * (nTot + 1 - tieTerm/(nTot*(nTot-1)))
+	if variance <= 0 {
+		return 1
+	}
+	z := math.Abs(u-mean) - 0.5 // continuity correction
+	if z < 0 {
+		z = 0
+	}
+	z /= math.Sqrt(variance)
+	return math.Erfc(z / math.Sqrt2)
+}
+
+func constant(xs []float64) bool {
+	for _, v := range xs[1:] {
+		if v != xs[0] {
+			return false
+		}
+	}
+	return true
+}

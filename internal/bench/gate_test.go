@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const benchOutA = `goos: linux
+goarch: amd64
+pkg: fuzzyknn/internal/query
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkHotPathAKNNBasic-4   	    2022	    585333 ns/op	  134857 B/op	    1444 allocs/op
+BenchmarkHotPathAKNNBasic-4   	    2046	    593623 ns/op	  134857 B/op	    1444 allocs/op
+BenchmarkHotPathAKNNBasic-4   	    2065	    590040 ns/op	  134872 B/op	    1444 allocs/op
+BenchmarkOnlyInBase 	     100	    111111 ns/op
+PASS
+ok  	fuzzyknn/internal/query	35.218s
+`
+
+func TestParseGoBench(t *testing.T) {
+	s, err := ParseGoBench(strings.NewReader(benchOutA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := s["BenchmarkHotPathAKNNBasic"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", s)
+	}
+	if got := m["ns/op"]; len(got) != 3 || got[0] != 585333 {
+		t.Fatalf("ns/op samples = %v", got)
+	}
+	if got := m["allocs/op"]; len(got) != 3 || got[2] != 1444 {
+		t.Fatalf("allocs/op samples = %v", got)
+	}
+	if _, ok := s["BenchmarkOnlyInBase"]; !ok {
+		t.Fatal("unsuffixed benchmark not parsed")
+	}
+}
+
+func samples(name string, ns []float64, allocs []float64) BenchSamples {
+	return BenchSamples{name: {"ns/op": ns, "allocs/op": allocs}}
+}
+
+func TestGateFlagsSignificantRegression(t *testing.T) {
+	base := samples("BenchmarkX",
+		[]float64{100, 101, 99, 100, 102, 98, 100, 101, 99, 100},
+		[]float64{10, 10, 10, 10, 10, 10, 10, 10, 10, 10})
+	head := samples("BenchmarkX",
+		[]float64{120, 121, 119, 120, 122, 118, 120, 121, 119, 120},
+		[]float64{10, 10, 10, 10, 10, 10, 10, 10, 10, 10})
+	results := Gate(base, head, GateOptions{})
+	regs := Regressions(results)
+	if len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("regressions = %+v, want one ns/op regression", regs)
+	}
+	if math.Abs(regs[0].DeltaPct-20) > 0.5 {
+		t.Fatalf("delta = %v, want ~+20%%", regs[0].DeltaPct)
+	}
+}
+
+func TestGateIgnoresNoiseUnderThreshold(t *testing.T) {
+	base := samples("BenchmarkX",
+		[]float64{100, 101, 99, 100, 102, 98, 100, 101, 99, 100}, nil)
+	// ~2% slower and overlapping: not a significant >5% regression.
+	head := samples("BenchmarkX",
+		[]float64{102, 99, 103, 100, 101, 100, 102, 99, 101, 100}, nil)
+	if regs := Regressions(Gate(base, head, GateOptions{})); len(regs) != 0 {
+		t.Fatalf("noise flagged as regression: %+v", regs)
+	}
+}
+
+func TestGateDeterministicAllocRegression(t *testing.T) {
+	// allocs/op is effectively deterministic: constant on both sides. A
+	// jump from 0 to 3 must fail the gate even though classic rank tests
+	// degenerate on zero variance.
+	base := samples("BenchmarkX", nil, []float64{0, 0, 0, 0, 0})
+	head := samples("BenchmarkX", nil, []float64{3, 3, 3, 3, 3})
+	regs := Regressions(Gate(base, head, GateOptions{}))
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("regressions = %+v, want one allocs/op regression", regs)
+	}
+	if !math.IsInf(regs[0].DeltaPct, 1) {
+		t.Fatalf("delta from zero base = %v, want +Inf", regs[0].DeltaPct)
+	}
+}
+
+func TestGateImprovementAndNewBenchmarksPass(t *testing.T) {
+	base := samples("BenchmarkX",
+		[]float64{100, 101, 99, 100, 102, 98, 100, 101, 99, 100}, nil)
+	head := BenchSamples{
+		"BenchmarkX": {"ns/op": []float64{50, 51, 49, 50, 52, 48, 50, 51, 49, 50}},
+		// Only on head: no baseline, must be skipped, not flagged.
+		"BenchmarkNew": {"ns/op": []float64{999, 999, 999}},
+	}
+	results := Gate(base, head, GateOptions{})
+	if len(results) != 1 {
+		t.Fatalf("results = %+v, want only the shared benchmark", results)
+	}
+	if r := results[0]; r.Regression || !r.Significant || r.DeltaPct > -40 {
+		t.Fatalf("improvement misclassified: %+v", r)
+	}
+	if regs := Regressions(results); len(regs) != 0 {
+		t.Fatalf("unexpected regressions: %+v", regs)
+	}
+}
+
+func TestMannWhitneyPSanity(t *testing.T) {
+	same := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := mannWhitneyP(same, same); p < 0.9 {
+		t.Fatalf("identical samples p = %v, want ~1", p)
+	}
+	lo := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	hi := []float64{101, 102, 103, 104, 105, 106, 107, 108, 109, 110}
+	if p := mannWhitneyP(lo, hi); p > 0.001 {
+		t.Fatalf("disjoint samples p = %v, want tiny", p)
+	}
+}
+
+func TestFormatResults(t *testing.T) {
+	base := samples("BenchmarkX", []float64{100, 100, 100, 100, 100}, nil)
+	head := samples("BenchmarkX", []float64{200, 200, 200, 200, 200}, nil)
+	var sb strings.Builder
+	FormatResults(&sb, Gate(base, head, GateOptions{}))
+	out := sb.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "BenchmarkX") {
+		t.Fatalf("table missing expected content:\n%s", out)
+	}
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// ErrReportWrite tags a failure to write the JSON report file itself, so
+// callers can tell "the run failed but the report is on disk" apart from
+// "the report never made it to disk".
+var ErrReportWrite = errors.New("bench: writing JSON report failed")
+
+// RunOptions configures RunToReport.
+type RunOptions struct {
+	// Scale selects the workload sizing; ScaleName is its wire-format
+	// label ("small" or "paper").
+	Scale     Scale
+	ScaleName string
+	// Notes are embedded in the JSON report.
+	Notes []string
+	// Stdout receives the rendered text tables (nil discards them).
+	Stdout io.Writer
+	// JSONPath, when non-empty, receives the machine-readable report.
+	JSONPath string
+}
+
+// RunToReport executes the experiments in order, rendering each table to
+// opts.Stdout, and writes the JSON report when requested.
+//
+// A failing experiment does not discard the tables completed before it:
+// the report is written either way, with the failure recorded in its notes,
+// and the experiment's error is returned. A multi-hour paper-scale run that
+// dies on its last experiment therefore still delivers every completed
+// table — the regression that motivated this function was cmd/fuzzybench
+// exiting before writing -json when any experiment errored.
+func RunToReport(exps []Experiment, opts RunOptions) (*Report, error) {
+	out := opts.Stdout
+	if out == nil {
+		out = io.Discard
+	}
+	var tables []*Table
+	var runErr error
+	for i, e := range exps {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		started := time.Now()
+		tbl, err := e.Run(opts.Scale)
+		if err != nil {
+			runErr = fmt.Errorf("%s: %w", e.ID, err)
+			break
+		}
+		// A completed table counts even if rendering it to stdout fails
+		// (e.g. a full disk behind a redirect) — the JSON write below is
+		// the deliverable.
+		tables = append(tables, tbl)
+		if err := WriteTable(out, tbl); err != nil {
+			runErr = fmt.Errorf("rendering %s: %w", e.ID, err)
+			break
+		}
+		fmt.Fprintf(out, "(completed in %v)\n", time.Since(started).Round(time.Millisecond))
+	}
+	notes := opts.Notes
+	if runErr != nil {
+		notes = append(append([]string(nil), notes...),
+			fmt.Sprintf("INCOMPLETE RUN: %v; report holds the %d table(s) completed before the failure", runErr, len(tables)))
+	}
+	report := NewReport(opts.ScaleName, notes, tables)
+	if opts.JSONPath != "" {
+		if err := writeReportFile(opts.JSONPath, report); err != nil {
+			err = fmt.Errorf("%w: %v", ErrReportWrite, err)
+			if runErr != nil {
+				return report, fmt.Errorf("%w (after: %v)", err, runErr)
+			}
+			return report, err
+		}
+	}
+	return report, runErr
+}
+
+// writeReportFile atomically-ish writes the report to path.
+func writeReportFile(path string, r *Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunToReportWritesJSONOnMidRunError is the regression test for the
+// fuzzybench bug where a late experiment failure discarded every completed
+// table: the -json report must be written with the tables finished before
+// the failure, the failure recorded in the notes, and the error still
+// surfaced to the caller.
+func TestRunToReportWritesJSONOnMidRunError(t *testing.T) {
+	boom := errors.New("synthetic failure")
+	exps := []Experiment{
+		{ID: "ok1", Title: "first", Run: func(Scale) (*Table, error) {
+			return &Table{ID: "ok1", Title: "first", X: []string{"a"}, Series: []Series{{Label: "s", Y: []float64{1}}}}, nil
+		}},
+		{ID: "boom", Title: "fails", Run: func(Scale) (*Table, error) { return nil, boom }},
+		{ID: "never", Title: "unreached", Run: func(Scale) (*Table, error) {
+			t.Error("experiment after the failure must not run")
+			return nil, nil
+		}},
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	report, err := RunToReport(exps, RunOptions{
+		Scale: ScaleSmall, ScaleName: "small",
+		Notes:    []string{"ctx"},
+		JSONPath: path,
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want wrapped %v", err, boom)
+	}
+	if len(report.Experiments) != 1 || report.Experiments[0].ID != "ok1" {
+		t.Fatalf("report holds %+v, want exactly the completed ok1 table", report.Experiments)
+	}
+
+	// The file on disk must exist and parse with the same content.
+	raw, readErr := os.ReadFile(path)
+	if readErr != nil {
+		t.Fatalf("report file not written on mid-run error: %v", readErr)
+	}
+	var onDisk Report
+	if err := json.Unmarshal(raw, &onDisk); err != nil {
+		t.Fatalf("report file does not parse: %v", err)
+	}
+	if len(onDisk.Experiments) != 1 || onDisk.Experiments[0].ID != "ok1" {
+		t.Fatalf("on-disk report holds %+v, want the completed table", onDisk.Experiments)
+	}
+	found := false
+	for _, n := range onDisk.Notes {
+		if strings.Contains(n, "INCOMPLETE RUN") && strings.Contains(n, "boom") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failure not recorded in notes: %v", onDisk.Notes)
+	}
+}
+
+// TestRunToReportCleanRun pins the happy path: all tables, no failure note,
+// nil error.
+func TestRunToReportCleanRun(t *testing.T) {
+	exps := []Experiment{
+		{ID: "a", Title: "a", Run: func(Scale) (*Table, error) {
+			return &Table{ID: "a", X: []string{"x"}, Series: []Series{{Label: "s", Y: []float64{1}}}}, nil
+		}},
+		{ID: "b", Title: "b", Run: func(Scale) (*Table, error) {
+			return &Table{ID: "b", X: []string{"x"}, Series: []Series{{Label: "s", Y: []float64{2}}}}, nil
+		}},
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	var text strings.Builder
+	report, err := RunToReport(exps, RunOptions{
+		Scale: ScaleSmall, ScaleName: "small",
+		Stdout: &text, JSONPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Experiments) != 2 {
+		t.Fatalf("got %d tables, want 2", len(report.Experiments))
+	}
+	for _, n := range report.Notes {
+		if strings.Contains(n, "INCOMPLETE") {
+			t.Fatalf("clean run carries a failure note: %q", n)
+		}
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "completed in") {
+		t.Fatalf("text rendering missing: %q", text.String())
+	}
+}

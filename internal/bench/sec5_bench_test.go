@@ -1,0 +1,28 @@
+package bench
+
+import (
+	"testing"
+
+	"fuzzyknn/internal/dataset"
+	"fuzzyknn/internal/query"
+)
+
+// BenchmarkSec5AKNN is the §5 cost-model workload as a Go benchmark: Basic
+// AKNN over ideal fuzzy objects (Definition 8) at the paper's defaults
+// (k=20, α=0.5) on the small scale. It is the headline ns/op series of the
+// repository's perf trajectory (BENCH_pr*.json) and part of the CI
+// bench-gate set.
+func BenchmarkSec5AKNN(b *testing.B) {
+	e, err := Setup(defaultWorkload(ScaleSmall, dataset.Ideal))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := e.QueryObj[i%len(e.QueryObj)]
+		if _, _, err := e.Index.AKNN(q, DefaultK, DefaultAlpha, query.Basic); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -54,9 +54,22 @@ func NewBoundaryApprox(o *Object) *BoundaryApprox {
 // M_A(α) (equation 2): each face sits at the kernel face pushed outward by
 // the conservative line's estimate of δ(α), clipped to the support MBR.
 func (b *BoundaryApprox) EstimateMBR(alpha float64) geom.Rect {
+	return b.EstimateMBRInto(alpha, geom.Rect{})
+}
+
+// EstimateMBRInto implements MBREstimator: the estimate is written into
+// dst's corner slices when they have capacity, so per-visit estimates in
+// the search hot path reuse one scratch rectangle instead of allocating.
+func (b *BoundaryApprox) EstimateMBRInto(alpha float64, dst geom.Rect) geom.Rect {
 	d := len(b.HiLine)
-	lo := make(geom.Point, d)
-	hi := make(geom.Point, d)
+	lo, hi := dst.Lo, dst.Hi
+	if cap(lo) < d {
+		lo = make(geom.Point, d)
+	}
+	if cap(hi) < d {
+		hi = make(geom.Point, d)
+	}
+	lo, hi = lo[:d], hi[:d]
 	for dim := 0; dim < d; dim++ {
 		dh := b.HiLine[dim].Eval(alpha)
 		if dh < 0 {

@@ -41,6 +41,16 @@ func AlphaDistBrute(a, b *Object, alpha float64) float64 {
 type Profile struct {
 	Levels []float64
 	Dists  []float64
+
+	// integral memoizes Integrate (the staircase's exact integral — the
+	// expected distance): refinement paths read it repeatedly and must not
+	// pay the summation more than once. It is filled eagerly by
+	// ComputeProfile — never lazily — so a *Profile is immutable after
+	// construction and safe to share across goroutines. Code that mutates
+	// Levels/Dists in place (none in this repository) would need to
+	// construct a fresh Profile instead.
+	integral   float64
+	integrated bool
 }
 
 // ComputeProfile evaluates the whole distance profile in a single
@@ -80,7 +90,8 @@ func ComputeProfile(a, q *Object) *Profile {
 		}
 		dists[j] = best
 	}
-	return &Profile{Levels: levels, Dists: dists}
+	return &Profile{Levels: levels, Dists: dists,
+		integral: integrate(levels, dists), integrated: true}
 }
 
 // ComputeProfileBrute is the reference profile computation: an independent

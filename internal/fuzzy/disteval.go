@@ -1,0 +1,150 @@
+package fuzzy
+
+import (
+	"math"
+
+	"fuzzyknn/internal/kdtree"
+)
+
+// DistEval evaluates α-distances d_α(·, Q) against one fixed query object at
+// one fixed α without allocating per evaluation. AlphaDist builds a k-d tree
+// per call; a search visiting m objects therefore pays m tree builds even
+// though one side of every closest-pair computation — the query's α-cut — is
+// the same. DistEval builds that tree once per (query, α) and probes it with
+// each visited object's cut points, reusing the tree's buffers across
+// Reset calls, so the steady-state cost per visit is the pruned
+// nearest-neighbor queries alone.
+//
+// Dist returns exactly the same value as AlphaDist: the bichromatic
+// closest-pair distance is a unique minimum, and both evaluations take the
+// minimum over the same correctly-rounded per-pair Euclidean distances, so
+// the result is bitwise identical regardless of which side the tree is
+// built over.
+//
+// Values are additionally memoized per object id. The memo is cleared on
+// every Reset: object ids are only stable identities within a single query
+// execution (one index snapshot), so a memo must never outlive the query
+// that filled it.
+//
+// A DistEval is not safe for concurrent use; pool one per worker (the query
+// layer keeps one in its per-query scratch).
+type DistEval struct {
+	q     *Object
+	alpha float64
+	tree  kdtree.Tree
+	memo  map[uint64]float64
+}
+
+// Reset points the evaluator at a new (query, α) pair, rebuilding the
+// query-cut tree in place and dropping all memoized values.
+func (e *DistEval) Reset(q *Object, alpha float64) {
+	e.q = q
+	e.alpha = alpha
+	e.tree.Rebuild(q.Cut(alpha))
+	if e.memo == nil {
+		e.memo = make(map[uint64]float64, 64)
+	}
+	clear(e.memo)
+}
+
+// Invalidate drops the evaluator's pin and memo without rebuilding
+// anything. Callers that conditionally Reset on Query() changes (the join
+// workers) must Invalidate when they acquire a pooled evaluator: a stale
+// pin from a previous execution could otherwise alias the current query
+// object and skip the Reset — wrong α, stale memo.
+func (e *DistEval) Invalidate() {
+	e.q = nil
+	clear(e.memo)
+}
+
+// Query returns the object the evaluator is currently pinned to (nil before
+// the first Reset, and after Invalidate).
+func (e *DistEval) Query() *Object { return e.q }
+
+// Alpha returns the α the evaluator is currently pinned to.
+func (e *DistEval) Alpha() float64 { return e.alpha }
+
+// Dist returns d_α(o, Q) for the pinned query and α, memoized by o.ID().
+func (e *DistEval) Dist(o *Object) float64 {
+	if d, ok := e.memo[o.ID()]; ok {
+		return d
+	}
+	d := e.dist(o)
+	e.memo[o.ID()] = d
+	return d
+}
+
+// dist is the uncached evaluation: a bichromatic closest pair between o's
+// cut and the prebuilt query-cut tree.
+func (e *DistEval) dist(o *Object) float64 {
+	cut := o.Cut(e.alpha)
+	if len(cut) == 0 || e.tree.Len() == 0 {
+		return math.Inf(1)
+	}
+	best := math.Inf(1)
+	for _, p := range cut {
+		if _, d := e.tree.NearestWithin(p, best); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// ProfileCache memoizes distance profiles (the staircase α ↦ d_α and hence
+// its integral, the expected distance) per (object, query) pair. Profiles
+// are pure functions of the two objects' points, so entries are keyed by
+// object *pointer* — a payload identity that stays valid across index churn,
+// unlike an id, which can be recycled. The cache serves one query object at
+// a time: Lookup for a different query clears it, which also bounds its
+// size to one query's working set (with maxProfileEntries as a hard cap for
+// stores that decode a fresh object per probe and would otherwise grow it
+// without ever hitting).
+//
+// A ProfileCache is not safe for concurrent use; pool one per worker.
+type ProfileCache struct {
+	q *Object
+	m map[*Object]*Profile
+}
+
+// maxProfileEntries caps the cache; see the type comment.
+const maxProfileEntries = 4096
+
+// Lookup returns the cached profile of (o, q) without computing on a miss.
+// Search paths use it to reuse a staircase value some earlier phase already
+// paid for while never paying a full profile for a one-shot distance.
+func (c *ProfileCache) Lookup(o, q *Object) (*Profile, bool) {
+	if c.q != q || c.m == nil {
+		return nil, false
+	}
+	p, ok := c.m[o]
+	return p, ok
+}
+
+// Profile returns the memoized profile of (o, q), computing and caching it
+// on a miss. Both repeated calls within one query execution and repeats of
+// the same query object across executions hit the cache.
+func (c *ProfileCache) Profile(o, q *Object) *Profile {
+	if c.q != q || c.m == nil {
+		if c.m == nil {
+			c.m = make(map[*Object]*Profile, 64)
+		} else {
+			clear(c.m)
+		}
+		c.q = q
+	}
+	if p, ok := c.m[o]; ok {
+		return p
+	}
+	p := ComputeProfile(o, q)
+	if len(c.m) >= maxProfileEntries {
+		clear(c.m)
+	}
+	c.m[o] = p
+	return p
+}
+
+// ExpectedDist returns the memoized integrated distance E(o, q); the
+// profile's integral is itself computed at most once (see Integrate).
+func (c *ProfileCache) ExpectedDist(o, q *Object) float64 {
+	return c.Profile(o, q).Integrate()
+}

@@ -21,10 +21,23 @@ func ExpectedDist(a, b *Object) float64 {
 
 // Integrate returns ∫₀¹ d_α dα for the profile's step function: plateau j
 // spans (Levels[j-1], Levels[j]] with constant distance Dists[j].
+//
+// Profiles built by ComputeProfile carry the integral precomputed, so this
+// is a plain field read there. For hand-assembled profiles the sum is
+// computed on the fly without being stored: Integrate never writes to the
+// profile, so sharing a *Profile across goroutines stays safe.
 func (p *Profile) Integrate() float64 {
+	if p.integrated {
+		return p.integral
+	}
+	return integrate(p.Levels, p.Dists)
+}
+
+// integrate sums the staircase's exact integral.
+func integrate(levels, dists []float64) float64 {
 	var sum, prev float64
-	for j, u := range p.Levels {
-		sum += (u - prev) * p.Dists[j]
+	for j, u := range levels {
+		sum += (u - prev) * dists[j]
 		prev = u
 	}
 	return sum

@@ -219,30 +219,49 @@ func (o *Object) SampleCut(alpha float64, n int, seed uint64) []geom.Point {
 	if len(cut) <= n {
 		return cut
 	}
-	// Partial Fisher-Yates over a copy of the index space, driven by
-	// SplitMix64 so results are stable across runs.
-	idx := make([]int, len(cut))
+	out, _ := o.AppendSampleCut(nil, nil, alpha, n, seed)
+	return out
+}
+
+// AppendSampleCut is SampleCut appending the sampled points to dst and
+// reusing idxBuf for the Fisher-Yates index space, so repeated queries
+// sample without allocating. It returns the extended sample slice and the
+// (possibly grown) index buffer; the sampled sequence is identical to
+// SampleCut's for the same arguments.
+func (o *Object) AppendSampleCut(dst []geom.Point, idxBuf []int, alpha float64, n int, seed uint64) ([]geom.Point, []int) {
+	cut := o.Cut(alpha)
+	if len(cut) <= n {
+		return append(dst, cut...), idxBuf
+	}
+	// Partial Fisher-Yates over the index space, driven by SplitMix64 so
+	// results are stable across runs.
+	if cap(idxBuf) < len(cut) {
+		idxBuf = make([]int, len(cut))
+	}
+	idx := idxBuf[:len(cut)]
 	for i := range idx {
 		idx[i] = i
 	}
 	state := seed
-	next := func() uint64 {
-		state += 0x9E3779B97F4A7C15
-		z := state
-		z ^= z >> 30
-		z *= 0xBF58476D1CE4E5B9
-		z ^= z >> 27
-		z *= 0x94D049BB133111EB
-		z ^= z >> 31
-		return z
-	}
-	out := make([]geom.Point, n)
 	for i := 0; i < n; i++ {
-		j := i + int(next()%uint64(len(idx)-i))
+		j := i + int(splitmix64(&state)%uint64(len(idx)-i))
 		idx[i], idx[j] = idx[j], idx[i]
-		out[i] = cut[idx[i]]
+		dst = append(dst, cut[idx[i]])
 	}
-	return out
+	return dst, idxBuf
+}
+
+// splitmix64 advances state and returns the next SplitMix64 output. It is a
+// plain function rather than a closure so sampling does not allocate.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
 }
 
 // String summarizes the object.

@@ -13,6 +13,15 @@ import (
 // storage cost.
 type MBREstimator interface {
 	EstimateMBR(alpha float64) geom.Rect
+	// EstimateMBRInto is EstimateMBR writing into dst's backing arrays when
+	// they have capacity (allocating fresh ones otherwise) and returning
+	// the resulting rectangle, append-style. The result must be backed by
+	// dst (or fresh memory), never by the estimator's own storage: callers
+	// hold it in pooled scratch and pass it back as a writable dst later,
+	// so an aliasing return would let one index's estimates corrupt
+	// another's shared state. The result is only valid until the next call
+	// with the same dst and must not be retained by search loops.
+	EstimateMBRInto(alpha float64, dst geom.Rect) geom.Rect
 	// SupportRect returns M_A(0), the rectangle the R-tree indexes.
 	SupportRect() geom.Rect
 }
@@ -65,6 +74,28 @@ func NewStaircaseApprox(o *Object, steps int) *StaircaseApprox {
 		s.rects = append(s.rects, o.levelMBRs[idx].Clone())
 	}
 	return s
+}
+
+// EstimateMBRInto implements MBREstimator by copying the precomputed
+// rectangle into dst's backing arrays. Returning the stored rectangle
+// directly would hand callers an aliasing, writable view of the
+// estimator's shared state: hot paths store the result back into pooled
+// scratch and later pass it as a writable dst to other estimators, which
+// would then silently corrupt this index's rectangles.
+func (s *StaircaseApprox) EstimateMBRInto(alpha float64, dst geom.Rect) geom.Rect {
+	r := s.EstimateMBR(alpha)
+	d := len(r.Lo)
+	lo, hi := dst.Lo, dst.Hi
+	if cap(lo) < d {
+		lo = make(geom.Point, d)
+	}
+	if cap(hi) < d {
+		hi = make(geom.Point, d)
+	}
+	lo, hi = lo[:d], hi[:d]
+	copy(lo, r.Lo)
+	copy(hi, r.Hi)
+	return geom.Rect{Lo: lo, Hi: hi}
 }
 
 // EstimateMBR returns the exact MBR of the cut at the largest retained

@@ -3,6 +3,8 @@ package fuzzy
 import (
 	"math/rand/v2"
 	"testing"
+
+	"fuzzyknn/internal/geom"
 )
 
 func TestStaircaseConservative(t *testing.T) {
@@ -87,5 +89,39 @@ func TestStaircaseSupportRect(t *testing.T) {
 	b := NewBoundaryApprox(o)
 	if !b.SupportRect().Equal(o.SupportMBR()) {
 		t.Fatal("BoundaryApprox.SupportRect mismatch")
+	}
+}
+
+// TestEstimateMBRIntoNeverAliasesEstimatorState pins the EstimateMBRInto
+// contract for both estimators: the returned rectangle must be backed by
+// dst (or fresh memory), never by the estimator's own storage — callers
+// hold the result in pooled scratch and later pass it back as a writable
+// dst, so an aliasing return would let one index's estimates corrupt
+// another's shared rectangles.
+func TestEstimateMBRIntoNeverAliasesEstimatorState(t *testing.T) {
+	o := MustNew(1, []WeightedPoint{
+		{P: geom.Point{0, 0}, Mu: 1},
+		{P: geom.Point{2, 1}, Mu: 0.6},
+		{P: geom.Point{4, 3}, Mu: 0.3},
+	})
+	for name, est := range map[string]MBREstimator{
+		"boundary":  NewBoundaryApprox(o),
+		"staircase": NewStaircaseApprox(o, 3),
+	} {
+		before := est.EstimateMBR(0.5).Clone()
+		var dst geom.Rect
+		dst = est.EstimateMBRInto(0.5, dst)
+		if !dst.Equal(before) {
+			t.Fatalf("%s: EstimateMBRInto = %v, want %v", name, dst, before)
+		}
+		// Scribble over the returned rectangle as a reused scratch buffer
+		// would; the estimator's own answer must be unaffected.
+		for i := range dst.Lo {
+			dst.Lo[i] = -1e9
+			dst.Hi[i] = 1e9
+		}
+		if after := est.EstimateMBR(0.5); !after.Equal(before) {
+			t.Fatalf("%s: estimator state mutated through EstimateMBRInto result: %v -> %v", name, before, after)
+		}
 	}
 }

@@ -291,6 +291,31 @@ func (r Rect) String() string {
 // intersect and +Inf if either is empty.
 func MinDist(r, s Rect) float64 { return math.Sqrt(MinDistSq(r, s)) }
 
+// MinDistLoHi is MinDist where the first rectangle is given by its packed
+// corner slices lo and hi (as laid out by rtree node flattening) instead of
+// a Rect. The arithmetic is identical to MinDist — same per-dimension gap,
+// same summation order — so the result is bitwise equal.
+func MinDistLoHi(lo, hi []float64, r Rect) float64 { return math.Sqrt(MinDistSqLoHi(lo, hi, r)) }
+
+// MinDistSqLoHi is the squared form of MinDistLoHi.
+func MinDistSqLoHi(lo, hi []float64, r Rect) float64 {
+	if r.IsEmpty() || len(lo) == 0 {
+		return math.Inf(1)
+	}
+	var sum float64
+	for i := range lo {
+		var l float64
+		switch {
+		case lo[i] > r.Hi[i]:
+			l = lo[i] - r.Hi[i]
+		case r.Lo[i] > hi[i]:
+			l = r.Lo[i] - hi[i]
+		}
+		sum += l * l
+	}
+	return sum
+}
+
 // MinDistSq is the squared form of MinDist.
 func MinDistSq(r, s Rect) float64 {
 	if r.IsEmpty() || s.IsEmpty() {

@@ -12,7 +12,7 @@ package interval
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -198,14 +198,32 @@ func (s *Set) Add(iv Interval) {
 		}
 	}
 	out = append(out, merged)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Lo != out[j].Lo {
-			return out[i].Lo < out[j].Lo
+	// slices.SortFunc rather than sort.Slice: the latter boxes its closure
+	// and allocates, which the zero-allocation RKNN accumulation path (one
+	// Add per qualifying plateau) cannot afford.
+	slices.SortFunc(out, func(a, b Interval) int {
+		switch {
+		case a.Lo < b.Lo:
+			return -1
+		case a.Lo > b.Lo:
+			return 1
+		case !a.LoOpen && b.LoOpen:
+			return -1
+		case a.LoOpen && !b.LoOpen:
+			return 1
 		}
-		return !out[i].LoOpen && out[j].LoOpen
+		return 0
 	})
 	s.ivs = out
 }
+
+// Clear empties the set in place, keeping its backing capacity for reuse.
+func (s *Set) Clear() { s.ivs = s.ivs[:0] }
+
+// CopyFrom replaces s's contents with o's, reusing s's backing capacity.
+// Pooled query scratch uses it to hand results to caller-owned buffers
+// without aliasing scratch-owned interval storage.
+func (s *Set) CopyFrom(o Set) { s.ivs = append(s.ivs[:0], o.ivs...) }
 
 // AddSet unions every interval of o into s.
 func (s *Set) AddSet(o Set) {

@@ -10,7 +10,6 @@ package kdtree
 
 import (
 	"math"
-	"sort"
 
 	"fuzzyknn/internal/geom"
 )
@@ -27,18 +26,32 @@ type Tree struct {
 // Building an empty tree is allowed.
 func Build(pts []geom.Point) *Tree {
 	t := &Tree{}
+	t.Rebuild(pts)
+	return t
+}
+
+// Rebuild reconstructs the tree over pts in place, reusing the tree's
+// internal buffers when they have capacity. It produces exactly the same
+// layout as Build over the same input and exists so hot paths can evaluate
+// many closest-pair queries without allocating a fresh tree per evaluation
+// (see fuzzy.DistEval). The input slice is not modified.
+func (t *Tree) Rebuild(pts []geom.Point) {
 	if len(pts) == 0 {
-		return t
+		t.pts = t.pts[:0]
+		t.idx = t.idx[:0]
+		t.dims = 0
+		return
 	}
 	t.dims = pts[0].Dims()
-	t.pts = make([]geom.Point, len(pts))
-	t.idx = make([]int, len(pts))
-	copy(t.pts, pts)
+	t.pts = append(t.pts[:0], pts...)
+	if cap(t.idx) < len(pts) {
+		t.idx = make([]int, len(pts))
+	}
+	t.idx = t.idx[:len(pts)]
 	for i := range t.idx {
 		t.idx[i] = i
 	}
 	t.build(0, len(t.pts), 0)
-	return t
 }
 
 // Len returns the number of points in the tree.
@@ -97,21 +110,15 @@ func (t *Tree) selectMedian(lo, hi, mid, axis int) {
 			return
 		}
 	}
-	sub := sortable{t: t, lo: lo, hi: hi, axis: axis}
-	sort.Sort(sub)
+	// Insertion sort on the small remainder. A sort.Sort fallback would box
+	// its sort.Interface argument and allocate on every (re)build, which the
+	// zero-allocation hot path cannot afford.
+	for i := lo + 1; i < hi; i++ {
+		for j := i; j > lo && t.pts[j][axis] < t.pts[j-1][axis]; j-- {
+			t.swap(j, j-1)
+		}
+	}
 }
-
-type sortable struct {
-	t      *Tree
-	lo, hi int
-	axis   int
-}
-
-func (s sortable) Len() int { return s.hi - s.lo }
-func (s sortable) Less(i, j int) bool {
-	return s.t.pts[s.lo+i][s.axis] < s.t.pts[s.lo+j][s.axis]
-}
-func (s sortable) Swap(i, j int) { s.t.swap(s.lo+i, s.lo+j) }
 
 func (t *Tree) swap(i, j int) {
 	t.pts[i], t.pts[j] = t.pts[j], t.pts[i]

@@ -2,7 +2,7 @@ package query
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"fuzzyknn/internal/fuzzy"
@@ -23,11 +23,22 @@ type Result struct {
 }
 
 // sortResults orders rs by the canonical ascending (Dist, ID) result
-// order (resultLess — the same comparator the cross-shard merge uses).
+// order, expressed through resultLess — the exact comparator the
+// cross-shard merge uses, so the two orders can never drift apart.
 // Breaking distance ties by object id (rather than heap pop order) makes
 // outputs byte-identical across runs and across shard layouts.
+// slices.SortFunc rather than sort.Slice keeps the hot paths allocation
+// free (sort.Slice boxes its closure).
 func sortResults(rs []Result) {
-	sort.Slice(rs, func(i, j int) bool { return resultLess(rs[i], rs[j]) })
+	slices.SortFunc(rs, func(a, b Result) int {
+		if resultLess(a, b) {
+			return -1
+		}
+		if resultLess(b, a) {
+			return 1
+		}
+		return 0
+	})
 }
 
 // AKNN answers the ad-hoc kNN query (Definition 4): the k objects with the
@@ -36,15 +47,29 @@ func sortResults(rs []Result) {
 // distance for non-exact results. If the index holds fewer than k objects,
 // all of them are returned.
 func (ix *Index) AKNN(q *fuzzy.Object, k int, alpha float64, algo AKNNAlgorithm) ([]Result, Stats, error) {
+	return ix.AKNNAppend(nil, q, k, alpha, algo)
+}
+
+// AKNNAppend is AKNN appending the results to dst and returning the
+// extended slice. Passing a reused buffer (dst[:0] of a previous answer)
+// makes the steady-state query loop allocation free: all per-query working
+// state lives in pooled scratch, and the answer lands in caller-owned
+// memory. dst's previous contents must no longer be referenced.
+func (ix *Index) AKNNAppend(dst []Result, q *fuzzy.Object, k int, alpha float64, algo AKNNAlgorithm) ([]Result, Stats, error) {
 	start := time.Now()
-	var st Stats
 	s := ix.read()
 	if err := ix.validateQuery(s, q, k, alpha); err != nil {
-		return nil, st, err
+		return dst, Stats{}, err
 	}
-	res, _, err := ix.aknn(s, q, k, alpha, algo, &st)
-	st.Duration = time.Since(start)
-	return res, st, err
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.stats = Stats{}
+	out, err := ix.aknnInto(sc, dst, s, q, k, alpha, algo, nil, nil, &sc.stats)
+	if err != nil {
+		return dst, sc.stats, err
+	}
+	sc.stats.Duration = time.Since(start)
+	return out, sc.stats, nil
 }
 
 // gEntry is one element of the lazy-probe buffer G (§3.3): an unprobed leaf
@@ -54,110 +79,198 @@ type gEntry struct {
 	item         *leafItem
 }
 
-// aknn is the shared implementation, running entirely against one snapshot.
-// It additionally returns the objects it probed, which the RKNN algorithms
-// reuse to build distance profiles without re-reading storage.
-func (ix *Index) aknn(s *snapshot, q *fuzzy.Object, k int, alpha float64, algo AKNNAlgorithm, st *Stats) ([]Result, map[uint64]*fuzzy.Object, error) {
-	mq := q.MBR(alpha)
-	useLB := algo != Basic
-	lazy := algo == LBLP || algo == LBLPUB
+// aknnRun is the state of one AKNN execution against one snapshot. All
+// formerly closure-captured state lives on this struct — itself embedded in
+// the per-query scratch — so a steady-state search allocates nothing: the
+// heap, the lazy-probe buffer, the probe cache and the distance evaluator
+// are all recycled across queries.
+type aknnRun struct {
+	ix      *Index
+	q       *fuzzy.Object
+	k       int
+	alpha   float64
+	st      *Stats
+	sc      *scratch
+	mq      geom.Rect
+	useLB   bool
+	lazy    bool
+	samples []geom.Point
+	// probed caches every probed object, keyed by id. For plain AKNN it is
+	// the scratch's own map; RKNN passes its refinement context's cache so
+	// sub-searches share probes.
+	probed map[uint64]*fuzzy.Object
+	// profiles optionally reuses staircase values some earlier phase
+	// already paid for (RKNN refinement): when the visited object's profile
+	// is cached, its plateau value replaces the fresh closest-pair
+	// computation. Store accesses and counters are charged identically
+	// either way, so the paper's cost metrics are unaffected.
+	profiles *fuzzy.ProfileCache
+	results  []Result
+	// base is the length of the caller's dst prefix: the search appends
+	// after it, counts only its own emissions toward k, and sorts only its
+	// own suffix.
+	base   int
+	buffer []gEntry
+}
 
-	// Q'_α: the fixed sample of the query's α-cut for Lemma 1 (§3.4).
-	var samples []geom.Point
+// emitted returns how many results this run has produced so far.
+func (r *aknnRun) emitted() int { return len(r.results) - r.base }
+
+// aknnInto is the shared AKNN implementation, running entirely against one
+// snapshot and appending results to dst. probed, when non-nil, receives
+// every probed object (nil selects the scratch's own cache); profiles, when
+// non-nil, short-circuits distance evaluations whose staircase is already
+// cached. The append-into-dst contract is what keeps the steady-state loop
+// at zero allocations.
+func (ix *Index) aknnInto(sc *scratch, dst []Result, s *snapshot, q *fuzzy.Object, k int, alpha float64, algo AKNNAlgorithm,
+	probed map[uint64]*fuzzy.Object, profiles *fuzzy.ProfileCache, st *Stats) ([]Result, error) {
+	if probed == nil {
+		clear(sc.probed)
+		probed = sc.probed
+	}
+	sc.dist.Reset(q, alpha)
+	r := &sc.aknn
+	*r = aknnRun{
+		ix:       ix,
+		q:        q,
+		k:        k,
+		alpha:    alpha,
+		st:       st,
+		sc:       sc,
+		mq:       q.MBR(alpha),
+		useLB:    algo != Basic,
+		lazy:     algo == LBLP || algo == LBLPUB,
+		probed:   probed,
+		profiles: profiles,
+		results:  dst,
+		base:     len(dst),
+		buffer:   sc.buffer[:0],
+	}
 	if algo == LBLPUB {
-		samples = q.SampleCut(alpha, ix.opts.SampleSize, ix.opts.SampleSeed)
+		// Q'_α: the fixed sample of the query's α-cut for Lemma 1 (§3.4).
+		sc.samples, sc.sampleIdx = q.AppendSampleCut(sc.samples[:0], sc.sampleIdx, alpha, ix.opts.SampleSize, ix.opts.SampleSeed)
+		r.samples = sc.samples
 	}
-
-	lowerOf := func(supportRect geom.Rect, it *leafItem) float64 {
-		if useLB {
-			return geom.MinDist(it.approx.EstimateMBR(alpha), mq)
-		}
-		return geom.MinDist(supportRect, mq)
-	}
-	upperOf := func(it *leafItem) float64 {
-		u := geom.MaxDist(it.approx.EstimateMBR(alpha), mq)
-		for _, s := range samples {
-			if d := geom.Dist(it.rep, s); d < u {
-				u = d
-			}
-		}
-		return u
-	}
-
-	probed := make(map[uint64]*fuzzy.Object)
-	probe := func(it *leafItem) (float64, error) {
-		obj, err := ix.getObject(it.id, st)
-		if err != nil {
-			return 0, err
-		}
-		st.DistanceEvals++
-		d := fuzzy.AlphaDist(obj, q, alpha)
-		probed[it.id] = obj
-		return d, nil
-	}
-
-	h := newBestFirstQueue()
+	sc.pq.reset()
 	if root := s.tree.Root(); len(root.Entries()) > 0 {
-		h.Push(pqItem{key: geom.MinDist(mq, s.tree.Bounds()), kind: kindNode, node: root})
+		// The root is the queue's only element when popped, so its key never
+		// participates in a comparison; 0 is as good a lower bound as the
+		// tree-bounds MinDist and costs no allocation.
+		sc.pq.Push(pqItem{key: 0, kind: kindNode, node: root})
 	}
-
-	var results []Result
-	// Lazy-probe buffer G (§3.3). Invariant maintained after every step:
-	// |G| ≤ k − |results|, so every buffered entry is guaranteed a slot in
-	// the top-k once all other candidates are exhausted.
-	var buffer []gEntry
-
-	admit := func(g gEntry) {
-		results = append(results, Result{
-			ID: g.item.id, Dist: g.lower, Exact: false, Lower: g.lower, Upper: g.upper,
-		})
+	err := r.run()
+	sc.buffer = r.buffer[:0] // keep grown capacity
+	out := r.results
+	r.results = nil
+	if err != nil {
+		return nil, err
 	}
-	// bufferMin returns the index of the buffered entry with the smallest
-	// (lower bound, id). The buffer holds at most k entries, so linear scans
-	// are cheap.
-	bufferMin := func() int {
-		j := 0
-		for i := 1; i < len(buffer); i++ {
-			if buffer[i].lower < buffer[j].lower ||
-				(buffer[i].lower == buffer[j].lower && buffer[i].item.id < buffer[j].item.id) {
-				j = i
-			}
+	return out, nil
+}
+
+// probe reads one object and evaluates its exact α-distance, charging the
+// access and the evaluation to the run's stats.
+func (r *aknnRun) probe(it *leafItem) (float64, error) {
+	obj, err := r.ix.getObject(it.id, r.st)
+	if err != nil {
+		return 0, err
+	}
+	r.st.DistanceEvals++
+	var d float64
+	if p, ok := r.lookupProfile(obj); ok {
+		d = p.Dist(r.alpha)
+	} else {
+		d = r.sc.dist.Dist(obj)
+	}
+	r.probed[it.id] = obj
+	return d, nil
+}
+
+func (r *aknnRun) lookupProfile(obj *fuzzy.Object) (*fuzzy.Profile, bool) {
+	if r.profiles == nil {
+		return nil, false
+	}
+	return r.profiles.Lookup(obj, r.q)
+}
+
+// upper evaluates the §3.4 upper bound of a leaf entry: MaxDist of the
+// estimated cut MBR, improved by the representative-point distances to the
+// sampled query cut (Lemma 1).
+func (r *aknnRun) upper(it *leafItem) float64 {
+	r.sc.est = it.approx.EstimateMBRInto(r.alpha, r.sc.est)
+	u := geom.MaxDist(r.sc.est, r.mq)
+	for _, s := range r.samples {
+		if d := geom.Dist(it.rep, s); d < u {
+			u = d
 		}
-		return j
 	}
-	// enforceInvariant probes the most promising buffered entries until the
-	// buffer fits into the remaining result slots (Algorithm 2's overflow:
-	// "lazy probe makes all the object retrieval mandatory"). Exact objects
-	// re-enter H, preserving best-first order.
-	enforceInvariant := func() error {
-		for len(buffer) > k-len(results) {
-			j := bufferMin()
-			g := buffer[j]
-			buffer = append(buffer[:j], buffer[j+1:]...)
-			d, err := probe(g.item)
-			if err != nil {
-				return err
-			}
-			h.Push(pqItem{key: d, kind: kindObject, id: g.item.id, dist: d})
-		}
-		return nil
-	}
+	return u
+}
 
-	for len(results) < k && (h.Len() > 0 || len(buffer) > 0) {
+// bufferMin returns the index of the buffered entry with the smallest
+// (lower bound, id). The buffer holds at most k entries, so linear scans
+// are cheap.
+func (r *aknnRun) bufferMin() int {
+	j := 0
+	for i := 1; i < len(r.buffer); i++ {
+		if r.buffer[i].lower < r.buffer[j].lower ||
+			(r.buffer[i].lower == r.buffer[j].lower && r.buffer[i].item.id < r.buffer[j].item.id) {
+			j = i
+		}
+	}
+	return j
+}
+
+// probeBufferMin resolves the most promising buffered entry by probing;
+// the exact object re-enters H, preserving best-first order.
+func (r *aknnRun) probeBufferMin() error {
+	j := r.bufferMin()
+	g := r.buffer[j]
+	r.buffer = append(r.buffer[:j], r.buffer[j+1:]...)
+	d, err := r.probe(g.item)
+	if err != nil {
+		return err
+	}
+	r.sc.pq.Push(pqItem{key: d, kind: kindObject, id: g.item.id, dist: d})
+	return nil
+}
+
+// enforceInvariant probes buffered entries until the buffer fits into the
+// remaining result slots (Algorithm 2's overflow: "lazy probe makes all the
+// object retrieval mandatory").
+func (r *aknnRun) enforceInvariant() error {
+	for len(r.buffer) > r.k-r.emitted() {
+		if err := r.probeBufferMin(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// run executes the best-first search loop; see the original §3 algorithms.
+// The lazy-probe buffer G maintains the invariant |G| ≤ k − |results| after
+// every step, so every buffered entry is guaranteed a slot in the top-k
+// once all other candidates are exhausted.
+func (r *aknnRun) run() error {
+	h := &r.sc.pq
+	for r.emitted() < r.k && (h.Len() > 0 || len(r.buffer) > 0) {
 		hKey := math.Inf(1)
 		if h.Len() > 0 {
 			hKey = h.PeekKey()
 		}
-		if len(buffer) > 0 {
+		if len(r.buffer) > 0 {
 			// Admission (§3.3): a buffered entry whose upper bound beats
 			// every remaining lower bound in H beats everything still in H,
 			// and the size invariant guarantees it a slot — add it to the
 			// results without ever probing it.
 			progressed := false
-			for i := 0; i < len(buffer) && len(results) < k; {
-				if buffer[i].upper < hKey {
-					admit(buffer[i])
-					buffer = append(buffer[:i], buffer[i+1:]...)
+			for i := 0; i < len(r.buffer) && r.emitted() < r.k; {
+				if r.buffer[i].upper < hKey {
+					g := r.buffer[i]
+					r.results = append(r.results, Result{
+						ID: g.item.id, Dist: g.lower, Exact: false, Lower: g.lower, Upper: g.upper,
+					})
+					r.buffer = append(r.buffer[:i], r.buffer[i+1:]...)
 					progressed = true
 				} else {
 					i++
@@ -169,8 +282,8 @@ func (ix *Index) aknn(s *snapshot, q *fuzzy.Object, k int, alpha float64, algo A
 			if h.Len() == 0 {
 				// No admissible upper bound but nothing left to compare
 				// against: resolve the most promising entry by probing.
-				if err := enforceInvariantAlways(&buffer, bufferMin, probe, h); err != nil {
-					return nil, nil, err
+				if err := r.probeBufferMin(); err != nil {
+					return err
 				}
 				continue
 			}
@@ -180,13 +293,12 @@ func (ix *Index) aknn(s *snapshot, q *fuzzy.Object, k int, alpha float64, algo A
 			// entry could hide an equal-distance object with a smaller id,
 			// which must then win the (distance, id) ranking through the
 			// heap's id tiebreak rather than lose to pop order.
-			j := bufferMin()
-			if buffer[j].lower <= hKey {
-				g := buffer[j]
-				buffer = append(buffer[:j], buffer[j+1:]...)
-				d, err := probe(g.item)
+			if j := r.bufferMin(); r.buffer[j].lower <= hKey {
+				g := r.buffer[j]
+				r.buffer = append(r.buffer[:j], r.buffer[j+1:]...)
+				d, err := r.probe(g.item)
 				if err != nil {
-					return nil, nil, err
+					return err
 				}
 				h.Push(pqItem{key: d, kind: kindObject, id: g.item.id, dist: d})
 				continue
@@ -200,59 +312,62 @@ func (ix *Index) aknn(s *snapshot, q *fuzzy.Object, k int, alpha float64, algo A
 		case kindObject:
 			// Exact distance ≤ every remaining lower bound in H and in the
 			// buffer: this is the next true nearest neighbor.
-			results = append(results, Result{
+			r.results = append(r.results, Result{
 				ID: e.id, Dist: e.dist, Exact: true, Lower: e.dist, Upper: e.dist,
 			})
-			if err := enforceInvariant(); err != nil {
-				return nil, nil, err
+			if err := r.enforceInvariant(); err != nil {
+				return err
 			}
 
 		case kindNode:
-			st.NodeAccesses++
-			for _, ent := range e.node.Entries() {
-				if e.node.Leaf() {
-					it := ent.Data.(*leafItem)
-					h.Push(pqItem{key: lowerOf(ent.Rect, it), kind: kindLeaf, id: it.id, item: it})
-				} else {
-					h.Push(pqItem{key: geom.MinDist(mq, ent.Rect), kind: kindNode, node: ent.Child})
-				}
-			}
+			r.st.NodeAccesses++
+			r.expand(e.node)
 
 		case kindLeaf:
-			if !lazy {
-				d, err := probe(e.item)
+			if !r.lazy {
+				d, err := r.probe(e.item)
 				if err != nil {
-					return nil, nil, err
+					return err
 				}
 				h.Push(pqItem{key: d, kind: kindObject, id: e.item.id, dist: d})
 				continue
 			}
-			buffer = append(buffer, gEntry{lower: e.key, upper: upperOf(e.item), item: e.item})
-			if err := enforceInvariant(); err != nil {
-				return nil, nil, err
+			r.buffer = append(r.buffer, gEntry{lower: e.key, upper: r.upper(e.item), item: e.item})
+			if err := r.enforceInvariant(); err != nil {
+				return err
 			}
 		}
 	}
 	// Results were appended in best-first emission order, which already
 	// ascends by distance; the final sort only re-ranks equal-distance
 	// neighbors by id so the output is deterministic.
-	sortResults(results)
-	return results, probed, nil
+	sortResults(r.results[r.base:])
+	return nil
 }
 
-// enforceInvariantAlways resolves one buffered entry by probing when H is
-// empty but no admission is possible (upper-bound ties). It guarantees
-// progress in the rare case that bounds alone cannot rank the remainder.
-func enforceInvariantAlways(buffer *[]gEntry, bufferMin func() int, probe func(*leafItem) (float64, error), h *bestFirstQueue) error {
-	j := bufferMin()
-	g := (*buffer)[j]
-	*buffer = append((*buffer)[:j], (*buffer)[j+1:]...)
-	d, err := probe(g.item)
-	if err != nil {
-		return err
+// expand pushes a node's children, scanning lower bounds off the node's
+// flattened rectangle layout (one contiguous pass, no per-entry pointer
+// chasing). Leaf entries of the LB variants take the tighter §3.2
+// conservative boundary MBR instead.
+func (r *aknnRun) expand(n *rtree.Node) {
+	ents := n.Entries()
+	if n.Leaf() {
+		for i := range ents {
+			it := ents[i].Data.(*leafItem)
+			var key float64
+			if r.useLB {
+				r.sc.est = it.approx.EstimateMBRInto(r.alpha, r.sc.est)
+				key = geom.MinDist(r.sc.est, r.mq)
+			} else {
+				key = n.EntryMinDist(i, r.mq)
+			}
+			r.sc.pq.Push(pqItem{key: key, kind: kindLeaf, id: it.id, item: it})
+		}
+		return
 	}
-	h.Push(pqItem{key: d, kind: kindObject, id: g.item.id, dist: d})
-	return nil
+	for i := range ents {
+		r.sc.pq.Push(pqItem{key: n.EntryMinDist(i, r.mq), kind: kindNode, node: ents[i].Child})
+	}
 }
 
 // LinearScanAKNN is the paper's baseline (§3.1): probe every object,
@@ -265,11 +380,10 @@ func (ix *Index) LinearScanAKNN(q *fuzzy.Object, k int, alpha float64) ([]Result
 	if err := ix.validateQuery(s, q, k, alpha); err != nil {
 		return nil, st, err
 	}
-	type cand struct {
-		id uint64
-		d  float64
-	}
-	var cands []cand
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.dist.Reset(q, alpha)
+	cands := sc.idDists[:0]
 	// Scan the snapshot's population (not the live store) so the baseline
 	// stays consistent under concurrent mutation.
 	for _, id := range s.leafIDs() {
@@ -278,14 +392,9 @@ func (ix *Index) LinearScanAKNN(q *fuzzy.Object, k int, alpha float64) ([]Result
 			return nil, st, err
 		}
 		st.DistanceEvals++
-		cands = append(cands, cand{id: id, d: fuzzy.AlphaDist(obj, q, alpha)})
+		cands = append(cands, idDist{id: id, d: sc.dist.Dist(obj)})
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].d != cands[j].d {
-			return cands[i].d < cands[j].d
-		}
-		return cands[i].id < cands[j].id
-	})
+	sortIDDists(cands)
 	if len(cands) > k {
 		cands = cands[:k]
 	}
@@ -293,8 +402,26 @@ func (ix *Index) LinearScanAKNN(q *fuzzy.Object, k int, alpha float64) ([]Result
 	for i, c := range cands {
 		results[i] = Result{ID: c.id, Dist: c.d, Exact: true, Lower: c.d, Upper: c.d}
 	}
+	sc.idDists = cands[:0]
 	st.Duration = time.Since(start)
 	return results, st, nil
+}
+
+// sortIDDists orders work pairs by ascending (distance, id).
+func sortIDDists(cands []idDist) {
+	slices.SortFunc(cands, func(a, b idDist) int {
+		switch {
+		case a.d < b.d:
+			return -1
+		case a.d > b.d:
+			return 1
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
+		}
+		return 0
+	})
 }
 
 // Refine probes any non-exact results (produced by the lazy-probe variants)
@@ -304,6 +431,9 @@ func (ix *Index) Refine(q *fuzzy.Object, alpha float64, rs []Result) ([]Result, 
 	if err := ix.validateQuery(ix.read(), q, 1, alpha); err != nil {
 		return nil, st, err
 	}
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.dist.Reset(q, alpha)
 	out := make([]Result, len(rs))
 	copy(out, rs)
 	for i := range out {
@@ -315,7 +445,7 @@ func (ix *Index) Refine(q *fuzzy.Object, alpha float64, rs []Result) ([]Result, 
 			return nil, st, err
 		}
 		st.DistanceEvals++
-		d := fuzzy.AlphaDist(obj, q, alpha)
+		d := sc.dist.Dist(obj)
 		out[i] = Result{ID: out[i].ID, Dist: d, Exact: true, Lower: d, Upper: d}
 	}
 	sortResults(out)
@@ -327,74 +457,116 @@ func (ix *Index) Refine(q *fuzzy.Object, alpha float64, rs []Result) ([]Result, 
 // is the search primitive behind RSS (Lemma 3), exposed as a query type of
 // its own — the fuzzy analogue of a spatial range query.
 func (ix *Index) RangeSearch(q *fuzzy.Object, alpha, radius float64) ([]Result, Stats, error) {
+	return ix.RangeSearchAppend(nil, q, alpha, radius)
+}
+
+// RangeSearchAppend is RangeSearch appending the results to dst; like
+// AKNNAppend it makes the steady-state loop allocation free when dst is a
+// reused buffer.
+func (ix *Index) RangeSearchAppend(dst []Result, q *fuzzy.Object, alpha, radius float64) ([]Result, Stats, error) {
 	started := time.Now()
-	var st Stats
 	s := ix.read()
 	if err := ix.validateQuery(s, q, 1, alpha); err != nil {
-		return nil, st, err
+		return dst, Stats{}, err
 	}
 	if radius < 0 || math.IsNaN(radius) {
-		return nil, st, badArgf("query: radius must be non-negative, got %v", radius)
+		return dst, Stats{}, badArgf("query: radius must be non-negative, got %v", radius)
 	}
-	_, dists, err := ix.rangeSearch(s, q, alpha, radius, true, &st)
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.stats = Stats{}
+	_, dists, err := ix.rangeSearch(sc, s, q, alpha, radius, true, &sc.stats)
 	if err != nil {
-		return nil, st, err
+		return dst, sc.stats, err
 	}
-	results := make([]Result, 0, len(dists))
+	base := len(dst)
 	for id, d := range dists {
-		results = append(results, Result{ID: id, Dist: d, Exact: true, Lower: d, Upper: d})
+		dst = append(dst, Result{ID: id, Dist: d, Exact: true, Lower: d, Upper: d})
 	}
-	sortResults(results)
-	st.Duration = time.Since(started)
-	return results, st, nil
+	sortResults(dst[base:])
+	sc.stats.Duration = time.Since(started)
+	return dst, sc.stats, nil
+}
+
+// rangeRun is the closure-free state of one range search; like aknnRun it
+// lives in the scratch so traversal allocates nothing.
+type rangeRun struct {
+	ix     *Index
+	q      *fuzzy.Object
+	alpha  float64
+	radius float64
+	useLB  bool
+	mq     geom.Rect
+	st     *Stats
+	sc     *scratch
+	objs   map[uint64]*fuzzy.Object
+	dists  map[uint64]float64
 }
 
 // rangeSearch collects every object with d_α(A, q) ≤ radius, probing only
 // entries whose lower bound passes the radius test (used by RSS, Lemma 3).
 // It runs against the given snapshot and returns the probed objects and
-// their exact distances.
-func (ix *Index) rangeSearch(s *snapshot, q *fuzzy.Object, alpha, radius float64, useLB bool, st *Stats) (map[uint64]*fuzzy.Object, map[uint64]float64, error) {
-	mq := q.MBR(alpha)
-	objs := make(map[uint64]*fuzzy.Object)
-	dists := make(map[uint64]float64)
+// their exact distances. The returned maps are owned by sc — valid only
+// until the scratch is released or the next rangeSearch on it.
+func (ix *Index) rangeSearch(sc *scratch, s *snapshot, q *fuzzy.Object, alpha, radius float64, useLB bool, st *Stats) (map[uint64]*fuzzy.Object, map[uint64]float64, error) {
 	if math.IsInf(radius, 1) {
 		radius = math.MaxFloat64
 	}
-	var visit func(n *rtree.Node) error
-	visit = func(n *rtree.Node) error {
-		st.NodeAccesses++
-		for _, ent := range n.Entries() {
-			if n.Leaf() {
-				it := ent.Data.(*leafItem)
-				lb := geom.MinDist(ent.Rect, mq)
-				if useLB {
-					lb = geom.MinDist(it.approx.EstimateMBR(alpha), mq)
-				}
-				if lb > radius {
-					continue
-				}
-				obj, err := ix.getObject(it.id, st)
-				if err != nil {
-					return err
-				}
-				st.DistanceEvals++
-				d := fuzzy.AlphaDist(obj, q, alpha)
-				if d <= radius {
-					objs[it.id] = obj
-					dists[it.id] = d
-				}
-			} else if geom.MinDist(mq, ent.Rect) <= radius {
-				if err := visit(ent.Child); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
+	clear(sc.rngObjs)
+	clear(sc.rngDists)
+	sc.dist.Reset(q, alpha)
+	r := &sc.rng
+	*r = rangeRun{
+		ix:     ix,
+		q:      q,
+		alpha:  alpha,
+		radius: radius,
+		useLB:  useLB,
+		mq:     q.MBR(alpha),
+		st:     st,
+		sc:     sc,
+		objs:   sc.rngObjs,
+		dists:  sc.rngDists,
 	}
 	if root := s.tree.Root(); len(root.Entries()) > 0 {
-		if err := visit(root); err != nil {
+		if err := r.visit(root); err != nil {
 			return nil, nil, err
 		}
 	}
-	return objs, dists, nil
+	return r.objs, r.dists, nil
+}
+
+func (r *rangeRun) visit(n *rtree.Node) error {
+	r.st.NodeAccesses++
+	ents := n.Entries()
+	for i := range ents {
+		if n.Leaf() {
+			it := ents[i].Data.(*leafItem)
+			var lb float64
+			if r.useLB {
+				r.sc.est = it.approx.EstimateMBRInto(r.alpha, r.sc.est)
+				lb = geom.MinDist(r.sc.est, r.mq)
+			} else {
+				lb = n.EntryMinDist(i, r.mq)
+			}
+			if lb > r.radius {
+				continue
+			}
+			obj, err := r.ix.getObject(it.id, r.st)
+			if err != nil {
+				return err
+			}
+			r.st.DistanceEvals++
+			d := r.sc.dist.Dist(obj)
+			if d <= r.radius {
+				r.objs[it.id] = obj
+				r.dists[it.id] = d
+			}
+		} else if n.EntryMinDist(i, r.mq) <= r.radius {
+			if err := r.visit(ents[i].Child); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

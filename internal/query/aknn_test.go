@@ -282,7 +282,8 @@ func TestRangeSearchMatchesBruteForce(t *testing.T) {
 	for _, radius := range []float64{0.5, 2, 5, 100} {
 		for _, useLB := range []bool{false, true} {
 			var st Stats
-			got, dists, err := ix.rangeSearch(ix.read(), q, 0.5, radius, useLB, &st)
+			sc := getScratch()
+			got, dists, err := ix.rangeSearch(sc, ix.read(), q, 0.5, radius, useLB, &st)
 			if err != nil {
 				t.Fatal(err)
 			}

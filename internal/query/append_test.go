@@ -1,0 +1,95 @@
+package query
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"fuzzyknn/internal/fuzzy"
+)
+
+// TestAKNNAppendPreservesPrefix pins the append contract: a non-empty dst
+// keeps its prefix untouched, the search counts only its own emissions
+// toward k, and only the appended suffix is sorted.
+func TestAKNNAppendPreservesPrefix(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	ix := buildIndex(t, makeObjects(rng, 200, 24, 10, 8), Options{})
+	q := makeQuery(rng, 24, 10, 8)
+	want, _, err := ix.AKNN(q, 5, 0.5, LB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := []Result{
+		{ID: 999999, Dist: -1, Exact: true, Lower: -1, Upper: -1},
+		{ID: 999998, Dist: -2, Exact: true, Lower: -2, Upper: -2},
+	}
+	dst := append([]Result(nil), sentinel...)
+	got, _, err := ix.AKNNAppend(dst, q, 5, 0.5, LB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sentinel)+len(want) {
+		t.Fatalf("appended %d results, want %d prefix + %d answers", len(got), len(sentinel), len(want))
+	}
+	for i, s := range sentinel {
+		if got[i] != s {
+			t.Fatalf("prefix element %d disturbed: %+v", i, got[i])
+		}
+	}
+	if err := equalResults(got[len(sentinel):], want); err != nil {
+		t.Fatalf("appended suffix diverges from AKNN: %v", err)
+	}
+}
+
+// TestJoinScratchReuseAcrossAlphas pins the DistEval invalidation fix: a
+// pooled evaluator pinned to (object, α) by a previous join must not leak
+// its α or memo into a later join over the same (pointer-stable) objects
+// at a different α.
+func TestJoinScratchReuseAcrossAlphas(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 13))
+	objs := makeObjects(rng, 60, 12, 8, 6)
+	ix := buildIndex(t, objs, Options{})
+
+	for _, alpha := range []float64{0.9, 0.3, 0.7} { // reuse the pool across αs
+		pairs, _, err := DistanceJoin(ix, ix, alpha, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byID := map[uint64]*fuzzy.Object{}
+		for _, o := range objs {
+			byID[o.ID()] = o
+		}
+		want := map[[2]uint64]float64{}
+		for i, a := range objs {
+			for _, b := range objs[i+1:] {
+				if d := fuzzy.AlphaDist(a, b, alpha); d <= 1.0 {
+					l, r := a.ID(), b.ID()
+					if l > r {
+						l, r = r, l
+					}
+					want[[2]uint64{l, r}] = d
+				}
+			}
+		}
+		if len(pairs) != len(want) {
+			t.Fatalf("alpha=%v: %d pairs, want %d", alpha, len(pairs), len(want))
+		}
+		for _, p := range pairs {
+			if wd, ok := want[[2]uint64{p.LeftID, p.RightID}]; !ok || wd != p.Dist {
+				t.Fatalf("alpha=%v: pair (%d,%d) dist %v, want %v (stale evaluator pin?)",
+					alpha, p.LeftID, p.RightID, p.Dist, wd)
+			}
+		}
+		// k-closest-pairs worker has the same conditional-reset pattern.
+		kp, _, err := KClosestPairs(ix, ix, 5, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range kp {
+			a, b := byID[p.LeftID], byID[p.RightID]
+			if d := fuzzy.AlphaDist(a, b, alpha); d != p.Dist {
+				t.Fatalf("alpha=%v: k-closest pair (%d,%d) dist %v, want %v",
+					alpha, p.LeftID, p.RightID, p.Dist, d)
+			}
+		}
+	}
+}

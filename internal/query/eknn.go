@@ -1,7 +1,6 @@
 package query
 
 import (
-	"sort"
 	"time"
 
 	"fuzzyknn/internal/fuzzy"
@@ -41,32 +40,29 @@ func ExpectedDistKNN(ix *Index, q *fuzzy.Object, k int) ([]Result, Stats, error)
 // a sharded coordinator can merge the shard-local top-k lists into the
 // global answer without further probes.
 func (ix *Index) expectedDistTopK(s *snapshot, q *fuzzy.Object, k int, st *Stats) ([]Result, error) {
-	type cand struct {
-		id uint64
-		e  float64
-	}
-	var cands []cand
+	sc := getScratch()
+	defer putScratch(sc)
+	cands := sc.idDists[:0]
 	for _, id := range s.leafIDs() {
 		obj, err := ix.getObject(id, st)
 		if err != nil {
 			return nil, err
 		}
 		st.ProfilesBuilt++
-		e := fuzzy.ComputeProfile(obj, q).Integrate()
-		cands = append(cands, cand{id: id, e: e})
+		// The scratch's profile cache memoizes the staircase — and its
+		// integral — per (object, query), so repeats of the same query
+		// never recompute an integral they already paid for.
+		e := sc.profiles.ExpectedDist(obj, q)
+		cands = append(cands, idDist{id: id, d: e})
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].e != cands[j].e {
-			return cands[i].e < cands[j].e
-		}
-		return cands[i].id < cands[j].id
-	})
+	sortIDDists(cands)
 	if len(cands) > k {
 		cands = cands[:k]
 	}
 	out := make([]Result, len(cands))
 	for i, c := range cands {
-		out[i] = Result{ID: c.id, Dist: c.e, Exact: true, Lower: c.e, Upper: c.e}
+		out[i] = Result{ID: c.id, Dist: c.d, Exact: true, Lower: c.d, Upper: c.d}
 	}
+	sc.idDists = cands[:0]
 	return out, nil
 }

@@ -1,0 +1,60 @@
+package query
+
+// typedHeap is the shared hand-rolled binary min-heap behind the best-first
+// queues (bestFirstQueue over pqItem, pairQueue over pairItem).
+// container/heap would box every pushed element into an `any`, allocating
+// once per visit; the typed version keeps all elements in one reusable
+// backing slice, so a steady-state search performs no per-visit
+// allocations. The ordering comes from the element type's lessThan method —
+// a generic constraint rather than a stored func value, so comparisons
+// dispatch statically per instantiation. Semantics match container/heap
+// over the same comparator.
+type typedHeap[T interface{ lessThan(T) bool }] struct{ h []T }
+
+// reset empties the heap, keeping its backing capacity for reuse.
+func (q *typedHeap[T]) reset() { q.h = q.h[:0] }
+
+func (q *typedHeap[T]) Len() int { return len(q.h) }
+
+func (q *typedHeap[T]) Push(it T) {
+	q.h = append(q.h, it)
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.h[i].lessThan(q.h[parent]) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *typedHeap[T]) Pop() T {
+	top := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	var zero T
+	q.h[n] = zero // drop node/item references so the heap never pins them
+	q.h = q.h[:n]
+	q.siftDown(0)
+	return top
+}
+
+func (q *typedHeap[T]) siftDown(i int) {
+	n := len(q.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		j := l
+		if r := l + 1; r < n && q.h[r].lessThan(q.h[l]) {
+			j = r
+		}
+		if !q.h[j].lessThan(q.h[i]) {
+			return
+		}
+		q.h[i], q.h[j] = q.h[j], q.h[i]
+		i = j
+	}
+}

@@ -1,0 +1,97 @@
+package query
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"fuzzyknn/internal/fuzzy"
+)
+
+// Hot-path micro-benchmarks: one per query family, on a fixed mid-size
+// workload. These are the benchmarks the CI bench-gate job runs on the PR
+// head and on the merge-base (-count=10 each) and compares with benchstat;
+// a statistically significant ns/op or allocs/op regression above the
+// threshold fails the gate. Keep them fast (the gate runs them 20 times)
+// and deterministic: fixed seed, fixed workload, b.ReportAllocs so the
+// allocation trajectory is part of every run's output.
+
+const (
+	hotN     = 600
+	hotPts   = 64
+	hotSpace = 12.0
+	hotK     = 10
+	hotAlpha = 0.5
+)
+
+type hotEnv struct {
+	ix      *Index
+	queries []*fuzzy.Object
+}
+
+func newHotEnv(b *testing.B) *hotEnv {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(7, 11))
+	objs := makeObjects(rng, hotN, hotPts, hotSpace, 8)
+	ix := buildIndex(b, objs, Options{})
+	env := &hotEnv{ix: ix}
+	for i := 0; i < 4; i++ {
+		env.queries = append(env.queries, makeQuery(rng, hotPts, hotSpace, 8))
+	}
+	return env
+}
+
+func benchmarkHotAKNN(b *testing.B, algo AKNNAlgorithm) {
+	env := newHotEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := env.queries[i%len(env.queries)]
+		if _, _, err := env.ix.AKNN(q, hotK, hotAlpha, algo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotPathAKNNBasic(b *testing.B)  { benchmarkHotAKNN(b, Basic) }
+func BenchmarkHotPathAKNNLB(b *testing.B)     { benchmarkHotAKNN(b, LB) }
+func BenchmarkHotPathAKNNLBLP(b *testing.B)   { benchmarkHotAKNN(b, LBLP) }
+func BenchmarkHotPathAKNNLBLPUB(b *testing.B) { benchmarkHotAKNN(b, LBLPUB) }
+
+func BenchmarkHotPathRangeSearch(b *testing.B) {
+	env := newHotEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := env.queries[i%len(env.queries)]
+		if _, _, err := env.ix.RangeSearch(q, hotAlpha, 1.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkHotRKNN(b *testing.B, algo RKNNAlgorithm) {
+	env := newHotEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := env.queries[i%len(env.queries)]
+		if _, _, err := env.ix.RKNN(q, hotK, 0.4, 0.6, algo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHotPathRKNNRSS(b *testing.B)    { benchmarkHotRKNN(b, RSS) }
+func BenchmarkHotPathRKNNRSSICR(b *testing.B) { benchmarkHotRKNN(b, RSSICR) }
+
+func BenchmarkHotPathReverseKNN(b *testing.B) {
+	env := newHotEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := env.queries[i%len(env.queries)]
+		if _, _, err := env.ix.ReverseKNN(q, 4, hotAlpha); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

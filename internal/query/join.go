@@ -1,10 +1,9 @@
 package query
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -43,14 +42,22 @@ type JoinPair struct {
 // sortPairs orders ps by (Dist, LeftID, RightID) in place — the canonical
 // join result order.
 func sortPairs(ps []JoinPair) {
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].Dist != ps[j].Dist {
-			return ps[i].Dist < ps[j].Dist
+	slices.SortFunc(ps, func(a, b JoinPair) int {
+		switch {
+		case a.Dist < b.Dist:
+			return -1
+		case a.Dist > b.Dist:
+			return 1
+		case a.LeftID < b.LeftID:
+			return -1
+		case a.LeftID > b.LeftID:
+			return 1
+		case a.RightID < b.RightID:
+			return -1
+		case a.RightID > b.RightID:
+			return 1
 		}
-		if ps[i].LeftID != ps[j].LeftID {
-			return ps[i].LeftID < ps[j].LeftID
-		}
-		return ps[i].RightID < ps[j].RightID
+		return 0
 	})
 }
 
@@ -157,11 +164,20 @@ func DistanceJoin(left, right Searcher, alpha, eps float64) ([]JoinPair, Stats, 
 	return out, st, nil
 }
 
-// distanceJoinTrees is the single-tree-pair ε-join worker.
+// distanceJoinTrees is the single-tree-pair ε-join worker. It runs in its
+// own pooled scratch: the α-distance evaluator is pinned to the current
+// left object, so a run of candidate pairs sharing a left side reuses one
+// prebuilt cut tree instead of rebuilding per pair.
 func distanceJoinTrees(tk treePair, alpha, eps float64) ([]JoinPair, Stats, error) {
 	var st Stats
 	left, right := tk.left, tk.right
 	sl, sr, selfPair := tk.sl, tk.sr, tk.self
+	sc := getScratch()
+	defer putScratch(sc)
+	// The worker re-pins the evaluator only when the left object changes; a
+	// stale pin from the scratch's previous execution could alias the first
+	// left object here (stable store pointers) and carry the wrong α.
+	sc.dist.Invalidate()
 
 	leftObjs := make(map[uint64]*fuzzy.Object)
 	rightObjs := leftObjs
@@ -214,13 +230,17 @@ func distanceJoinTrees(tk treePair, alpha, eps float64) ([]JoinPair, Stats, erro
 		default:
 			for _, ea := range a.Entries() {
 				ia := ea.Data.(*leafItem)
-				ra := ia.approx.EstimateMBR(alpha)
+				// ra stays live across the inner loop; rb (estB) is consumed
+				// immediately — two distinct scratch slots.
+				sc.est = ia.approx.EstimateMBRInto(alpha, sc.est)
+				ra := sc.est
 				for _, eb := range b.Entries() {
 					ib := eb.Data.(*leafItem)
 					if selfPair && ia.id >= ib.id {
 						continue // each unordered pair once; no self-pairs
 					}
-					if geom.MinDist(ra, ib.approx.EstimateMBR(alpha)) > eps {
+					sc.estB = ib.approx.EstimateMBRInto(alpha, sc.estB)
+					if geom.MinDist(ra, sc.estB) > eps {
 						continue
 					}
 					oa, err := probe(left, leftObjs, ia)
@@ -232,7 +252,10 @@ func distanceJoinTrees(tk treePair, alpha, eps float64) ([]JoinPair, Stats, erro
 						return err
 					}
 					st.DistanceEvals++
-					if d := fuzzy.AlphaDist(oa, ob, alpha); d <= eps {
+					if sc.dist.Query() != oa {
+						sc.dist.Reset(oa, alpha)
+					}
+					if d := sc.dist.Dist(ob); d <= eps {
 						out = append(out, JoinPair{LeftID: ia.id, RightID: ib.id, Dist: d})
 					}
 				}
@@ -308,31 +331,30 @@ type pairItem struct {
 	seq   uint64  // FIFO tiebreak for unresolved entries
 }
 
-type pairQueue []pairItem
-
-func (p pairQueue) Len() int { return len(p) }
-func (p pairQueue) Less(i, j int) bool {
-	if p[i].key != p[j].key {
-		return p[i].key < p[j].key
+// lessThan orders the pair queue: ascending key; bounds resolve before
+// exact pairs at equal keys; exact pairs at equal distance emit in
+// (LeftID, RightID) order so the k-th slot is deterministic under ties;
+// unresolved entries keep FIFO order (their expansion order cannot change
+// the result set).
+func (a pairItem) lessThan(b pairItem) bool {
+	if a.key != b.key {
+		return a.key < b.key
 	}
-	// Resolve bounds before emitting exact pairs at equal keys.
-	if p[i].exact != p[j].exact {
-		return !p[i].exact
+	if a.exact != b.exact {
+		return !a.exact
 	}
-	// Exact pairs at equal distance emit in (LeftID, RightID) order so the
-	// k-th slot is deterministic under ties; unresolved entries keep FIFO
-	// order (their expansion order cannot change the result set).
-	if p[i].exact {
-		if l, r := p[i].a.item.id, p[j].a.item.id; l != r {
+	if a.exact {
+		if l, r := a.a.item.id, b.a.item.id; l != r {
 			return l < r
 		}
-		return p[i].b.item.id < p[j].b.item.id
+		return a.b.item.id < b.b.item.id
 	}
-	return p[i].seq < p[j].seq
+	return a.seq < b.seq
 }
-func (p pairQueue) Swap(i, j int) { p[i], p[j] = p[j], p[i] }
-func (p *pairQueue) Push(x any)   { *p = append(*p, x.(pairItem)) }
-func (p *pairQueue) Pop() any     { old := *p; it := old[len(old)-1]; *p = old[:len(old)-1]; return it }
+
+// pairQueue is the typed binary heap over pairItem; see typedHeap for why
+// it is not container/heap.
+type pairQueue struct{ typedHeap[pairItem] }
 
 // KClosestPairs returns the k pairs (a ∈ left, b ∈ right) with the smallest
 // α-distances, ordered by (Dist, LeftID, RightID) — the fuzzy-object
@@ -364,7 +386,10 @@ func KClosestPairs(left, right Searcher, k int, alpha float64) ([]JoinPair, Stat
 	return out, st, nil
 }
 
-// kClosestPairsTrees is the single-tree-pair k-closest-pairs worker.
+// kClosestPairsTrees is the single-tree-pair k-closest-pairs worker. Like
+// the ε-join it runs in a pooled scratch; the distance evaluator is pinned
+// to the current left object (pairs arrive in best-first order, so runs
+// sharing a left side still reuse one prebuilt cut tree).
 func kClosestPairsTrees(tk treePair, k int, alpha float64) ([]JoinPair, Stats, error) {
 	var st Stats
 	left, right := tk.left, tk.right
@@ -372,6 +397,9 @@ func kClosestPairsTrees(tk treePair, k int, alpha float64) ([]JoinPair, Stats, e
 	if sl.tree.Len() == 0 || sr.tree.Len() == 0 {
 		return nil, st, nil
 	}
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.dist.Invalidate() // see distanceJoinTrees: stale pins must not survive pooling
 
 	leftObjs := make(map[uint64]*fuzzy.Object)
 	rightObjs := leftObjs
@@ -395,7 +423,7 @@ func kClosestPairsTrees(tk treePair, k int, alpha float64) ([]JoinPair, Stats, e
 	push := func(it pairItem) {
 		it.seq = seq
 		seq++
-		heap.Push(pq, it)
+		pq.Push(it)
 	}
 	sideFor := func(n *rtree.Node) pairSide { return pairSide{node: n, rect: nodeBounds(n)} }
 	push(pairItem{
@@ -420,7 +448,7 @@ func kClosestPairsTrees(tk treePair, k int, alpha float64) ([]JoinPair, Stats, e
 
 	var results []JoinPair
 	for pq.Len() > 0 && len(results) < k {
-		e := heap.Pop(pq).(pairItem)
+		e := pq.Pop()
 		switch {
 		case e.exact:
 			results = append(results, JoinPair{LeftID: e.a.item.id, RightID: e.b.item.id, Dist: e.dist})
@@ -440,7 +468,10 @@ func kClosestPairsTrees(tk treePair, k int, alpha float64) ([]JoinPair, Stats, e
 				return nil, st, err
 			}
 			st.DistanceEvals++
-			d := fuzzy.AlphaDist(oa, ob, alpha)
+			if sc.dist.Query() != oa {
+				sc.dist.Reset(oa, alpha)
+			}
+			d := sc.dist.Dist(ob)
 			// Cross-shard pairs of a self-join are stored with the smaller
 			// id on the left BEFORE entering the heap: the local top-k cut
 			// truncates equal-distance pairs in heap order, which must be

@@ -37,24 +37,45 @@ type nnCursor struct {
 	mq    geom.Rect
 	alpha float64
 	useLB bool
-	h     *bestFirstQueue
-	st    Stats
+	// sc owns the cursor's heap, MBR-estimate buffer and distance
+	// evaluator. Each cursor holds its own scratch (streams of one merge
+	// advance interleaved, and the prefill phase runs them concurrently);
+	// release() returns it to the pool when the merge is done.
+	sc *scratch
+	h  *bestFirstQueue
+	st Stats
 }
 
 // newNNCursor opens a stream over one shard snapshot.
 func newNNCursor(ix *Index, s *snapshot, q *fuzzy.Object, alpha float64, useLB bool) *nnCursor {
+	sc := getScratch()
+	sc.pq.reset()
+	sc.dist.Reset(q, alpha)
 	c := &nnCursor{
 		ix:    ix,
 		q:     q,
 		mq:    q.MBR(alpha),
 		alpha: alpha,
 		useLB: useLB,
-		h:     newBestFirstQueue(),
+		sc:    sc,
+		h:     &sc.pq,
 	}
 	if root := s.tree.Root(); len(root.Entries()) > 0 {
-		c.h.Push(pqItem{key: geom.MinDist(c.mq, s.tree.Bounds()), kind: kindNode, node: root})
+		// Key 0: the root is the only element when popped (every cursor is
+		// pulled at least once during prefill before pendingLower is ever
+		// consulted), so its key never decides a comparison.
+		c.h.Push(pqItem{key: 0, kind: kindNode, node: root})
 	}
 	return c
+}
+
+// release returns the cursor's scratch to the pool; the cursor must not be
+// advanced afterwards.
+func (c *nnCursor) release() {
+	if c.sc != nil {
+		putScratch(c.sc)
+		c.sc, c.h = nil, nil
+	}
 }
 
 // pendingLower lower-bounds the α-distance of every object the cursor has
@@ -77,16 +98,23 @@ func (c *nnCursor) next() (r Result, ok bool, err error) {
 			return Result{ID: e.id, Dist: e.dist, Exact: true, Lower: e.dist, Upper: e.dist}, true, nil
 		case kindNode:
 			c.st.NodeAccesses++
-			for _, ent := range e.node.Entries() {
-				if e.node.Leaf() {
-					it := ent.Data.(*leafItem)
-					key := geom.MinDist(ent.Rect, c.mq)
+			n := e.node
+			ents := n.Entries()
+			if n.Leaf() {
+				for i := range ents {
+					it := ents[i].Data.(*leafItem)
+					var key float64
 					if c.useLB {
-						key = geom.MinDist(it.approx.EstimateMBR(c.alpha), c.mq)
+						c.sc.est = it.approx.EstimateMBRInto(c.alpha, c.sc.est)
+						key = geom.MinDist(c.sc.est, c.mq)
+					} else {
+						key = n.EntryMinDist(i, c.mq)
 					}
 					c.h.Push(pqItem{key: key, kind: kindLeaf, id: it.id, item: it})
-				} else {
-					c.h.Push(pqItem{key: geom.MinDist(c.mq, ent.Rect), kind: kindNode, node: ent.Child})
+				}
+			} else {
+				for i := range ents {
+					c.h.Push(pqItem{key: n.EntryMinDist(i, c.mq), kind: kindNode, node: ents[i].Child})
 				}
 			}
 		case kindLeaf:
@@ -95,7 +123,7 @@ func (c *nnCursor) next() (r Result, ok bool, err error) {
 				return Result{}, false, err
 			}
 			c.st.DistanceEvals++
-			d := fuzzy.AlphaDist(obj, c.q, c.alpha)
+			d := c.sc.dist.Dist(obj)
 			c.h.Push(pqItem{key: d, kind: kindObject, id: e.item.id, dist: d})
 		}
 	}

@@ -1,8 +1,6 @@
 package query
 
 import (
-	"container/heap"
-
 	"fuzzyknn/internal/rtree"
 )
 
@@ -30,41 +28,19 @@ type pqItem struct {
 	dist float64 // exact α-distance for kindObject
 }
 
-type pqueue []pqItem
-
-func (p pqueue) Len() int { return len(p) }
-
-func (p pqueue) Less(i, j int) bool {
-	if p[i].key != p[j].key {
-		return p[i].key < p[j].key
+// lessThan is the queue's strict weak order: (key, kind, id) ascending.
+func (a pqItem) lessThan(b pqItem) bool {
+	if a.key != b.key {
+		return a.key < b.key
 	}
-	if p[i].kind != p[j].kind {
-		return p[i].kind < p[j].kind
+	if a.kind != b.kind {
+		return a.kind < b.kind
 	}
-	return p[i].id < p[j].id
+	return a.id < b.id
 }
 
-func (p pqueue) Swap(i, j int) { p[i], p[j] = p[j], p[i] }
-
-func (p *pqueue) Push(x any) { *p = append(*p, x.(pqItem)) }
-
-func (p *pqueue) Pop() any {
-	old := *p
-	n := len(old)
-	it := old[n-1]
-	*p = old[:n-1]
-	return it
-}
-
-// bestFirstQueue wraps the heap with a typed interface.
-type bestFirstQueue struct{ h pqueue }
-
-func newBestFirstQueue() *bestFirstQueue { return &bestFirstQueue{} }
-
-func (q *bestFirstQueue) Len() int { return len(q.h) }
-
-func (q *bestFirstQueue) Push(it pqItem) { heap.Push(&q.h, it) }
-
-func (q *bestFirstQueue) Pop() pqItem { return heap.Pop(&q.h).(pqItem) }
+// bestFirstQueue is the typed binary heap of the best-first searches; see
+// typedHeap for why it is not container/heap.
+type bestFirstQueue struct{ typedHeap[pqItem] }
 
 func (q *bestFirstQueue) PeekKey() float64 { return q.h[0].key }

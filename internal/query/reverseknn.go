@@ -5,7 +5,6 @@ import (
 
 	"fuzzyknn/internal/fuzzy"
 	"fuzzyknn/internal/geom"
-	"fuzzyknn/internal/kdtree"
 	"fuzzyknn/internal/rtree"
 )
 
@@ -35,7 +34,9 @@ func (ix *Index) ReverseKNN(q *fuzzy.Object, k int, alpha float64) ([]Result, St
 	if err := ix.validateQuery(s, q, k, alpha); err != nil {
 		return nil, st, err
 	}
-	cands, err := ix.reverseCandidates(s, q, k, alpha, &st)
+	sc := getScratch()
+	defer putScratch(sc)
+	cands, err := ix.reverseCandidates(sc, s, q, k, alpha, &st)
 	if err != nil {
 		return nil, st, err
 	}
@@ -68,44 +69,36 @@ type revCandidate struct {
 // index these are the final answers; a sharded coordinator treats them as
 // a conservative candidate set (membership in the global answer requires
 // that the closer-counts summed across all shards stay below k) and
-// finishes the count against the other shards.
-func (ix *Index) reverseCandidates(s *snapshot, q *fuzzy.Object, k int, alpha float64, st *Stats) ([]revCandidate, error) {
+// finishes the count against the other shards. All traversal state lives
+// in sc; the returned candidates are freshly allocated and safe to keep.
+func (ix *Index) reverseCandidates(sc *scratch, s *snapshot, q *fuzzy.Object, k int, alpha float64, st *Stats) ([]revCandidate, error) {
 	mq := q.MBR(alpha)
 
-	// Collect leaf entries and build the representative-point tree.
-	var items []*leafItem
-	var walk func(n *rtree.Node)
-	walk = func(n *rtree.Node) {
-		st.NodeAccesses++
-		for _, e := range n.Entries() {
-			if n.Leaf() {
-				items = append(items, e.Data.(*leafItem))
-			} else {
-				walk(e.Child)
-			}
-		}
-	}
-	if root := s.tree.Root(); len(root.Entries()) > 0 {
-		walk(root)
-	}
+	// Collect leaf entries and build the representative-point tree, both in
+	// scratch storage.
+	items := collectLeafItems(sc.items[:0], s.tree.Root(), st)
+	sc.items = items
 	if len(items) == 0 {
 		return nil, nil
 	}
-	reps := make([]geom.Point, len(items))
-	for i, it := range items {
-		reps[i] = it.rep
+	reps := sc.points[:0]
+	for _, it := range items {
+		reps = append(reps, it.rep)
 	}
-	repTree := kdtree.Build(reps)
+	sc.points = reps
+	sc.repTree.Rebuild(reps)
+	sc.dist.Reset(q, alpha)
 
 	var cands []revCandidate
 	for i, it := range items {
-		lb := geom.MinDist(it.approx.EstimateMBR(alpha), mq)
+		sc.est = it.approx.EstimateMBRInto(alpha, sc.est)
+		lb := geom.MinDist(sc.est, mq)
 		// Filter: k other representatives strictly within lb of rep(A)
 		// certify k objects closer than q. The strictness margin excludes
 		// A's own representative (distance 0) separately.
 		if lb > 0 {
 			closer := 0
-			repTree.ForEachWithin(reps[i], lb, func(j int, d float64) bool {
+			sc.repTree.ForEachWithin(reps[i], lb, func(j int, d float64) bool {
 				if j != i && d < lb {
 					closer++
 				}
@@ -121,8 +114,8 @@ func (ix *Index) reverseCandidates(s *snapshot, q *fuzzy.Object, k int, alpha fl
 			return nil, err
 		}
 		st.DistanceEvals++
-		dq := fuzzy.AlphaDist(a, q, alpha)
-		closer, err := ix.countCloser(s, a, alpha, dq, q.ID(), k, st)
+		dq := sc.dist.Dist(a)
+		closer, err := ix.countCloser(sc, s, a, alpha, dq, q.ID(), k, st)
 		if err != nil {
 			return nil, err
 		}
@@ -133,48 +126,92 @@ func (ix *Index) reverseCandidates(s *snapshot, q *fuzzy.Object, k int, alpha fl
 	return cands, nil
 }
 
+// collectLeafItems appends every leaf item below n to dst, charging node
+// accesses to st.
+func collectLeafItems(dst []*leafItem, n *rtree.Node, st *Stats) []*leafItem {
+	if len(n.Entries()) == 0 {
+		return dst
+	}
+	st.NodeAccesses++
+	for _, e := range n.Entries() {
+		if n.Leaf() {
+			dst = append(dst, e.Data.(*leafItem))
+		} else {
+			dst = collectLeafItems(dst, e.Child, st)
+		}
+	}
+	return dst
+}
+
+// closerRun is the closure-free state of one countCloser traversal.
+type closerRun struct {
+	ix     *Index
+	ma     geom.Rect
+	aID    uint64
+	alpha  float64
+	radius float64
+	qID    uint64
+	limit  int
+	st     *Stats
+	sc     *scratch
+	count  int
+}
+
 // countCloser counts stored objects B ≠ a with (d_α(a,B), id_B) <
 // (radius, qID), stopping at limit. It prunes subtrees and entries whose
-// lower bound already exceeds radius.
-func (ix *Index) countCloser(s *snapshot, a *fuzzy.Object, alpha, radius float64, qID uint64, limit int, st *Stats) (int, error) {
-	ma := a.MBR(alpha)
-	count := 0
-	var visit func(n *rtree.Node) error
-	visit = func(n *rtree.Node) error {
-		st.NodeAccesses++
-		for _, e := range n.Entries() {
-			if count >= limit {
-				return nil
-			}
-			if n.Leaf() {
-				it := e.Data.(*leafItem)
-				if it.id == a.ID() {
-					continue
-				}
-				if geom.MinDist(it.approx.EstimateMBR(alpha), ma) > radius {
-					continue
-				}
-				b, err := ix.getObject(it.id, st)
-				if err != nil {
-					return err
-				}
-				st.DistanceEvals++
-				d := fuzzy.AlphaDist(a, b, alpha)
-				if d < radius || (d == radius && it.id < qID) {
-					count++
-				}
-			} else if geom.MinDist(e.Rect, ma) <= radius {
-				if err := visit(e.Child); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
+// lower bound already exceeds radius. The secondary distance evaluator is
+// pinned to (a, α) so consecutive evaluations against a share one tree.
+func (ix *Index) countCloser(sc *scratch, s *snapshot, a *fuzzy.Object, alpha, radius float64, qID uint64, limit int, st *Stats) (int, error) {
+	sc.dist2.Reset(a, alpha)
+	r := &closerRun{
+		ix:     ix,
+		ma:     a.MBR(alpha),
+		aID:    a.ID(),
+		alpha:  alpha,
+		radius: radius,
+		qID:    qID,
+		limit:  limit,
+		st:     st,
+		sc:     sc,
 	}
 	if root := s.tree.Root(); len(root.Entries()) > 0 {
-		if err := visit(root); err != nil {
+		if err := r.visit(root); err != nil {
 			return 0, err
 		}
 	}
-	return count, nil
+	return r.count, nil
+}
+
+func (r *closerRun) visit(n *rtree.Node) error {
+	r.st.NodeAccesses++
+	ents := n.Entries()
+	for i := range ents {
+		if r.count >= r.limit {
+			return nil
+		}
+		if n.Leaf() {
+			it := ents[i].Data.(*leafItem)
+			if it.id == r.aID {
+				continue
+			}
+			r.sc.est = it.approx.EstimateMBRInto(r.alpha, r.sc.est)
+			if geom.MinDist(r.sc.est, r.ma) > r.radius {
+				continue
+			}
+			b, err := r.ix.getObject(it.id, r.st)
+			if err != nil {
+				return err
+			}
+			r.st.DistanceEvals++
+			d := r.sc.dist2.Dist(b)
+			if d < r.radius || (d == r.radius && it.id < r.qID) {
+				r.count++
+			}
+		} else if n.EntryMinDist(i, r.ma) <= r.radius {
+			if err := r.visit(ents[i].Child); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

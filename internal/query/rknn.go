@@ -2,7 +2,7 @@ package query
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"fuzzyknn/internal/fuzzy"
@@ -29,21 +29,28 @@ type RangedResult struct {
 // every α-distance is a step function changing only at membership levels,
 // evaluating just above α* is exact and no ε tuning is needed.
 func (ix *Index) RKNN(q *fuzzy.Object, k int, alphaStart, alphaEnd float64, algo RKNNAlgorithm) ([]RangedResult, Stats, error) {
+	return ix.RKNNAppend(nil, q, k, alphaStart, alphaEnd, algo)
+}
+
+// RKNNAppend is RKNN appending results to dst and returning the extended
+// slice. Reusing a previous answer's buffer (dst[:0]) lets the steady-state
+// loop run without allocations: each reused element's Qualifying set keeps
+// its backing storage and is overwritten in place, so dst's previous
+// contents — including those interval sets — must no longer be referenced.
+func (ix *Index) RKNNAppend(dst []RangedResult, q *fuzzy.Object, k int, alphaStart, alphaEnd float64, algo RKNNAlgorithm) ([]RangedResult, Stats, error) {
 	started := time.Now()
-	var st Stats
 	s := ix.read()
 	if err := ix.validateQuery(s, q, k, alphaStart, alphaEnd); err != nil {
-		return nil, st, err
+		return dst, Stats{}, err
 	}
 	if alphaStart > alphaEnd {
-		return nil, st, badArgf("query: alphaStart %v > alphaEnd %v", alphaStart, alphaEnd)
+		return dst, Stats{}, badArgf("query: alphaStart %v > alphaEnd %v", alphaStart, alphaEnd)
 	}
-	ctx := &rknnCtx{
-		ix: ix, snap: s, q: q, k: k, as: alphaStart, ae: alphaEnd, st: &st,
-		probed:   make(map[uint64]*fuzzy.Object),
-		profiles: make(map[uint64]*fuzzy.Profile),
-		acc:      make(map[uint64]*interval.Set),
-	}
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.stats = Stats{}
+	ctx := newRKNNCtx(sc, q, k, alphaStart, alphaEnd, &sc.stats)
+	ctx.ix, ctx.snap = ix, s
 	var err error
 	switch algo {
 	case Naive:
@@ -58,17 +65,18 @@ func (ix *Index) RKNN(q *fuzzy.Object, k int, alphaStart, alphaEnd float64, algo
 		err = badArgf("query: unknown RKNN algorithm %d", int(algo))
 	}
 	if err != nil {
-		return nil, st, err
+		return dst, sc.stats, err
 	}
-	st.Duration = time.Since(started)
-	return ctx.results(), st, nil
+	sc.stats.Duration = time.Since(started)
+	return ctx.appendResults(dst), sc.stats, nil
 }
 
 // rknnCtx carries one RKNN execution: the snapshot every sub-search runs
 // against, caches of probed objects and distance profiles, and the
-// per-object qualifying-range accumulator. The single-tree drivers (naive,
-// basic, rss) set ix/snap; the sharded coordinator builds a ctx with only
-// fetch set (its candidate refinement never touches a tree).
+// per-object qualifying-range accumulator — all backed by the pooled
+// scratch, so a steady-state RKNN allocates nothing. The single-tree
+// drivers (naive, basic, rss) set ix/snap; the sharded coordinator builds a
+// ctx with only fetch set (its candidate refinement never touches a tree).
 type rknnCtx struct {
 	ix       *Index
 	snap     *snapshot
@@ -76,12 +84,29 @@ type rknnCtx struct {
 	k        int
 	as, ae   float64
 	st       *Stats
+	sc       *scratch
 	probed   map[uint64]*fuzzy.Object
 	profiles map[uint64]*fuzzy.Profile
 	acc      map[uint64]*interval.Set
 	// fetch overrides how cache-missed objects are loaded (nil = probe
 	// ix's store). The sharded coordinator routes by owning shard here.
 	fetch func(id uint64, st *Stats) (*fuzzy.Object, error)
+}
+
+// newRKNNCtx assembles a context over sc's cleared refinement state. The
+// context itself lives in the scratch, so building one allocates nothing.
+func newRKNNCtx(sc *scratch, q *fuzzy.Object, k int, as, ae float64, st *Stats) *rknnCtx {
+	clear(sc.rknnProbed)
+	clear(sc.rknnProfiles)
+	clear(sc.rknnAcc)
+	sc.resetSets()
+	sc.rctx = rknnCtx{
+		q: q, k: k, as: as, ae: ae, st: st, sc: sc,
+		probed:   sc.rknnProbed,
+		profiles: sc.rknnProfiles,
+		acc:      sc.rknnAcc,
+	}
+	return &sc.rctx
 }
 
 func (c *rknnCtx) object(id uint64) (*fuzzy.Object, error) {
@@ -100,6 +125,11 @@ func (c *rknnCtx) object(id uint64) (*fuzzy.Object, error) {
 	return o, nil
 }
 
+// profile returns the (object, query) distance profile, building it at most
+// once per payload: the per-query map serves repeat lookups by id, and the
+// scratch's cross-query cache (keyed by object pointer) serves repeats of
+// the same query so the staircase — and its memoized integral — is never
+// recomputed once paid for.
 func (c *rknnCtx) profile(id uint64) (*fuzzy.Profile, error) {
 	if p, ok := c.profiles[id]; ok {
 		return p, nil
@@ -109,7 +139,7 @@ func (c *rknnCtx) profile(id uint64) (*fuzzy.Profile, error) {
 		return nil, err
 	}
 	c.st.ProfilesBuilt++
-	p := fuzzy.ComputeProfile(o, c.q)
+	p := c.sc.profiles.Profile(o, c.q)
 	c.profiles[id] = p
 	return p, nil
 }
@@ -117,19 +147,34 @@ func (c *rknnCtx) profile(id uint64) (*fuzzy.Profile, error) {
 func (c *rknnCtx) add(id uint64, iv interval.Interval) {
 	s, ok := c.acc[id]
 	if !ok {
-		s = &interval.Set{}
+		s = c.sc.takeSet()
 		c.acc[id] = s
 	}
 	s.Add(iv)
 }
 
-func (c *rknnCtx) results() []RangedResult {
-	out := make([]RangedResult, 0, len(c.acc))
-	for id, s := range c.acc {
-		out = append(out, RangedResult{ID: id, Qualifying: *s})
+// appendResults copies the accumulated qualifying ranges into dst in
+// ascending id order. Reused dst elements keep their Qualifying backing
+// (CopyFrom overwrites in place), so nothing handed to the caller aliases
+// scratch-owned interval storage.
+func (c *rknnCtx) appendResults(dst []RangedResult) []RangedResult {
+	ids := c.sc.ids[:0]
+	for id := range c.acc {
+		ids = append(ids, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	slices.Sort(ids)
+	c.sc.ids = ids
+	for _, id := range ids {
+		if len(dst) < cap(dst) {
+			dst = dst[:len(dst)+1] // revive a dead element, reusing its backing
+		} else {
+			dst = append(dst, RangedResult{})
+		}
+		el := &dst[len(dst)-1]
+		el.ID = id
+		el.Qualifying.CopyFrom(*c.acc[id])
+	}
+	return dst
 }
 
 // justAbove returns the smallest float64 strictly greater than x — the exact
@@ -137,16 +182,16 @@ func (c *rknnCtx) results() []RangedResult {
 func justAbove(x float64) float64 { return math.Nextafter(x, 2) }
 
 // subAKNN runs an AKNN sub-search with the LB variant (exact distances, no
-// unprobed results) and merges its probes into the context cache.
+// unprobed results), sharing the context's probe cache and reusing any
+// staircase values refinement has already paid for. The returned slice is
+// scratch-owned and valid until the next subAKNN call.
 func (c *rknnCtx) subAKNN(alpha float64) ([]Result, error) {
 	c.st.AKNNCalls++
-	res, probed, err := c.ix.aknn(c.snap, c.q, c.k, alpha, LB, c.st)
+	res, err := c.ix.aknnInto(c.sc, c.sc.sub[:0], c.snap, c.q, c.k, alpha, LB, c.probed, &c.sc.profiles, c.st)
 	if err != nil {
 		return nil, err
 	}
-	for id, o := range probed {
-		c.probed[id] = o
-	}
+	c.sc.sub = res
 	return res, nil
 }
 
@@ -198,7 +243,7 @@ func (c *rknnCtx) naive() error {
 		levels = append(levels, o.Levels()...)
 	}
 	levels = append(levels, c.q.Levels()...)
-	sort.Float64s(levels)
+	slices.Sort(levels)
 	levels = dedupeInWindow(levels, c.as, c.ae)
 
 	for _, p := range makePieces(c.as, c.ae, levels) {
@@ -268,17 +313,18 @@ func (c *rknnCtx) rss(improvedRefinement bool) error {
 	if len(resE) >= c.k {
 		radius = resE[len(resE)-1].Dist
 	}
-	objs, _, err := c.ix.rangeSearch(c.snap, c.q, c.as, radius, true, c.st)
+	objs, _, err := c.ix.rangeSearch(c.sc, c.snap, c.q, c.as, radius, true, c.st)
 	if err != nil {
 		return err
 	}
 	c.st.Candidates = len(objs)
-	cands := make([]uint64, 0, len(objs))
+	cands := c.sc.cands[:0]
 	for id, o := range objs {
 		c.probed[id] = o
 		cands = append(cands, id)
 	}
-	sortIDs(cands)
+	slices.Sort(cands)
+	c.sc.cands = cands
 	// Profiles for every candidate: pure CPU, no further object access.
 	for _, id := range cands {
 		if _, err := c.profile(id); err != nil {
@@ -302,7 +348,8 @@ func (c *rknnCtx) refineBasic(cands []uint64) error {
 	start, startOpen := c.as, false
 	for {
 		c.st.Pieces++
-		members := c.topK(cands, alphaRep, c.k, nil)
+		members := c.topK(c.sc.members[:0], cands, alphaRep, c.k, nil)
+		c.sc.members = members
 		alphaStar := math.Inf(1)
 		for _, id := range members {
 			prof := c.profiles[id]
@@ -328,22 +375,26 @@ func (c *rknnCtx) refineICR(cands []uint64) error {
 	if len(cands) == 0 {
 		return nil
 	}
-	safeUntil := make(map[uint64]float64)
+	clear(c.sc.safeUntil)
+	safeUntil := c.sc.safeUntil
 	alphaRep := c.as
 	start, startOpen := c.as, false
 	for {
 		c.st.Pieces++
 		// C′: members whose safe range still covers the current plateau.
-		inCPrime := make(map[uint64]bool)
-		var members []uint64
+		clear(c.sc.inCPrime)
+		inCPrime := c.sc.inCPrime
+		members := c.sc.members[:0]
 		for id, su := range safeUntil {
 			if su >= alphaRep {
 				inCPrime[id] = true
 				members = append(members, id)
 			}
 		}
-		fresh := c.topK(cands, alphaRep, c.k-len(members), inCPrime)
+		fresh := c.topK(c.sc.fresh[:0], cands, alphaRep, c.k-len(members), inCPrime)
+		c.sc.fresh = fresh
 		members = append(members, fresh...)
+		c.sc.members = members
 
 		dk1 := c.kPlus1Dist(cands, alphaRep)
 		for _, id := range fresh {
@@ -365,37 +416,28 @@ func (c *rknnCtx) refineICR(cands []uint64) error {
 	}
 }
 
-// topK ranks candidates (minus excluded ones) by (d_α, id) and returns the
-// best n ids.
-func (c *rknnCtx) topK(cands []uint64, alpha float64, n int, exclude map[uint64]bool) []uint64 {
+// topK ranks candidates (minus excluded ones) by (d_α, id) and appends the
+// best n ids to dst.
+func (c *rknnCtx) topK(dst []uint64, cands []uint64, alpha float64, n int, exclude map[uint64]bool) []uint64 {
 	if n <= 0 {
-		return nil
+		return dst
 	}
-	type cd struct {
-		id uint64
-		d  float64
-	}
-	var pool []cd
+	pool := c.sc.idDists[:0]
 	for _, id := range cands {
 		if exclude[id] {
 			continue
 		}
-		pool = append(pool, cd{id: id, d: c.profiles[id].Dist(alpha)})
+		pool = append(pool, idDist{id: id, d: c.profiles[id].Dist(alpha)})
 	}
-	sort.Slice(pool, func(i, j int) bool {
-		if pool[i].d != pool[j].d {
-			return pool[i].d < pool[j].d
-		}
-		return pool[i].id < pool[j].id
-	})
+	sortIDDists(pool)
 	if len(pool) > n {
 		pool = pool[:n]
 	}
-	out := make([]uint64, len(pool))
-	for i, p := range pool {
-		out[i] = p.id
+	for _, p := range pool {
+		dst = append(dst, p.id)
 	}
-	return out
+	c.sc.idDists = pool[:0]
+	return dst
 }
 
 // kPlus1Dist returns the (k+1)-th smallest candidate distance at alpha, or
@@ -404,11 +446,12 @@ func (c *rknnCtx) kPlus1Dist(cands []uint64, alpha float64) float64 {
 	if len(cands) <= c.k {
 		return math.Inf(1)
 	}
-	ds := make([]float64, len(cands))
-	for i, id := range cands {
-		ds[i] = c.profiles[id].Dist(alpha)
+	ds := c.sc.f64s[:0]
+	for _, id := range cands {
+		ds = append(ds, c.profiles[id].Dist(alpha))
 	}
-	sort.Float64s(ds)
+	slices.Sort(ds)
+	c.sc.f64s = ds
 	return ds[c.k]
 }
 
@@ -418,7 +461,7 @@ func (c *rknnCtx) kPlus1Dist(cands []uint64, alpha float64) float64 {
 // distance is constant while every other object's can only grow, so
 // membership in the kNN set is retained regardless of dk1 (ties included).
 func safeRangeEnd(prof *fuzzy.Profile, alpha, dk1 float64) float64 {
-	j := sort.SearchFloat64s(prof.Levels, alpha)
+	j, _ := slices.BinarySearch(prof.Levels, alpha)
 	end := prof.Levels[j]
 	for j++; j < len(prof.Levels) && prof.Dists[j] < dk1; j++ {
 		end = prof.Levels[j]

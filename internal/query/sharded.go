@@ -3,12 +3,11 @@ package query
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
 	"fuzzyknn/internal/fuzzy"
-	"fuzzyknn/internal/interval"
 	"fuzzyknn/internal/store"
 )
 
@@ -227,11 +226,18 @@ func (sx *ShardedIndex) AKNN(q *fuzzy.Object, k int, alpha float64, algo AKNNAlg
 }
 
 // aknnMerged fans the cursor search out over the given views and merges.
+// Every cursor holds a pooled scratch; they are all released when the merge
+// completes, so a batch of sharded queries recycles one scratch per shard.
 func (sx *ShardedIndex) aknnMerged(views []shardView, q *fuzzy.Object, k int, alpha float64, useLB bool, st *Stats) ([]Result, error) {
 	streams := make([]*shardStream, len(views))
 	for i, v := range views {
 		streams[i] = &shardStream{cur: newNNCursor(v.ix, v.s, q, alpha, useLB)}
 	}
+	defer func() {
+		for _, s := range streams {
+			s.cur.release()
+		}
+	}()
 	return mergeAKNN(streams, k, st)
 }
 
@@ -305,7 +311,12 @@ func (sx *ShardedIndex) RangeSearch(q *fuzzy.Object, alpha, radius float64) ([]R
 	lists := make([][]Result, len(views))
 	stats := make([]Stats, len(views))
 	err := fanOut(views, func(i int, v shardView) error {
-		_, dists, err := v.ix.rangeSearch(v.s, q, alpha, radius, true, &stats[i])
+		// Each fan-out goroutine runs in its own pooled scratch; the
+		// scratch-owned result maps are drained into the coordinator's
+		// slice before release.
+		sc := getScratch()
+		defer putScratch(sc)
+		_, dists, err := v.ix.rangeSearch(sc, v.s, q, alpha, radius, true, &stats[i])
 		if err != nil {
 			return err
 		}
@@ -373,32 +384,41 @@ func (sx *ShardedIndex) RKNN(q *fuzzy.Object, k int, alphaStart, alphaEnd float6
 		radius = resE[len(resE)-1].Dist
 	}
 
-	// Phase 2: parallel per-shard range searches at αs.
+	// Phase 2: parallel per-shard range searches at αs. Each goroutine runs
+	// in its own pooled scratch and copies the scratch-owned result map out
+	// before releasing it.
 	objMaps := make([]map[uint64]*fuzzy.Object, len(views))
 	stats := make([]Stats, len(views))
 	err = fanOut(views, func(i int, v shardView) error {
-		objs, _, err := v.ix.rangeSearch(v.s, q, alphaStart, radius, true, &stats[i])
-		objMaps[i] = objs
-		return err
+		sc := getScratch()
+		defer putScratch(sc)
+		objs, _, err := v.ix.rangeSearch(sc, v.s, q, alphaStart, radius, true, &stats[i])
+		if err != nil {
+			return err
+		}
+		m := make(map[uint64]*fuzzy.Object, len(objs))
+		for id, o := range objs {
+			m[id] = o
+		}
+		objMaps[i] = m
+		return nil
 	})
 	if err != nil {
 		return nil, st, err
 	}
 
-	// Phase 3: shared in-memory refinement over the candidate union.
-	ctx := &rknnCtx{
-		q: q, k: k, as: alphaStart, ae: alphaEnd, st: &st,
-		probed:   make(map[uint64]*fuzzy.Object),
-		profiles: make(map[uint64]*fuzzy.Profile),
-		acc:      make(map[uint64]*interval.Set),
-		fetch: func(id uint64, st *Stats) (*fuzzy.Object, error) {
-			// Candidates are pre-probed below; this only runs if refinement
-			// ever touches a non-candidate id, which would be a logic error —
-			// route to the owning shard rather than crash.
-			return sx.shardFor(id).getObject(id, st)
-		},
+	// Phase 3: shared in-memory refinement over the candidate union, run in
+	// the coordinator's own scratch.
+	sc := getScratch()
+	defer putScratch(sc)
+	ctx := newRKNNCtx(sc, q, k, alphaStart, alphaEnd, &st)
+	ctx.fetch = func(id uint64, st *Stats) (*fuzzy.Object, error) {
+		// Candidates are pre-probed below; this only runs if refinement
+		// ever touches a non-candidate id, which would be a logic error —
+		// route to the owning shard rather than crash.
+		return sx.shardFor(id).getObject(id, st)
 	}
-	var cands []uint64
+	cands := sc.cands[:0]
 	for i := range objMaps {
 		addParallel(&st, stats[i])
 		for id, o := range objMaps[i] {
@@ -407,7 +427,8 @@ func (sx *ShardedIndex) RKNN(q *fuzzy.Object, k int, alphaStart, alphaEnd float6
 		}
 	}
 	st.Candidates = len(cands)
-	sortIDs(cands)
+	slices.Sort(cands)
+	sc.cands = cands
 	for _, id := range cands {
 		if _, err := ctx.profile(id); err != nil {
 			return nil, st, err
@@ -422,7 +443,7 @@ func (sx *ShardedIndex) RKNN(q *fuzzy.Object, k int, alphaStart, alphaEnd float6
 		return nil, st, err
 	}
 	st.Duration = time.Since(started)
-	return ctx.results(), st, nil
+	return ctx.appendResults(nil), st, nil
 }
 
 // ReverseKNN fans the filter+verify pipeline out per shard, then finishes
@@ -442,8 +463,10 @@ func (sx *ShardedIndex) ReverseKNN(q *fuzzy.Object, k int, alpha float64) ([]Res
 	cands := make([][]revCandidate, len(views))
 	stats := make([]Stats, len(views))
 	err := fanOut(views, func(i int, v shardView) error {
+		sc := getScratch()
+		defer putScratch(sc)
 		var err error
-		cands[i], err = v.ix.reverseCandidates(v.s, q, k, alpha, &stats[i])
+		cands[i], err = v.ix.reverseCandidates(sc, v.s, q, k, alpha, &stats[i])
 		return err
 	})
 	if err != nil {
@@ -452,6 +475,8 @@ func (sx *ShardedIndex) ReverseKNN(q *fuzzy.Object, k int, alpha float64) ([]Res
 	for i := range stats {
 		addParallel(&st, stats[i])
 	}
+	sc := getScratch()
+	defer putScratch(sc)
 	var results []Result
 	for i, shardCands := range cands {
 		for _, c := range shardCands {
@@ -460,7 +485,7 @@ func (sx *ShardedIndex) ReverseKNN(q *fuzzy.Object, k int, alpha float64) ([]Res
 				if j == i || total >= k {
 					continue
 				}
-				n, err := v.ix.countCloser(v.s, c.obj, alpha, c.dist, q.ID(), k-total, &st)
+				n, err := v.ix.countCloser(sc, v.s, c.obj, alpha, c.dist, q.ID(), k-total, &st)
 				if err != nil {
 					return nil, st, err
 				}
@@ -501,9 +526,4 @@ func (sx *ShardedIndex) ExpectedDistKNN(q *fuzzy.Object, k int) ([]Result, Stats
 	out := mergeTopK(lists, k)
 	st.Duration = time.Since(started)
 	return out, st, nil
-}
-
-// sortIDs sorts ids ascending in place.
-func sortIDs(ids []uint64) {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 }

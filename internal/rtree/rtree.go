@@ -53,6 +53,13 @@ type Entry struct {
 type Node struct {
 	leaf    bool
 	entries []Entry
+
+	// packed flattens the entry rectangles into one contiguous slice —
+	// 2·d floats per entry, lower corner first — so best-first traversals
+	// scan MinDist bounds sequentially instead of chasing two slice
+	// headers per entry. It is filled by pack() when a node's entries are
+	// final (nodes are immutable once reachable from a published root).
+	packed []float64
 }
 
 // Leaf reports whether the node's entries are leaf entries.
@@ -60,6 +67,58 @@ func (n *Node) Leaf() bool { return n.leaf }
 
 // Entries returns the node's entries. The slice must not be modified.
 func (n *Node) Entries() []Entry { return n.entries }
+
+// pack (re)builds the flattened rectangle layout from the current entries.
+// Construction paths call it exactly when a node's entry set is final.
+func (n *Node) pack() {
+	if len(n.entries) == 0 {
+		n.packed = nil
+		return
+	}
+	d := n.entries[0].Rect.Dims()
+	need := 2 * d * len(n.entries)
+	if cap(n.packed) < need {
+		n.packed = make([]float64, need)
+	}
+	n.packed = n.packed[:need]
+	for i, e := range n.entries {
+		base := 2 * d * i
+		copy(n.packed[base:base+d], e.Rect.Lo)
+		copy(n.packed[base+d:base+2*d], e.Rect.Hi)
+	}
+}
+
+// checkPacked verifies the flattened layout mirrors the entry rectangles.
+func (n *Node) checkPacked() error {
+	if len(n.entries) == 0 {
+		return nil
+	}
+	d := n.entries[0].Rect.Dims()
+	if len(n.packed) != 2*d*len(n.entries) {
+		return fmt.Errorf("packed layout has %d floats, want %d", len(n.packed), 2*d*len(n.entries))
+	}
+	for i, e := range n.entries {
+		base := 2 * d * i
+		for j := 0; j < d; j++ {
+			if n.packed[base+j] != e.Rect.Lo[j] || n.packed[base+d+j] != e.Rect.Hi[j] {
+				return fmt.Errorf("packed rect %d diverges from entry rect %v", i, e.Rect)
+			}
+		}
+	}
+	return nil
+}
+
+// EntryMinDist returns MinDist(entries[i].Rect, r), reading the i-th
+// rectangle from the packed layout when available. The value is bitwise
+// identical to geom.MinDist on the entry's Rect.
+func (n *Node) EntryMinDist(i int, r geom.Rect) float64 {
+	d := len(r.Lo)
+	if len(n.packed) < 2*d*(i+1) {
+		return geom.MinDist(n.entries[i].Rect, r)
+	}
+	base := 2 * d * i
+	return geom.MinDistLoHi(n.packed[base:base+d], n.packed[base+d:base+2*d], r)
+}
 
 // Tree is an R-tree. Create with New or BulkLoad.
 type Tree struct {
@@ -151,6 +210,7 @@ func (t *Tree) insertEntry(e Entry) {
 				{Rect: nodeMBR(split), Child: split},
 			},
 		}
+		root.pack()
 		t.height++
 	}
 	t.root = root
@@ -167,6 +227,7 @@ func (t *Tree) insert(n *Node, e Entry, level int) (*Node, *Node) {
 		if len(nn.entries) > t.maxEntries {
 			return nn, t.splitNode(nn)
 		}
+		nn.pack()
 		return nn, nil
 	}
 	i := chooseSubtree(n, e.Rect)
@@ -178,6 +239,7 @@ func (t *Tree) insert(n *Node, e Entry, level int) (*Node, *Node) {
 			return nn, t.splitNode(nn)
 		}
 	}
+	nn.pack()
 	return nn, nil
 }
 
@@ -240,6 +302,7 @@ func (t *Tree) deleteFrom(n *Node, r geom.Rect, match func(any) bool, orphans *[
 			*orphans = append(*orphans, nn.entries...)
 			return nil, true
 		}
+		nn.pack()
 		return nn, true
 	}
 	for i, e := range n.entries {
@@ -260,6 +323,7 @@ func (t *Tree) deleteFrom(n *Node, r geom.Rect, match func(any) bool, orphans *[
 			collectLeafEntries(nn, orphans)
 			return nil, true
 		}
+		nn.pack()
 		return nn, true
 	}
 	return n, false
@@ -356,7 +420,10 @@ func (t *Tree) splitNode(n *Node) *Node {
 	}
 
 	n.entries = groupA
-	return &Node{leaf: n.leaf, entries: groupB}
+	n.pack()
+	other := &Node{leaf: n.leaf, entries: groupB}
+	other.pack()
+	return other
 }
 
 // pickSeeds returns the pair of entries wasting the most area if grouped
@@ -452,6 +519,7 @@ func packLevel(entries []Entry, leaf bool, max, dims int) []*Node {
 	var nodes []*Node
 	strTile(entries, 0, dims, max, func(chunk []Entry) {
 		n := &Node{leaf: leaf, entries: append([]Entry(nil), chunk...)}
+		n.pack()
 		nodes = append(nodes, n)
 	})
 	return nodes
@@ -518,6 +586,9 @@ func (t *Tree) CheckInvariants() error {
 	walk = func(n *Node, depth int) error {
 		if len(n.entries) > t.maxEntries {
 			return fmt.Errorf("node overflow: %d > %d", len(n.entries), t.maxEntries)
+		}
+		if err := n.checkPacked(); err != nil {
+			return err
 		}
 		if len(n.entries) == 0 && n != t.root {
 			return errors.New("empty non-root node")
