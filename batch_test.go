@@ -1,0 +1,179 @@
+package fuzzyknn_test
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"fuzzyknn"
+)
+
+// TestApplyBatchPublicAPI exercises the public group-commit surface: a
+// log-backed index under every fsync policy ingests a batch, survives
+// reopen, rejects invalid batches whole with positioned item errors, and
+// answers identically to per-op ingestion — across 1 and 4 shards.
+func TestApplyBatchPublicAPI(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		for _, policy := range []fuzzyknn.FsyncPolicy{fuzzyknn.FsyncAlways, fuzzyknn.FsyncBatch, fuzzyknn.FsyncOff} {
+			t.Run(fmt.Sprintf("shards=%d/fsync=%v", shards, policy), func(t *testing.T) {
+				cfg := &fuzzyknn.Config{Shards: shards, Fsync: policy}
+				path := filepath.Join(t.TempDir(), "objects.fzl")
+				idx, err := fuzzyknn.OpenLogIndex(path, 2, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				var objs []*fuzzyknn.Object
+				for i := uint64(1); i <= 40; i++ {
+					objs = append(objs, disk(i, float64(i), float64(i%5)))
+				}
+				if err := idx.ApplyBatch(objs, nil); err != nil {
+					t.Fatalf("batch ingest: %v", err)
+				}
+				if idx.Len() != 40 {
+					t.Fatalf("len = %d after batch ingest", idx.Len())
+				}
+				// Mixed batch: two fresh inserts, two deletes.
+				if err := idx.ApplyBatch(
+					[]*fuzzyknn.Object{disk(50, 3.3, 1), disk(51, 4.4, 2)},
+					[]uint64{7, 8},
+				); err != nil {
+					t.Fatalf("mixed batch: %v", err)
+				}
+
+				// Invalid batch: every violation reported, nothing applied.
+				err = idx.ApplyBatch(
+					[]*fuzzyknn.Object{disk(1, 9, 9), disk(60, 1, 1)},
+					[]uint64{7, 999},
+				)
+				var be *fuzzyknn.BatchError
+				if !errors.As(err, &be) {
+					t.Fatalf("invalid batch: %v, want *BatchError", err)
+				}
+				if len(be.Items) != 3 { // dup insert 1, dead delete 7, unknown delete 999
+					t.Fatalf("item errors = %+v, want 3", be.Items)
+				}
+				if be.Items[0].Op != fuzzyknn.BatchInsertOp || be.Items[0].Pos != 0 {
+					t.Fatalf("first item error = %+v", be.Items[0])
+				}
+				if !errors.Is(err, fuzzyknn.ErrDuplicate) || !errors.Is(err, fuzzyknn.ErrNotFound) {
+					t.Fatalf("batch error must expose causes: %v", err)
+				}
+				if idx.Len() != 40 {
+					t.Fatalf("rejected batch mutated the index: len = %d", idx.Len())
+				}
+
+				q := disk(100, 10.2, 0)
+				want, _, err := idx.AKNN(q, 5, 0.8, fuzzyknn.LBLPUB)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := idx.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				// Reopen (always under the default policy — the format is
+				// policy-independent) and compare answers.
+				reopened, err := fuzzyknn.OpenLogIndex(path, 0, &fuzzyknn.Config{Shards: shards})
+				if err != nil {
+					t.Fatalf("reopen: %v", err)
+				}
+				defer reopened.Close()
+				if reopened.Len() != 40 {
+					t.Fatalf("reopened len = %d", reopened.Len())
+				}
+				got, _, err := reopened.AKNN(q, 5, 0.8, fuzzyknn.LBLPUB)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("reopened answers %d results, want %d", len(got), len(want))
+				}
+				for i := range got {
+					if got[i].ID != want[i].ID || got[i].Dist != want[i].Dist {
+						t.Fatalf("reopened result %d = %+v, want %+v", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParseFsyncPolicy pins the CLI names.
+func TestParseFsyncPolicy(t *testing.T) {
+	for in, want := range map[string]fuzzyknn.FsyncPolicy{
+		"":       fuzzyknn.FsyncAlways,
+		"always": fuzzyknn.FsyncAlways,
+		"BATCH":  fuzzyknn.FsyncBatch,
+		"off":    fuzzyknn.FsyncOff,
+	} {
+		got, err := fuzzyknn.ParseFsyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := fuzzyknn.ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+// TestBatchMatchesSequentialPublic compares batch-built and per-op-built
+// in-memory indexes through the public API.
+func TestBatchMatchesSequentialPublic(t *testing.T) {
+	var objs []*fuzzyknn.Object
+	for i := uint64(1); i <= 60; i++ {
+		objs = append(objs, disk(i, float64(i%12), float64(i%7)))
+	}
+	seq, err := fuzzyknn.NewIndex(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := fuzzyknn.NewIndex(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		if err := seq.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bat.ApplyBatch(objs, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []uint64{3, 17, 41} {
+		if err := seq.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bat.ApplyBatch(nil, []uint64{3, 17, 41}); err != nil {
+		t.Fatal(err)
+	}
+	q := disk(200, 5.5, 2.5)
+	for _, alpha := range []float64{0.3, 0.7, 1.0} {
+		want, _, err := seq.AKNN(q, 7, alpha, fuzzyknn.LBLPUB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err = seq.Refine(q, alpha, want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := bat.AKNN(q, 7, alpha, fuzzyknn.LBLPUB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err = bat.Refine(q, alpha, got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("alpha %g: %d results, want %d", alpha, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("alpha %g result %d: %+v, want %+v", alpha, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -30,10 +30,32 @@
 //	curl -s localhost:8080/range -d '{"query_id": 7, "alpha": 0.5, "radius": 10}'
 //	curl -s localhost:8080/stats
 //
-// Log-backed and -demo indexes also accept live mutations:
+// Log-backed and -demo indexes also accept live mutations — single ops or
+// whole batches (the batch endpoint group-commits: one snapshot publish and
+// one fsync for the lot):
 //
 //	curl -s localhost:8080/objects -d '{"object": {"id": 900, "points": [{"p": [1, 2], "mu": 1}]}}'
+//	curl -s localhost:8080/objects:batch -d '{"objects": [{"id": 901, "points": [{"p": [1, 2], "mu": 1}]},
+//	                                                      {"id": 902, "points": [{"p": [3, 4], "mu": 1}]}]}'
 //	curl -s -X DELETE localhost:8080/objects/900
+//
+// The -fsync flag picks the log's durability policy (-log mode only).
+// Every HTTP mutation — single or batch — flows through the engine's
+// write coalescer, which commits groups (even groups of one) through
+// ApplyBatch, so under both `always` and `batch` an acknowledged HTTP
+// mutation is fsync'd; the policies differ for library code doing direct
+// per-op Insert/Delete calls:
+//
+//	always  fsync every commit, group or single append. Nothing
+//	        acknowledged is ever lost.
+//	batch   (default) fsync once per group commit; direct single appends
+//	        ride the OS page cache. Recovery after power loss never
+//	        serves half a batch — it truncates the torn tail, or (rare:
+//	        the OS wrote an unsynced tail back out of order) refuses
+//	        loudly with a corruption error rather than guess.
+//	off     never fsync; the OS flushes when it pleases. Fastest, weakest:
+//	        any recently acknowledged mutation may be lost on power loss,
+//	        with the same fail-loud recovery contract.
 //
 // See the server package docs (internal/server) for the full wire format.
 // SIGINT/SIGTERM drain in-flight requests before exiting.
@@ -62,6 +84,7 @@ func main() {
 		storePath   = flag.String("store", "", "immutable store file to serve (written by fuzzygen)")
 		logPath     = flag.String("log", "", "mutable append-only log store to serve (created if missing)")
 		dims        = flag.Int("dims", 0, "dimensionality when creating a new -log store")
+		fsync       = flag.String("fsync", "batch", "log durability policy: always | batch | off (see command docs)")
 		summary     = flag.String("summary", "", "index summary file (skips the store scan on open)")
 		cacheSize   = flag.Int("cache", 0, "LRU object cache size (0 = none)")
 		shards      = flag.Int("shards", 1, "hash-partitioned index shards queried in parallel (1 = single tree)")
@@ -72,7 +95,7 @@ func main() {
 	)
 	flag.Parse()
 
-	idx, err := openIndex(*storePath, *logPath, *summary, *cacheSize, *shards, *dims, *demo, *demoSeed)
+	idx, err := openIndex(*storePath, *logPath, *summary, *fsync, *cacheSize, *shards, *dims, *demo, *demoSeed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -108,14 +131,18 @@ func main() {
 
 // openIndex opens the store- or log-backed index, or builds an in-memory
 // synthetic one in -demo mode. Log-backed and demo indexes are mutable.
-func openIndex(storePath, logPath, summary string, cacheSize, shards, dims, demo int, demoSeed uint64) (*fuzzyknn.Index, error) {
+func openIndex(storePath, logPath, summary, fsync string, cacheSize, shards, dims, demo int, demoSeed uint64) (*fuzzyknn.Index, error) {
 	modes := 0
 	for _, set := range []bool{storePath != "", logPath != "", demo > 0} {
 		if set {
 			modes++
 		}
 	}
-	cfg := &fuzzyknn.Config{CacheSize: cacheSize, Shards: shards}
+	policy, err := fuzzyknn.ParseFsyncPolicy(fsync)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &fuzzyknn.Config{CacheSize: cacheSize, Shards: shards, Fsync: policy}
 	switch {
 	case modes > 1:
 		return nil, errors.New("give exactly one of -store, -log or -demo")
@@ -127,6 +154,8 @@ func openIndex(storePath, logPath, summary string, cacheSize, shards, dims, demo
 		return nil, errors.New("-summary requires -shards 1")
 	case dims != 0 && logPath == "":
 		return nil, errors.New("-dims only applies to -log indexes")
+	case fsync != "batch" && logPath == "":
+		return nil, errors.New("-fsync only applies to -log indexes")
 	case storePath != "":
 		cfg.SummaryFile = summary
 		return fuzzyknn.OpenIndex(storePath, cfg)

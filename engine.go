@@ -42,6 +42,11 @@ type EngineConfig struct {
 	// QueueDepth bounds accepted-but-not-running requests
 	// (default: 2×Parallelism).
 	QueueDepth int
+	// MaxWriteBatch caps how many queued Insert/Delete requests one group
+	// commit absorbs (default: 256). Larger groups amortize per-commit
+	// costs further; smaller ones bound the latency of the requests at the
+	// front of a busy write queue.
+	MaxWriteBatch int
 }
 
 // Engine executes queries concurrently against one Index through a bounded
@@ -59,6 +64,7 @@ func (ix *Index) NewEngine(cfg *EngineConfig) *Engine {
 	if cfg != nil {
 		opts.Parallelism = cfg.Parallelism
 		opts.QueueDepth = cfg.QueueDepth
+		opts.MaxWriteBatch = cfg.MaxWriteBatch
 	}
 	return &Engine{inner: engine.New(ix.inner, opts)}
 }
@@ -115,11 +121,14 @@ func (e *Engine) BatchRangeSearch(ctx context.Context, queries []*Object, alpha,
 	return collectBatch(e.DoBatch(ctx, reqs), func(r BatchResponse) []Result { return r.Results })
 }
 
-// BatchInsert adds the objects through the engine's worker pool. Writers
-// serialize inside the index, so batching inserts buys pipelining with
-// concurrent queries rather than write parallelism. The returned slice has
-// one entry per object (nil on success); the error annotates the first
-// failure, if any. Failed inserts do not abort the rest of the batch.
+// BatchInsert adds the objects through the engine's write coalescer:
+// queued insert requests collapse into group commits (one tree clone, one
+// snapshot publish and — log-backed — one fsync per group of up to
+// EngineConfig.MaxWriteBatch), so bulk ingest runs an order of magnitude
+// faster than an Insert loop while every request keeps its own verdict.
+// The returned slice has one entry per object (nil on success); the error
+// annotates the first failure, if any. Failed inserts do not abort the
+// rest of the batch.
 func (e *Engine) BatchInsert(ctx context.Context, objs []*Object) ([]error, error) {
 	reqs := make([]BatchRequest, len(objs))
 	for i, o := range objs {

@@ -78,6 +78,58 @@ var ErrReadOnly = store.ErrReadOnly
 // ErrDuplicate is returned by Insert when the object id is already live.
 var ErrDuplicate = store.ErrDuplicate
 
+// BatchError rejects an entire ApplyBatch call: validation found the
+// listed item errors and nothing was applied (all-or-nothing). Retrieve it
+// with errors.As to learn every offending item's position.
+type BatchError = query.BatchError
+
+// BatchItemError locates one offending item of a rejected batch.
+type BatchItemError = query.BatchItemError
+
+// BatchOp tells which half of a batch a BatchItemError's position indexes.
+type BatchOp = query.BatchOp
+
+// BatchOp values.
+const (
+	BatchInsertOp = query.OpInsert
+	BatchDeleteOp = query.OpDelete
+)
+
+// FsyncPolicy selects when a log-backed index fsyncs; see the Fsync*
+// constants and Config.Fsync.
+type FsyncPolicy = store.SyncPolicy
+
+// Fsync policies for log-backed indexes, trading durability of
+// acknowledged writes for throughput (never integrity — a crash always
+// leaves a log that reopens cleanly; the policy only bounds how much
+// acknowledged tail can be lost):
+//
+//   - FsyncAlways: fsync after every committed mutation, single or batch.
+//     The default, and the strongest guarantee.
+//   - FsyncBatch: fsync once per ApplyBatch group commit; single
+//     Insert/Delete appends ride the OS page cache. Acknowledged batches
+//     survive power loss, recently acknowledged single mutations may not.
+//   - FsyncOff: never fsync; the OS flushes at its leisure.
+const (
+	FsyncAlways = store.SyncAlways
+	FsyncBatch  = store.SyncBatch
+	FsyncOff    = store.SyncOff
+)
+
+// ParseFsyncPolicy resolves the CLI names of the fsync policies:
+// always | batch | off (case-insensitive; empty selects FsyncAlways).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "", "always":
+		return FsyncAlways, nil
+	case "batch":
+		return FsyncBatch, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("fuzzyknn: unknown fsync policy %q (want always | batch | off)", s)
+}
+
 // ParseAKNNAlgorithm resolves the CLI/HTTP names of the AKNN variants:
 // basic | lb | lb-lp | lb-lp-ub (case-insensitive; empty selects LBLPUB).
 func ParseAKNNAlgorithm(s string) (AKNNAlgorithm, error) {
@@ -191,6 +243,13 @@ type Config struct {
 	// with. Shards > 1 cannot be combined with SummaryFile. 0 or 1 selects
 	// the single-tree layout.
 	Shards int
+	// Fsync selects the durability policy of a log-backed index
+	// (OpenLogIndex only): when the log fsyncs acknowledged mutations. The
+	// zero value is FsyncAlways, the historical behavior; FsyncBatch keeps
+	// group commits (ApplyBatch, Engine batch ingest, the server's batch
+	// endpoint) durable while letting single mutations ride the page
+	// cache. See the Fsync* constants for the exact tradeoffs.
+	Fsync FsyncPolicy
 }
 
 func (c *Config) orDefault() Config {
@@ -358,7 +417,7 @@ func OpenLogIndex(path string, dims int, cfg *Config) (*Index, error) {
 	c := cfg.orDefault()
 	n := shardCount(c)
 	if n == 1 {
-		ls, err := store.OpenLog(path, dims)
+		ls, err := store.OpenLogPolicy(path, dims, c.Fsync)
 		if err != nil {
 			return nil, fmt.Errorf("fuzzyknn: %w", err)
 		}
@@ -382,7 +441,7 @@ func OpenLogIndex(path string, dims int, cfg *Config) (*Index, error) {
 		return nil, err
 	}
 	for i := range shards {
-		ls, err := store.OpenLog(shardLogPath(path, i, n), dims)
+		ls, err := store.OpenLogPolicy(shardLogPath(path, i, n), dims, c.Fsync)
 		if err != nil {
 			return fail(fmt.Errorf("fuzzyknn: shard %d: %w", i, err))
 		}
@@ -496,6 +555,24 @@ func (ix *Index) Insert(obj *Object) error {
 // in TotalObjectAccesses; BatchDelete responses carry it as Stats).
 func (ix *Index) Delete(id uint64) error {
 	_, err := ix.inner.Delete(id)
+	return err
+}
+
+// ApplyBatch group-commits a batch of mutations — inserts, then deletes —
+// as one index transition per shard: one writer-lock acquisition, one
+// copy-on-write tree clone, one snapshot publish, and (log-backed) ONE
+// write and ONE fsync for the whole batch. Queries observe either none of
+// the batch or all of it (per shard), and bulk ingest through ApplyBatch is
+// an order of magnitude faster than an Insert loop on a log-backed index.
+//
+// The batch must be self-consistent: each id appears at most once across
+// inserts and deletes together, insert ids must not be live, delete ids
+// must be live, dimensionalities must agree. Any violation rejects the
+// whole batch with a *BatchError listing every offending item — and
+// nothing is applied. Locate probes for deletes are counted in
+// TotalObjectAccesses like any store access.
+func (ix *Index) ApplyBatch(inserts []*Object, deletes []uint64) error {
+	_, err := ix.inner.ApplyBatch(inserts, deletes)
 	return err
 }
 

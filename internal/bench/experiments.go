@@ -35,6 +35,7 @@ func Experiments() []Experiment {
 		{"fig15b", "Effect of dataset on AKNN — running time (Fig. 15b)", fig15b},
 		{"sec5", "Cost model validation — measured vs. predicted accesses (§5)", sec5},
 		{"shards", "Sharded fan-out vs single tree — latency, accesses, throughput", shardsExp},
+		{"ingest", "Ingest throughput vs group-commit batch size — in-memory and log-backed", ingestExp},
 	}
 }
 

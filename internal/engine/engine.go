@@ -10,9 +10,12 @@
 // in internal/query and here), queries parallelize without locking; the
 // engine adds the missing machinery: a bounded worker pool, per-request
 // context cancellation, and aggregate statistics across all requests it has
-// executed. Mutations (Insert/Delete kinds) ride the same pool: the index
-// serializes writers internally while readers proceed against their
-// snapshots.
+// executed. Mutations (Insert/Delete kinds) flow through a dedicated write
+// coalescer instead of the pool: queued mutation requests collapse into
+// group commits (Searcher.ApplyBatch — one writer-lock acquisition, one
+// tree clone, one snapshot publish, one fsync per group) while the index
+// keeps readers on their snapshots; each request still gets its own
+// verdict and its own statistics, exactly as if applied alone.
 //
 // An Engine is cheap enough to keep for the life of a process. Submit work
 // with Do (one request) or DoBatch (many, answered in order); both are safe
@@ -120,6 +123,12 @@ type Options struct {
 	// requests; submission blocks (or honors ctx cancellation) beyond it.
 	// Values < 1 select 2×Parallelism.
 	QueueDepth int
+	// MaxWriteBatch caps how many queued mutations one group commit
+	// absorbs (see the writer goroutine): larger groups amortize the
+	// per-commit costs (fsync, tree clone, snapshot publish) further but
+	// raise the latency of the requests at the front of a full group.
+	// Values < 1 select 256.
+	MaxWriteBatch int
 }
 
 // ErrClosed is returned for requests submitted after Close.
@@ -132,17 +141,25 @@ type job struct {
 	wg   *sync.WaitGroup
 }
 
-// Engine is a bounded worker pool over one shared index. Create with New,
-// release with Close.
+// Engine is a bounded worker pool over one shared index, plus a dedicated
+// write coalescer: queries fan out across the pool, while Insert/Delete
+// requests flow through a separate queue that a single writer goroutine
+// drains in groups and lands through Searcher.ApplyBatch — one writer-lock
+// acquisition, one tree clone, one snapshot publish and (log-backed) one
+// fsync per group instead of per request. Create with New, release with
+// Close.
 type Engine struct {
-	ix          query.Searcher
-	jobs        chan job
-	workers     sync.WaitGroup
-	parallelism int
+	ix            query.Searcher
+	jobs          chan job // queries
+	writes        chan job // mutations, drained in groups by the writer
+	workers       sync.WaitGroup
+	parallelism   int
+	maxWriteBatch int
 
 	// lifecycle serializes channel sends against Close: submitters hold the
-	// read side across their send, so Close can only close e.jobs once no
-	// send is in flight and the closed flag is visible to later submitters.
+	// read side across their send, so Close can only close the channels once
+	// no send is in flight and the closed flag is visible to later
+	// submitters.
 	lifecycle sync.RWMutex
 	closed    bool
 
@@ -161,16 +178,26 @@ func New(ix query.Searcher, opts Options) *Engine {
 	if depth < 1 {
 		depth = 2 * p
 	}
+	maxBatch := opts.MaxWriteBatch
+	if maxBatch < 1 {
+		maxBatch = 256
+	}
 	e := &Engine{
-		ix:          ix,
-		jobs:        make(chan job, depth),
-		parallelism: p,
+		ix:   ix,
+		jobs: make(chan job, depth),
+		// The write queue holds enough for the writer to drain a full group
+		// while the next one accumulates; mutations beyond it block in
+		// submit like queries do.
+		writes:        make(chan job, 2*maxBatch),
+		parallelism:   p,
+		maxWriteBatch: maxBatch,
 	}
 	e.totals.Requests = map[string]int64{}
-	e.workers.Add(p)
+	e.workers.Add(p + 1)
 	for i := 0; i < p; i++ {
 		go e.worker()
 	}
+	go e.writer()
 	return e
 }
 
@@ -185,6 +212,134 @@ func (e *Engine) worker() {
 	for j := range e.jobs {
 		e.execute(j)
 		j.wg.Done()
+	}
+}
+
+// writer is the engine's single write coalescer. Mutations queue on
+// e.writes; the writer takes one, opportunistically drains everything else
+// already waiting (up to MaxWriteBatch) and commits the whole group at
+// once. Because the index serializes writers internally anyway, dedicating
+// one goroutine loses no parallelism — it converts "N requests, N commits"
+// into "N requests, ~N/batch commits" exactly when the queue is busy, and
+// degrades to per-op behavior when it is idle.
+func (e *Engine) writer() {
+	defer e.workers.Done()
+	for j := range e.writes {
+		group := []job{j}
+		for len(group) < e.maxWriteBatch {
+			select {
+			case next, ok := <-e.writes:
+				if !ok {
+					e.executeWrites(group)
+					return
+				}
+				group = append(group, next)
+			default:
+				goto drained
+			}
+		}
+	drained:
+		e.executeWrites(group)
+	}
+}
+
+// executeWrites commits one drained group of mutation requests. The fast
+// path applies the whole group through Searcher.ApplyBatch; a validation
+// rejection (query.BatchError — nothing was applied) falls back to per-
+// request application in arrival order, so every request keeps exactly the
+// verdict it would have gotten unbatched while valid groupmates still
+// commit. Per-request statistics keep the accounting invariant (store
+// access total == Σ per-request stats): batch validation probes are folded
+// into the owning request even when the group retries item by item.
+func (e *Engine) executeWrites(group []job) {
+	answered := make([]bool, len(group))
+	finish := func(i int, st query.Stats, err error) {
+		if answered[i] {
+			return
+		}
+		answered[i] = true
+		group[i].resp.Stats = st
+		group[i].resp.Err = err
+		e.record(group[i].req.Kind, st, err == nil)
+		group[i].wg.Done()
+	}
+	defer func() {
+		// A panicking mutation must cost its callers one response each, not
+		// the writer goroutine (and with it every future mutation).
+		if p := recover(); p != nil {
+			err := fmt.Errorf("engine: mutation panicked: %v", p)
+			for i := range group {
+				finish(i, query.Stats{}, err)
+			}
+		}
+	}()
+
+	var inserts []*fuzzy.Object
+	var deletes []uint64
+	var insJob, delJob []int
+	for i := range group {
+		j := &group[i]
+		if err := j.ctx.Err(); err != nil {
+			finish(i, query.Stats{}, err)
+			continue
+		}
+		switch j.req.Kind {
+		case Insert:
+			inserts = append(inserts, j.req.Obj)
+			insJob = append(insJob, i)
+		case Delete:
+			deletes = append(deletes, j.req.ID)
+			delJob = append(delJob, i)
+		default:
+			finish(i, query.Stats{}, fmt.Errorf("engine: unknown mutation kind %d (%w)", int(j.req.Kind), query.ErrInvalidArgument))
+		}
+	}
+	if len(inserts)+len(deletes) == 0 {
+		return
+	}
+	// Even a group of one goes through ApplyBatch: a drained group is a
+	// group commit, and under store.SyncBatch that is the path that fsyncs
+	// before acknowledgment — the plain Insert/Delete appends deliberately
+	// do not. (A 1-item POST /objects:batch must be as durable as a
+	// 256-item one.)
+	stats, err := e.ix.ApplyBatch(inserts, deletes)
+	// stats is in combined order (inserts, then deletes); map it back onto
+	// group positions.
+	accrued := make(map[int]query.Stats, len(stats))
+	for bi, i := range insJob {
+		accrued[i] = stats[bi]
+	}
+	for bj, j := range delJob {
+		accrued[j] = stats[len(inserts)+bj]
+	}
+	var be *query.BatchError
+	if err != nil && errors.As(err, &be) {
+		// Validation rejected the group and NOTHING was applied. Re-run
+		// each request alone, in arrival order, so invalid items get their
+		// precise error and valid ones still land with sequential
+		// semantics. The probes the failed validation performed are folded
+		// into the owning requests on top of whatever the retry costs.
+		for i := range group {
+			if answered[i] {
+				continue
+			}
+			st := accrued[i]
+			if group[i].req.Kind == Insert {
+				finish(i, st, e.ix.Insert(group[i].req.Obj))
+				continue
+			}
+			dst, derr := e.ix.Delete(group[i].req.ID)
+			st.Add(dst)
+			finish(i, st, derr)
+		}
+		return
+	}
+	// Success — or a commit-phase failure (I/O class): every request in the
+	// group shares the outcome. No item-by-item retry after a commit error:
+	// the store's state is suspect, and re-applying could double-commit a
+	// half-landed sharded group.
+	for i := range group {
+		finish(i, accrued[i], err)
 	}
 }
 
@@ -280,18 +435,24 @@ func (e *Engine) DoBatch(ctx context.Context, reqs []Request) []Response {
 	return resps
 }
 
-// submit enqueues a job, failing fast on a closed engine or a context that
-// cancels while the queue is full. Holding lifecycle.RLock across the send
-// keeps Close from closing the channel mid-send; workers keep draining
-// until the channel actually closes, so a full queue cannot deadlock Close.
+// submit enqueues a job — mutations onto the write-coalescing queue,
+// everything else onto the query pool — failing fast on a closed engine or
+// a context that cancels while the queue is full. Holding lifecycle.RLock
+// across the send keeps Close from closing the channel mid-send; workers
+// keep draining until the channel actually closes, so a full queue cannot
+// deadlock Close.
 func (e *Engine) submit(j job) error {
 	e.lifecycle.RLock()
 	defer e.lifecycle.RUnlock()
 	if e.closed {
 		return ErrClosed
 	}
+	queue := e.jobs
+	if j.req.Kind == Insert || j.req.Kind == Delete {
+		queue = e.writes
+	}
 	select {
-	case e.jobs <- j:
+	case queue <- j:
 		return nil
 	case <-j.ctx.Done():
 		return j.ctx.Err()
@@ -299,7 +460,7 @@ func (e *Engine) submit(j job) error {
 }
 
 // Close stops accepting new work, waits for queued and in-flight requests
-// to finish, and releases the workers. It is idempotent.
+// to finish, and releases the workers and the writer. It is idempotent.
 func (e *Engine) Close() {
 	e.lifecycle.Lock()
 	if e.closed {
@@ -308,6 +469,7 @@ func (e *Engine) Close() {
 	}
 	e.closed = true
 	close(e.jobs)
+	close(e.writes)
 	e.lifecycle.Unlock()
 	e.workers.Wait()
 }

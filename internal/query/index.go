@@ -24,7 +24,7 @@ package query
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -206,7 +206,7 @@ func (s *snapshot) leafIDs() []uint64 {
 		}
 	}
 	walk(s.tree.Root())
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -235,6 +235,12 @@ func Build(st store.Reader, opts Options) (*Index, error) {
 // returns true (nil keeps everything). It is how one shard of a
 // hash-partitioned index is built over a store shared by all shards: each
 // shard keeps exactly the ids ShardOf assigns to it.
+//
+// Object decoding and summary computation (the boundary estimator and
+// representative point) dominate build time and are embarrassingly
+// parallel, so they run across GOMAXPROCS workers; the item order — and
+// therefore the resulting tree, whether STR bulk-loaded or incrementally
+// inserted — is identical to a serial build.
 func BuildFiltered(st store.Reader, opts Options, keep func(uint64) bool) (*Index, error) {
 	opts = opts.withDefaults()
 	estimator := resolveEstimator(opts)
@@ -244,18 +250,25 @@ func BuildFiltered(st store.Reader, opts Options, keep func(uint64) bool) (*Inde
 			ids = append(ids, id)
 		}
 	}
-	items := make([]rtree.BulkItem, 0, len(ids))
-	for _, id := range ids {
-		obj, err := st.Get(id)
+	items := make([]rtree.BulkItem, len(ids))
+	errs := make([]error, len(ids))
+	parallelFor(len(ids), func(i int) {
+		obj, err := st.Get(ids[i])
 		if err != nil {
-			return nil, fmt.Errorf("query: building index: %w", err)
+			errs[i] = err
+			return
 		}
 		li := &leafItem{
-			id:     id,
+			id:     ids[i],
 			approx: estimator(obj),
 			rep:    obj.Rep(),
 		}
-		items = append(items, rtree.BulkItem{Rect: obj.SupportMBR(), Data: li})
+		items[i] = rtree.BulkItem{Rect: obj.SupportMBR(), Data: li}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("query: building index: %w", err)
+		}
 	}
 	var tree *rtree.Tree
 	if opts.Incremental {

@@ -42,6 +42,11 @@ type Searcher interface {
 	// Delete retires an object; the locate probe is charged to the returned
 	// Stats.
 	Delete(id uint64) (Stats, error)
+	// ApplyBatch group-commits inserts and deletes as one index transition
+	// per shard (one writer-lock acquisition, one tree clone, one snapshot
+	// publish, one store fsync), all-or-nothing on validation failure
+	// (*BatchError). The stats slice has one entry per item, inserts first.
+	ApplyBatch(inserts []*fuzzy.Object, deletes []uint64) ([]Stats, error)
 	// Len returns the number of indexed objects.
 	Len() int
 	// Dims returns the dimensionality (0 until known).

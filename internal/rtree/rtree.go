@@ -10,13 +10,21 @@
 //
 // # Mutation and snapshots
 //
-// Insert and Delete never modify reachable nodes: every structural change
-// copies the root-to-leaf path it touches and leaves the previous nodes
-// intact (copy-on-write path copying). Clone is therefore O(1) — it copies
-// only the tree header — and the pair supports cheap snapshot isolation:
+// Insert and Delete never modify nodes visible to another tree: every node
+// is stamped with the ownership generation of the tree that created it,
+// Clone (O(1) — it copies only the tree header) moves both trees to fresh
+// generations, and a mutation copies a node exactly when its stamp differs
+// from the mutating tree's generation — after which the copy is owned and
+// further mutations in the same ownership span update it in place. The
+// pair supports cheap snapshot isolation:
 //
 //	snap := t.Clone() // or keep t.Root()/Height()/Len() from before
 //	t.Insert(r, data) // snap still sees the old, fully consistent tree
+//
+// The in-place half is what makes group commits cheap: a clone receiving a
+// batch of inserts copies and repacks each touched node once per batch,
+// not once per insert, while every node reachable from any other clone
+// stays intact (classic persistent-structure transients).
 //
 // A Tree itself is not safe for concurrent mutation; callers serialize
 // writers and publish clones (e.g. through an atomic pointer) to readers.
@@ -29,7 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"fuzzyknn/internal/geom"
 )
@@ -53,6 +61,13 @@ type Entry struct {
 type Node struct {
 	leaf    bool
 	entries []Entry
+
+	// gen is the ownership generation of the tree that created this node.
+	// A tree may mutate a node in place iff the node's gen equals its own;
+	// any other node is copied first (see Tree.mutable). Clone retires
+	// both trees' generations, so every node reachable from a cloned-away
+	// snapshot is frozen forever.
+	gen uint64
 
 	// packed flattens the entry rectangles into one contiguous slice —
 	// 2·d floats per entry, lower corner first — so best-first traversals
@@ -128,6 +143,14 @@ type Tree struct {
 	height     int // number of levels; 1 = root is a leaf
 	size       int // number of leaf entries
 
+	// gen is this tree's ownership generation: nodes stamped with it may
+	// be mutated in place, all others are copied on write. lineage is the
+	// generation counter shared by every clone of one tree family; Clone
+	// draws two fresh generations from it so neither side can touch the
+	// nodes the other may still serve.
+	gen     uint64
+	lineage *uint64
+
 	// relaxedMinFill marks trees whose construction may legitimately leave
 	// underfull nodes (STR bulk loading packs full nodes and puts the
 	// remainder in the last one). CheckInvariants skips the min-fill check
@@ -148,11 +171,14 @@ func New(min, max int) *Tree {
 	if max < 2 || min < 1 || min > max/2 {
 		panic(fmt.Sprintf("rtree: invalid capacities min=%d max=%d", min, max))
 	}
+	lineage := uint64(1)
 	return &Tree{
-		root:       &Node{leaf: true},
+		root:       &Node{leaf: true, gen: 1},
 		minEntries: min,
 		maxEntries: max,
 		height:     1,
+		gen:        1,
+		lineage:    &lineage,
 	}
 }
 
@@ -178,12 +204,29 @@ func (t *Tree) Bounds() geom.Rect {
 }
 
 // Clone returns a snapshot of the tree in O(1): only the header is copied,
-// all nodes are shared. Because mutations path-copy (they never modify a
-// node reachable from any published root), the clone and the original can
-// each be mutated without disturbing the other's view.
+// all nodes are shared. Both trees move to fresh ownership generations, so
+// every shared node is frozen — the clone and the original can each be
+// mutated without disturbing the other's view, each copying shared nodes
+// on first touch and mutating only nodes it created afterwards.
 func (t *Tree) Clone() *Tree {
 	c := *t
+	*t.lineage += 2
+	c.gen = *t.lineage - 1
+	t.gen = *t.lineage
 	return &c
+}
+
+// mutable returns a node this tree may mutate: n itself when this tree
+// created it (its generation matches), otherwise a fresh owned copy of n's
+// entries. The copy leaves packed empty; mutators repack once the entry
+// set settles.
+func (t *Tree) mutable(n *Node) *Node {
+	if n.gen == t.gen {
+		return n
+	}
+	nn := &Node{leaf: n.leaf, gen: t.gen, entries: make([]Entry, len(n.entries), len(n.entries)+1)}
+	copy(nn.entries, n.entries)
+	return nn
 }
 
 // Insert adds a leaf entry with the given rectangle and payload. The
@@ -205,6 +248,7 @@ func (t *Tree) insertEntry(e Entry) {
 		// Root split: grow the tree by one level.
 		root = &Node{
 			leaf: false,
+			gen:  t.gen,
 			entries: []Entry{
 				{Rect: nodeMBR(root), Child: root},
 				{Rect: nodeMBR(split), Child: split},
@@ -218,10 +262,10 @@ func (t *Tree) insertEntry(e Entry) {
 
 // insert places e at the given level (0 = leaf) below n, returning the
 // replacement for n and, if the replacement overflowed, the node split off
-// of it. n itself is never modified.
+// of it. Nodes owned by other trees are never modified; nodes this tree
+// owns update in place.
 func (t *Tree) insert(n *Node, e Entry, level int) (*Node, *Node) {
-	nn := &Node{leaf: n.leaf, entries: make([]Entry, len(n.entries), len(n.entries)+1)}
-	copy(nn.entries, n.entries)
+	nn := t.mutable(n)
 	if level == 0 {
 		nn.entries = append(nn.entries, e)
 		if len(nn.entries) > t.maxEntries {
@@ -230,8 +274,8 @@ func (t *Tree) insert(n *Node, e Entry, level int) (*Node, *Node) {
 		nn.pack()
 		return nn, nil
 	}
-	i := chooseSubtree(n, e.Rect)
-	child, split := t.insert(n.entries[i].Child, e, level-1)
+	i := chooseSubtree(nn, e.Rect)
+	child, split := t.insert(nn.entries[i].Child, e, level-1)
 	nn.entries[i] = Entry{Rect: nodeMBR(child), Child: child}
 	if split != nil {
 		nn.entries = append(nn.entries, Entry{Rect: nodeMBR(split), Child: split})
@@ -263,7 +307,7 @@ func (t *Tree) Delete(r geom.Rect, match func(data any) bool) bool {
 	for !t.root.leaf {
 		switch len(t.root.entries) {
 		case 0:
-			t.root = &Node{leaf: true}
+			t.root = &Node{leaf: true, gen: t.gen}
 			t.height = 1
 		case 1:
 			t.root = t.root.entries[0].Child
@@ -283,6 +327,7 @@ condensed:
 // deleteFrom removes the matching entry below n, returning n's replacement
 // (nil when n dissolved into orphans) and whether the entry was found. Leaf
 // entries of dissolved subtrees are appended to orphans for reinsertion.
+// Like insert, only nodes this tree owns are modified in place.
 func (t *Tree) deleteFrom(n *Node, r geom.Rect, match func(any) bool, orphans *[]Entry) (*Node, bool) {
 	if n.leaf {
 		idx := -1
@@ -295,9 +340,8 @@ func (t *Tree) deleteFrom(n *Node, r geom.Rect, match func(any) bool, orphans *[
 		if idx < 0 {
 			return n, false
 		}
-		nn := &Node{leaf: true, entries: make([]Entry, 0, len(n.entries)-1)}
-		nn.entries = append(nn.entries, n.entries[:idx]...)
-		nn.entries = append(nn.entries, n.entries[idx+1:]...)
+		nn := t.mutable(n)
+		nn.entries = append(nn.entries[:idx], nn.entries[idx+1:]...)
 		if n != t.root && len(nn.entries) < t.minEntries {
 			*orphans = append(*orphans, nn.entries...)
 			return nil, true
@@ -313,12 +357,12 @@ func (t *Tree) deleteFrom(n *Node, r geom.Rect, match func(any) bool, orphans *[
 		if !found {
 			continue
 		}
-		nn := &Node{leaf: false, entries: make([]Entry, 0, len(n.entries))}
-		nn.entries = append(nn.entries, n.entries[:i]...)
+		nn := t.mutable(n)
 		if child != nil {
-			nn.entries = append(nn.entries, Entry{Rect: nodeMBR(child), Child: child})
+			nn.entries[i] = Entry{Rect: nodeMBR(child), Child: child}
+		} else {
+			nn.entries = append(nn.entries[:i], nn.entries[i+1:]...)
 		}
-		nn.entries = append(nn.entries, n.entries[i+1:]...)
 		if n != t.root && len(nn.entries) < t.minEntries {
 			collectLeafEntries(nn, orphans)
 			return nil, true
@@ -421,7 +465,7 @@ func (t *Tree) splitNode(n *Node) *Node {
 
 	n.entries = groupA
 	n.pack()
-	other := &Node{leaf: n.leaf, entries: groupB}
+	other := &Node{leaf: n.leaf, gen: t.gen, entries: groupB}
 	other.pack()
 	return other
 }
@@ -562,10 +606,16 @@ func strTile(entries []Entry, dim, dims, max int, emit func([]Entry)) {
 }
 
 func sortByCenter(entries []Entry, dim int) {
-	sort.SliceStable(entries, func(i, j int) bool {
-		ci := entries[i].Rect.Lo[dim] + entries[i].Rect.Hi[dim]
-		cj := entries[j].Rect.Lo[dim] + entries[j].Rect.Hi[dim]
-		return ci < cj
+	slices.SortStableFunc(entries, func(a, b Entry) int {
+		ca := a.Rect.Lo[dim] + a.Rect.Hi[dim]
+		cb := b.Rect.Lo[dim] + b.Rect.Hi[dim]
+		switch {
+		case ca < cb:
+			return -1
+		case ca > cb:
+			return 1
+		}
+		return 0
 	})
 }
 

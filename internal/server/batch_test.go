@@ -1,0 +1,86 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"fuzzyknn"
+)
+
+// wireObject converts a built object to its JSON form.
+func wireObject(t *testing.T, o *fuzzyknn.Object) *ObjectJSON {
+	t.Helper()
+	wps := o.WeightedPoints()
+	obj := &ObjectJSON{ID: o.ID(), Points: make([]PointJSON, len(wps))}
+	for i, wp := range wps {
+		obj.Points[i] = PointJSON{P: wp.P, Mu: wp.Mu}
+	}
+	return obj
+}
+
+// TestServeBatchMutate drives POST /objects:batch end to end: a mixed
+// batch of valid inserts, a malformed object, a duplicate id and deletes
+// (valid and unknown) must commit the valid items, report each failure in
+// place, and leave the index consistent.
+func TestServeBatchMutate(t *testing.T) {
+	ts, ix, _ := newTestServer(t)
+
+	req := BatchMutateRequest{
+		Objects: []*ObjectJSON{
+			wireObject(t, blob(t, 900, 0.2, 0.1)),
+			{ID: 901}, // malformed: no points
+			wireObject(t, blob(t, 902, -0.4, 0.6)),
+			wireObject(t, blob(t, 1, 5, 5)), // duplicate of a live id
+			nil,                             // missing object
+		},
+		DeleteIDs: []uint64{6, 777777},
+	}
+	var out BatchMutateResponse
+	if status := postJSON(t, ts.URL+"/objects:batch", req, &out); status != http.StatusOK {
+		t.Fatalf("batch status = %d", status)
+	}
+	if len(out.Results) != 7 {
+		t.Fatalf("%d item results, want 7: %+v", len(out.Results), out.Results)
+	}
+	wantErr := []bool{false, true, false, true, true, false, true}
+	wantOp := []string{"insert", "insert", "insert", "insert", "insert", "delete", "delete"}
+	for i, item := range out.Results {
+		if (item.Error != "") != wantErr[i] || item.Op != wantOp[i] {
+			t.Fatalf("item %d = %+v, want op=%s failed=%v", i, item, wantOp[i], wantErr[i])
+		}
+	}
+	if out.Applied != 3 || out.Failed != 4 {
+		t.Fatalf("applied=%d failed=%d, want 3/4", out.Applied, out.Failed)
+	}
+	// 6 seed objects + 2 inserts - 1 delete.
+	if out.Objects != 7 || ix.Len() != 7 {
+		t.Fatalf("objects=%d len=%d, want 7", out.Objects, ix.Len())
+	}
+
+	// The batch-inserted object answers queries.
+	var qr QueryResponse
+	if status := postJSON(t, ts.URL+"/aknn", AKNNRequest{Query: queryJSON(t), K: 1, Alpha: 0.5}, &qr); status != http.StatusOK {
+		t.Fatalf("aknn status = %d", status)
+	}
+	if len(qr.Results) != 1 || qr.Results[0].ID != 900 {
+		t.Fatalf("batch-ingested object not served: %+v", qr.Results)
+	}
+
+	// An empty batch is the client's mistake.
+	var er ErrorResponse
+	if status := postJSON(t, ts.URL+"/objects:batch", BatchMutateRequest{}, &er); status != http.StatusBadRequest {
+		t.Fatalf("empty batch status = %d", status)
+	}
+
+	// A pure-insert bulk load lands whole.
+	bulk := BatchMutateRequest{}
+	for id := uint64(1000); id < 1050; id++ {
+		bulk.Objects = append(bulk.Objects, wireObject(t, blob(t, id, float64(id%10), float64(id%7))))
+	}
+	if status := postJSON(t, ts.URL+"/objects:batch", bulk, &out); status != http.StatusOK {
+		t.Fatalf("bulk status = %d", status)
+	}
+	if out.Applied != 50 || out.Failed != 0 || ix.Len() != 57 {
+		t.Fatalf("bulk applied=%d failed=%d len=%d", out.Applied, out.Failed, ix.Len())
+	}
+}

@@ -3,13 +3,14 @@
 //
 // Endpoints (request/response bodies are JSON):
 //
-//	POST   /aknn         {query|query_id, k, alpha, algo?}                → {results, stats}
-//	POST   /rknn         {query|query_id, k, alpha_start, alpha_end, algo?} → {results, stats}
-//	POST   /range        {query|query_id, alpha, radius}                  → {results, stats}
-//	POST   /objects      {object}                                        → {id, objects}
-//	DELETE /objects/{id}                                                 → {id, objects}
-//	GET    /stats        index size + engine lifetime totals
-//	GET    /healthz      liveness probe
+//	POST   /aknn          {query|query_id, k, alpha, algo?}                → {results, stats}
+//	POST   /rknn          {query|query_id, k, alpha_start, alpha_end, algo?} → {results, stats}
+//	POST   /range         {query|query_id, alpha, radius}                  → {results, stats}
+//	POST   /objects       {object}                                        → {id, objects}
+//	POST   /objects:batch {objects: [...], delete_ids?: [...]}            → {results, applied, failed, objects}
+//	DELETE /objects/{id}                                                  → {id, objects}
+//	GET    /stats         index size + engine lifetime totals
+//	GET    /healthz       liveness probe
 //
 // The mutation endpoints require a mutable index (in-memory or log-backed);
 // on a read-only index they answer 500. A duplicate insert id or malformed
@@ -17,6 +18,16 @@
 // 404. Mutations are dispatched through the engine like queries, so they
 // share its worker pool, cancellation and lifetime statistics, and every
 // query in flight during a mutation keeps its consistent snapshot.
+//
+// POST /objects:batch ingests many objects (and optionally retires ids) in
+// one request: the items flow into the engine's write coalescer together,
+// so the whole batch typically lands as one group commit — one snapshot
+// publish and one fsync on a log-backed index — instead of N. The response
+// always reports per item: each entry carries the id, the operation, and
+// an error string for the items that failed (invalid object, duplicate id,
+// unknown delete id); valid items commit even when others fail. The
+// request itself only 400s when the body is malformed or the batch is
+// empty.
 //
 // The query object is given inline ({"points": [{"p": [x, y], "mu": 0.8},
 // ...]}) or as a stored id ({"query_id": 7}; resolving it counts as one
@@ -55,6 +66,7 @@ func New(ix *fuzzyknn.Index, eng *fuzzyknn.Engine) *Server {
 	s.mux.HandleFunc("POST /rknn", s.handleRKNN)
 	s.mux.HandleFunc("POST /range", s.handleRange)
 	s.mux.HandleFunc("POST /objects", s.handleInsert)
+	s.mux.HandleFunc("POST /objects:batch", s.handleBatchMutate)
 	s.mux.HandleFunc("DELETE /objects/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -118,6 +130,31 @@ type InsertRequest struct {
 type MutationResponse struct {
 	ID      uint64 `json:"id"`
 	Objects int    `json:"objects"`
+}
+
+// BatchMutateRequest is the body of POST /objects:batch: objects to insert
+// and, optionally, ids to delete. Inserts apply before deletes.
+type BatchMutateRequest struct {
+	Objects   []*ObjectJSON `json:"objects,omitempty"`
+	DeleteIDs []uint64      `json:"delete_ids,omitempty"`
+}
+
+// BatchItemJSON reports one batch item's outcome. Error is empty for items
+// that committed.
+type BatchItemJSON struct {
+	Op    string `json:"op"` // "insert" | "delete"
+	ID    uint64 `json:"id"`
+	Error string `json:"error,omitempty"`
+}
+
+// BatchMutateResponse is the body of a POST /objects:batch response:
+// per-item outcomes in request order (inserts, then deletes), the
+// applied/failed tally, and the live object count afterwards.
+type BatchMutateResponse struct {
+	Results []BatchItemJSON `json:"results"`
+	Applied int             `json:"applied"`
+	Failed  int             `json:"failed"`
+	Objects int             `json:"objects"`
 }
 
 // ResultJSON is one AKNN or range-search answer.
@@ -297,6 +334,61 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, MutationResponse{ID: obj.ID(), Objects: s.ix.Len()})
+}
+
+func (s *Server) handleBatchMutate(w http.ResponseWriter, r *http.Request) {
+	var req BatchMutateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Objects)+len(req.DeleteIDs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("empty batch: give objects and/or delete_ids"))
+		return
+	}
+	out := BatchMutateResponse{Results: make([]BatchItemJSON, 0, len(req.Objects)+len(req.DeleteIDs))}
+
+	// Malformed objects get their per-item verdict locally; well-formed
+	// items are submitted together so the engine's write coalescer can land
+	// them as one group commit. reqs[k] answers out.Results[resultPos[k]].
+	var reqs []fuzzyknn.BatchRequest
+	var resultPos []int
+	for _, oj := range req.Objects {
+		item := BatchItemJSON{Op: "insert"}
+		if oj == nil {
+			item.Error = "missing object"
+			out.Results = append(out.Results, item)
+			continue
+		}
+		item.ID = oj.ID
+		obj, err := objectFromJSON(oj)
+		if err != nil {
+			item.Error = err.Error()
+			out.Results = append(out.Results, item)
+			continue
+		}
+		resultPos = append(resultPos, len(out.Results))
+		out.Results = append(out.Results, item)
+		reqs = append(reqs, fuzzyknn.BatchRequest{Kind: fuzzyknn.BatchInsertKind, Obj: obj})
+	}
+	for _, id := range req.DeleteIDs {
+		resultPos = append(resultPos, len(out.Results))
+		out.Results = append(out.Results, BatchItemJSON{Op: "delete", ID: id})
+		reqs = append(reqs, fuzzyknn.BatchRequest{Kind: fuzzyknn.BatchDeleteKind, ID: id})
+	}
+	for k, resp := range s.eng.DoBatch(r.Context(), reqs) {
+		if resp.Err != nil {
+			out.Results[resultPos[k]].Error = resp.Err.Error()
+		}
+	}
+	for _, item := range out.Results {
+		if item.Error == "" {
+			out.Applied++
+		} else {
+			out.Failed++
+		}
+	}
+	out.Objects = s.ix.Len()
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {

@@ -70,7 +70,9 @@ func FuzzRecordRoundTrip(f *testing.F) {
 }
 
 // validLogImage builds a well-formed log file image with a few puts and
-// tombstones, returning its bytes.
+// tombstones — single records and a group-commit batch record, so the
+// replay and truncation fuzzers exercise both framings — returning its
+// bytes.
 func validLogImage(t testingTB, dir string, seed uint64) []byte {
 	path := dir + "/seed.fzl"
 	s, err := OpenLog(path, 2)
@@ -84,6 +86,12 @@ func validLogImage(t testingTB, dir string, seed uint64) []byte {
 		}
 	}
 	if err := s.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyBatch([]*fuzzy.Object{
+		randObject(rng, 5, 3+rng.IntN(5), 2),
+		randObject(rng, 6, 3+rng.IntN(5), 2),
+	}, []uint64{3}); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {

@@ -60,6 +60,50 @@ func (c *Counting) Delete(id uint64) error {
 	return m.Delete(id)
 }
 
+// ApplyBatch implements BatchMutator by forwarding the whole group to the
+// wrapped store (falling back to item-by-item application when it has no
+// batch side). Writes are not counted, like Insert/Delete.
+func (c *Counting) ApplyBatch(inserts []*fuzzy.Object, deletes []uint64) error {
+	return forwardBatch(c.Reader, inserts, deletes)
+}
+
+// Live implements LivenessChecker by forwarding ((false, false) when the
+// wrapped store cannot answer).
+func (c *Counting) Live(id uint64) (bool, bool) { return forwardLive(c.Reader, id) }
+
+// forwardBatch routes a batch mutation to the wrapped store's batch side
+// when it has one. A plain Mutator gets the items one by one — same
+// outcome when everything is valid, but without cross-item atomicity: the
+// first failure aborts with the items before it already applied.
+func forwardBatch(r Reader, inserts []*fuzzy.Object, deletes []uint64) error {
+	if bm, ok := r.(BatchMutator); ok {
+		return bm.ApplyBatch(inserts, deletes)
+	}
+	m, err := asMutator(r)
+	if err != nil {
+		return err
+	}
+	for i, o := range inserts {
+		if err := m.Insert(o); err != nil {
+			return &ItemError{Pos: i, Err: err}
+		}
+	}
+	for i, id := range deletes {
+		if err := m.Delete(id); err != nil {
+			return &ItemError{Delete: true, Pos: i, Err: err}
+		}
+	}
+	return nil
+}
+
+// forwardLive resolves a liveness probe through the wrapped store.
+func forwardLive(r Reader, id uint64) (bool, bool) {
+	if lc, ok := r.(LivenessChecker); ok {
+		return lc.Live(id)
+	}
+	return false, false
+}
+
 // LRU wraps a Reader with a fixed-capacity least-recently-used object cache.
 // It is an extension beyond the paper (which always charges a probe) used by
 // the cache-ablation benchmarks; place it *under* a Counting wrapper to keep
@@ -182,3 +226,25 @@ func (l *LRU) Delete(id uint64) error {
 	l.invalidate(id)
 	return nil
 }
+
+// ApplyBatch implements BatchMutator by forwarding the group. Every
+// touched id is invalidated even on failure: a rejected batch applied
+// nothing on a real BatchMutator, but the sequential fallback over a plain
+// Mutator may have landed a prefix, and a spurious invalidation only costs
+// a refetch.
+func (l *LRU) ApplyBatch(inserts []*fuzzy.Object, deletes []uint64) error {
+	err := forwardBatch(l.inner, inserts, deletes)
+	for _, o := range inserts {
+		if o != nil {
+			l.invalidate(o.ID())
+		}
+	}
+	for _, id := range deletes {
+		l.invalidate(id)
+	}
+	return err
+}
+
+// Live implements LivenessChecker by forwarding ((false, false) when the
+// wrapped store cannot answer).
+func (l *LRU) Live(id uint64) (bool, bool) { return forwardLive(l.inner, id) }
