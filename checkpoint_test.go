@@ -1,0 +1,167 @@
+package fuzzyknn_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"fuzzyknn"
+)
+
+// churnLogIndex builds a log-backed index at path and runs a deterministic
+// churn through it: inserts, deletes, reinserts at new positions, and one
+// group-committed batch. Every call produces the same logical state.
+func churnLogIndex(t *testing.T, path string, shards int) *fuzzyknn.Index {
+	t.Helper()
+	ix, err := fuzzyknn.OpenLogIndex(path, 2, &fuzzyknn.Config{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 30; i++ {
+		x, y := float64(i%7)*2.5, float64(i%5)*3.0
+		if err := ix.Insert(disk(uint64(i), x, y)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	for _, id := range []uint64{3, 8, 13, 18, 23, 28} {
+		if err := ix.Delete(id); err != nil {
+			t.Fatalf("delete %d: %v", id, err)
+		}
+	}
+	for _, id := range []uint64{8, 18} { // reinsert elsewhere
+		if err := ix.Insert(disk(id, float64(id)*0.7, -float64(id)*0.4)); err != nil {
+			t.Fatalf("reinsert %d: %v", id, err)
+		}
+	}
+	if err := ix.ApplyBatch(
+		[]*fuzzyknn.Object{disk(40, -2, -3), disk(41, 11, 1)},
+		[]uint64{5, 12},
+	); err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+// queryAnswers runs every query family the index exposes and serializes the
+// answers. Two indexes over the same logical state must return identical
+// slices.
+func queryAnswers(t *testing.T, ix *fuzzyknn.Index) []string {
+	t.Helper()
+	queries := []*fuzzyknn.Object{
+		disk(900, 0, 0), disk(901, 6, 6), disk(902, -1, 4),
+	}
+	var out []string
+	add := func(family string, rs []fuzzyknn.Result, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		for _, r := range rs {
+			out = append(out, fmt.Sprintf("%s %d %v %v %v %v", family, r.ID, r.Dist, r.Exact, r.Lower, r.Upper))
+		}
+	}
+	for qi, q := range queries {
+		for _, algo := range []fuzzyknn.AKNNAlgorithm{fuzzyknn.Basic, fuzzyknn.LB, fuzzyknn.LBLP, fuzzyknn.LBLPUB} {
+			rs, _, err := ix.AKNN(q, 5, 0.5, algo)
+			add(fmt.Sprintf("aknn-%d-%v", qi, algo), rs, err)
+		}
+		rs, _, err := ix.LinearScanAKNN(q, 5, 0.5)
+		add(fmt.Sprintf("linear-%d", qi), rs, err)
+		for _, algo := range []fuzzyknn.RKNNAlgorithm{fuzzyknn.Naive, fuzzyknn.BasicRKNN, fuzzyknn.RSS, fuzzyknn.RSSICR} {
+			rrs, _, err := ix.RKNN(q, 3, 0.3, 0.8, algo)
+			if err != nil {
+				t.Fatalf("rknn-%d-%v: %v", qi, algo, err)
+			}
+			for _, rr := range rrs {
+				out = append(out, fmt.Sprintf("rknn-%d-%v %d %s", qi, algo, rr.ID, rr.Qualifying.String()))
+			}
+		}
+		rs, _, err = ix.RangeSearch(q, 0.5, 6)
+		add(fmt.Sprintf("range-%d", qi), rs, err)
+		rs, _, err = ix.ReverseKNN(q, 3, 0.5)
+		add(fmt.Sprintf("reverse-%d", qi), rs, err)
+		rs, _, err = ix.ExpectedDistKNN(q, 5)
+		add(fmt.Sprintf("eknn-%d", qi), rs, err)
+	}
+	return out
+}
+
+// TestCheckpointQueryEquivalence proves checkpoints and compaction are
+// invisible to queries: after identical churn, a plain reopen, a
+// checkpoint-then-reopen and a checkpoint+compact-then-reopen must answer
+// every query family identically, unsharded and sharded.
+func TestCheckpointQueryEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			cfg := &fuzzyknn.Config{Shards: shards}
+			open := func(path string) *fuzzyknn.Index {
+				t.Helper()
+				ix, err := fuzzyknn.OpenLogIndex(path, 0, cfg)
+				if err != nil {
+					t.Fatalf("reopen %s: %v", filepath.Base(path), err)
+				}
+				return ix
+			}
+
+			// Variant A: plain close + reopen (full-history replay).
+			pathA := filepath.Join(t.TempDir(), "a.fzl")
+			ixA := churnLogIndex(t, pathA, shards)
+			if err := ixA.Close(); err != nil {
+				t.Fatal(err)
+			}
+			ixA = open(pathA)
+			defer ixA.Close()
+
+			// Variant B: checkpoint without compaction, then reopen.
+			pathB := filepath.Join(t.TempDir(), "b.fzl")
+			ixB := churnLogIndex(t, pathB, shards)
+			infos, err := ixB.Checkpoint(false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(infos) != shards {
+				t.Fatalf("%d checkpoint infos for %d shards", len(infos), shards)
+			}
+			if err := ixB.Close(); err != nil {
+				t.Fatal(err)
+			}
+			ixB = open(pathB)
+			defer ixB.Close()
+
+			// Variant C: checkpoint + compaction, then reopen.
+			pathC := filepath.Join(t.TempDir(), "c.fzl")
+			ixC := churnLogIndex(t, pathC, shards)
+			if _, err := ixC.Checkpoint(true); err != nil {
+				t.Fatal(err)
+			}
+			if err := ixC.Close(); err != nil {
+				t.Fatal(err)
+			}
+			ixC = open(pathC)
+			defer ixC.Close()
+
+			if ixA.Len() != ixB.Len() || ixA.Len() != ixC.Len() {
+				t.Fatalf("live sets diverge: %d / %d / %d", ixA.Len(), ixB.Len(), ixC.Len())
+			}
+			ansA, ansB, ansC := queryAnswers(t, ixA), queryAnswers(t, ixB), queryAnswers(t, ixC)
+			for name, ans := range map[string][]string{"checkpoint": ansB, "checkpoint+compact": ansC} {
+				if len(ans) != len(ansA) {
+					t.Fatalf("%s: %d answers, plain reopen has %d", name, len(ans), len(ansA))
+				}
+				for i := range ans {
+					if ans[i] != ansA[i] {
+						t.Fatalf("%s diverges at %d:\n  plain: %s\n  %s: %s", name, i, ansA[i], name, ans[i])
+					}
+				}
+			}
+
+			// The checkpointed variants also keep working as mutable indexes.
+			if err := ixC.Insert(disk(500, 1, 1)); err != nil {
+				t.Fatal(err)
+			}
+			if err := ixC.Delete(500); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

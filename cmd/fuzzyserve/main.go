@@ -39,6 +39,18 @@
 //	                                                      {"id": 902, "points": [{"p": [3, 4], "mu": 1}]}]}'
 //	curl -s -X DELETE localhost:8080/objects/900
 //
+// A -log index can checkpoint: POST /checkpoint writes a durable snapshot
+// of the live objects and (by default) compacts the log, so the next start
+// replays only the suffix written since — restart cost tracks live data,
+// not history. -checkpoint-every N does the same automatically after every
+// N committed write groups:
+//
+//	fuzzyserve -log objects.fzl -dims 2 -checkpoint-every 64
+//	curl -s -X POST localhost:8080/checkpoint
+//	curl -s -X POST localhost:8080/checkpoint -d '{"compact": false}'
+//
+// /stats reports each shard's checkpoint generation, size and age.
+//
 // The -fsync flag picks the log's durability policy (-log mode only).
 // Every HTTP mutation — single or batch — flows through the engine's
 // write coalescer, which commits groups (even groups of one) through
@@ -85,6 +97,7 @@ func main() {
 		logPath     = flag.String("log", "", "mutable append-only log store to serve (created if missing)")
 		dims        = flag.Int("dims", 0, "dimensionality when creating a new -log store")
 		fsync       = flag.String("fsync", "batch", "log durability policy: always | batch | off (see command docs)")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "checkpoint+compact the log after every N write groups (0 = only on POST /checkpoint)")
 		summary     = flag.String("summary", "", "index summary file (skips the store scan on open)")
 		cacheSize   = flag.Int("cache", 0, "LRU object cache size (0 = none)")
 		shards      = flag.Int("shards", 1, "hash-partitioned index shards queried in parallel (1 = single tree)")
@@ -95,13 +108,19 @@ func main() {
 	)
 	flag.Parse()
 
+	if *ckptEvery < 0 {
+		log.Fatal("-checkpoint-every must be >= 0")
+	}
+	if *ckptEvery > 0 && *logPath == "" {
+		log.Fatal("-checkpoint-every only applies to -log indexes")
+	}
 	idx, err := openIndex(*storePath, *logPath, *summary, *fsync, *cacheSize, *shards, *dims, *demo, *demoSeed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer idx.Close()
 
-	eng := idx.NewEngine(&fuzzyknn.EngineConfig{Parallelism: *parallelism})
+	eng := idx.NewEngine(&fuzzyknn.EngineConfig{Parallelism: *parallelism, CheckpointEvery: *ckptEvery})
 	defer eng.Close()
 	log.Printf("serving %d objects (%d dims) on %s, shards %d, parallelism %d",
 		idx.Len(), idx.Dims(), *addr, idx.NumShards(), eng.Parallelism())

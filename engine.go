@@ -47,6 +47,12 @@ type EngineConfig struct {
 	// costs further; smaller ones bound the latency of the requests at the
 	// front of a busy write queue.
 	MaxWriteBatch int
+	// CheckpointEvery, when > 0, cuts a durable checkpoint (with log
+	// compaction) after every N committed write groups, bounding restart
+	// replay cost and log growth automatically. Only meaningful for
+	// log-backed indexes (OpenLogIndex); see Index.Checkpoint. Default: 0,
+	// never.
+	CheckpointEvery int
 }
 
 // Engine executes queries concurrently against one Index through a bounded
@@ -65,6 +71,7 @@ func (ix *Index) NewEngine(cfg *EngineConfig) *Engine {
 		opts.Parallelism = cfg.Parallelism
 		opts.QueueDepth = cfg.QueueDepth
 		opts.MaxWriteBatch = cfg.MaxWriteBatch
+		opts.CheckpointEvery = cfg.CheckpointEvery
 	}
 	return &Engine{inner: engine.New(ix.inner, opts)}
 }
@@ -163,6 +170,14 @@ func collectBatch[T any](resps []BatchResponse, pick func(BatchResponse) T) ([]T
 		}
 	}
 	return results, stats, err
+}
+
+// Checkpoint cuts a durable checkpoint of the index's store through the
+// engine (recorded in Totals under the "checkpoint" kind), optionally
+// compacting the log. See Index.Checkpoint for semantics; it is safe to
+// call concurrently with the periodic EngineConfig.CheckpointEvery trigger.
+func (e *Engine) Checkpoint(compact bool) ([]CheckpointInfo, error) {
+	return e.inner.Checkpoint(compact)
 }
 
 // Totals returns a snapshot of the engine's aggregate request counts and

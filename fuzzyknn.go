@@ -78,6 +78,15 @@ var ErrReadOnly = store.ErrReadOnly
 // ErrDuplicate is returned by Insert when the object id is already live.
 var ErrDuplicate = store.ErrDuplicate
 
+// ErrCheckpointUnsupported is returned by Checkpoint on indexes whose
+// store has no durable log (in-memory NewIndex, immutable OpenIndex).
+var ErrCheckpointUnsupported = store.ErrUnsupported
+
+// CheckpointInfo describes one shard store's durable checkpoint state: the
+// snapshot generation and size, and how much log the next open must replay
+// on top of it.
+type CheckpointInfo = store.CheckpointInfo
+
 // BatchError rejects an entire ApplyBatch call: validation found the
 // listed item errors and nothing was applied (all-or-nothing). Retrieve it
 // with errors.As to learn every offending item's position.
@@ -576,6 +585,21 @@ func (ix *Index) ApplyBatch(inserts []*Object, deletes []uint64) error {
 	return err
 }
 
+// Checkpoint cuts a durable checkpoint of every shard's log store and, when
+// compact is true, also compacts each shard's log down to the records the
+// checkpoint does not cover. After a checkpoint, OpenLogIndex restores the
+// index by loading the snapshot (bulk-rebuilding each shard's R-tree in one
+// STR pass) and replaying only the log suffix written since the cut — so
+// restart cost is proportional to live data, not to total write history.
+// The index stays fully live during the call: queries and mutations proceed
+// concurrently, and mutations landing mid-checkpoint are simply part of the
+// suffix the next open replays. Returns one CheckpointInfo per shard, in
+// shard order. Fails with ErrCheckpointUnsupported on in-memory (NewIndex)
+// and immutable (OpenIndex) indexes.
+func (ix *Index) Checkpoint(compact bool) ([]CheckpointInfo, error) {
+	return ix.inner.Checkpoint(compact)
+}
+
 // Len returns the number of indexed objects.
 func (ix *Index) Len() int { return ix.inner.Len() }
 
@@ -602,6 +626,9 @@ type ShardInfo struct {
 	Dims           int
 	TreeHeight     int
 	ObjectAccesses int64
+	// Checkpoint is the shard store's checkpoint state; nil when the store
+	// cannot checkpoint (in-memory or immutable stores).
+	Checkpoint *CheckpointInfo
 }
 
 // ShardInfo reports per-shard physical state, in shard order (one entry
@@ -615,6 +642,7 @@ func (ix *Index) ShardInfo() []ShardInfo {
 			Dims:           s.Dims,
 			TreeHeight:     s.TreeHeight,
 			ObjectAccesses: ix.countings[i].Count(),
+			Checkpoint:     s.Checkpoint,
 		}
 	}
 	return out

@@ -32,6 +32,7 @@ import (
 
 	"fuzzyknn/internal/fuzzy"
 	"fuzzyknn/internal/query"
+	"fuzzyknn/internal/store"
 )
 
 // Kind selects the query or mutation type of a Request.
@@ -129,6 +130,14 @@ type Options struct {
 	// raise the latency of the requests at the front of a full group.
 	// Values < 1 select 256.
 	MaxWriteBatch int
+	// CheckpointEvery, when > 0, has the writer goroutine cut a durable
+	// checkpoint (with log compaction) after every N committed write
+	// groups, bounding both restart replay cost and log growth without
+	// any operator intervention. Zero disables the policy; explicit
+	// Checkpoint calls work either way. Only meaningful for indexes whose
+	// store supports checkpoints — the periodic trigger is skipped (and
+	// counted as a failure) otherwise.
+	CheckpointEvery int
 }
 
 // ErrClosed is returned for requests submitted after Close.
@@ -149,12 +158,13 @@ type job struct {
 // fsync per group instead of per request. Create with New, release with
 // Close.
 type Engine struct {
-	ix            query.Searcher
-	jobs          chan job // queries
-	writes        chan job // mutations, drained in groups by the writer
-	workers       sync.WaitGroup
-	parallelism   int
-	maxWriteBatch int
+	ix              query.Searcher
+	jobs            chan job // queries
+	writes          chan job // mutations, drained in groups by the writer
+	workers         sync.WaitGroup
+	parallelism     int
+	maxWriteBatch   int
+	checkpointEvery int // cut a checkpoint every N write groups (0 = never)
 
 	// lifecycle serializes channel sends against Close: submitters hold the
 	// read side across their send, so Close can only close the channels once
@@ -188,9 +198,10 @@ func New(ix query.Searcher, opts Options) *Engine {
 		// The write queue holds enough for the writer to drain a full group
 		// while the next one accumulates; mutations beyond it block in
 		// submit like queries do.
-		writes:        make(chan job, 2*maxBatch),
-		parallelism:   p,
-		maxWriteBatch: maxBatch,
+		writes:          make(chan job, 2*maxBatch),
+		parallelism:     p,
+		maxWriteBatch:   maxBatch,
+		checkpointEvery: opts.CheckpointEvery,
 	}
 	e.totals.Requests = map[string]int64{}
 	e.workers.Add(p + 1)
@@ -224,13 +235,26 @@ func (e *Engine) worker() {
 // degrades to per-op behavior when it is idle.
 func (e *Engine) writer() {
 	defer e.workers.Done()
+	groups := 0
+	commit := func(group []job) {
+		e.executeWrites(group)
+		groups++
+		if e.checkpointEvery > 0 && groups >= e.checkpointEvery {
+			groups = 0
+			// The periodic cut runs on the writer goroutine after the
+			// group's requests were already answered: it adds no latency
+			// to them, and the store's checkpoint protocol keeps later
+			// groups (queued meanwhile) from blocking on the big write.
+			e.Checkpoint(true)
+		}
+	}
 	for j := range e.writes {
 		group := []job{j}
 		for len(group) < e.maxWriteBatch {
 			select {
 			case next, ok := <-e.writes:
 				if !ok {
-					e.executeWrites(group)
+					commit(group)
 					return
 				}
 				group = append(group, next)
@@ -239,8 +263,23 @@ func (e *Engine) writer() {
 			}
 		}
 	drained:
-		e.executeWrites(group)
+		commit(group)
 	}
+}
+
+// Checkpoint cuts a durable checkpoint of the index's store (optionally
+// compacting its log) and records the outcome in the engine totals under
+// the "checkpoint" kind. It may be called concurrently with the writer's
+// periodic trigger — the store serializes checkpoints internally.
+func (e *Engine) Checkpoint(compact bool) ([]store.CheckpointInfo, error) {
+	infos, err := e.ix.Checkpoint(compact)
+	e.mu.Lock()
+	e.totals.Requests["checkpoint"]++
+	if err != nil {
+		e.totals.Failures++
+	}
+	e.mu.Unlock()
+	return infos, err
 }
 
 // executeWrites commits one drained group of mutation requests. The fast

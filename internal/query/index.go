@@ -309,7 +309,34 @@ func (ix *Index) Stats() IndexStats {
 		TreeHeight:     s.tree.Height(),
 		TreeMaxEntries: s.tree.MaxEntries(),
 	}
+	if cp, ok := ix.store.(store.Checkpointer); ok {
+		if info, can := cp.CheckpointInfo(); can {
+			sh.Checkpoint = &info
+		}
+	}
 	return IndexStats{Objects: sh.Objects, Dims: sh.Dims, Shards: []ShardStats{sh}}
+}
+
+// Checkpoint implements Searcher: it forwards to the store's checkpoint
+// side (store.ErrUnsupported when there is none), optionally compacting
+// the log afterwards. The index write lock is NOT held — the store's own
+// three-phase protocol keeps the snapshot consistent while the writer
+// stays live, which is the whole point of checkpointing online.
+func (ix *Index) Checkpoint(compact bool) ([]store.CheckpointInfo, error) {
+	cp, ok := ix.store.(store.Checkpointer)
+	if !ok {
+		return nil, fmt.Errorf("query: checkpoint: %w: store %T cannot checkpoint", store.ErrUnsupported, ix.store)
+	}
+	info, err := cp.Checkpoint()
+	if err != nil {
+		return nil, fmt.Errorf("query: checkpoint: %w", err)
+	}
+	if compact {
+		if info, err = cp.CompactLog(); err != nil {
+			return nil, fmt.Errorf("query: compact log: %w", err)
+		}
+	}
+	return []store.CheckpointInfo{info}, nil
 }
 
 // treeForTest exposes the live snapshot's tree to in-package tests. The

@@ -1,6 +1,9 @@
 package query
 
-import "fuzzyknn/internal/fuzzy"
+import (
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/store"
+)
 
 // Searcher is the query contract the engine, server and public API program
 // against. Two implementations exist:
@@ -47,6 +50,13 @@ type Searcher interface {
 	// publish, one store fsync), all-or-nothing on validation failure
 	// (*BatchError). The stats slice has one entry per item, inserts first.
 	ApplyBatch(inserts []*fuzzy.Object, deletes []uint64) ([]Stats, error)
+	// Checkpoint cuts a durable checkpoint of every shard's store —
+	// optionally compacting each shard's log afterwards — and returns
+	// per-shard results in shard order. The writer stays live throughout
+	// (the store's three-phase protocol, not the index write lock, provides
+	// consistency). Indexes over stores without a durable log fail with
+	// store.ErrUnsupported.
+	Checkpoint(compact bool) ([]store.CheckpointInfo, error)
 	// Len returns the number of indexed objects.
 	Len() int
 	// Dims returns the dimensionality (0 until known).
@@ -73,6 +83,9 @@ type ShardStats struct {
 	TreeHeight int
 	// TreeMaxEntries is the shard R-tree's node capacity.
 	TreeMaxEntries int
+	// Checkpoint is the shard store's checkpoint state; nil when the store
+	// cannot checkpoint (in-memory or immutable stores).
+	Checkpoint *store.CheckpointInfo
 }
 
 // IndexStats describes an index's physical layout.

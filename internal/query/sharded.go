@@ -129,6 +129,24 @@ func (sx *ShardedIndex) Stats() IndexStats {
 	return out
 }
 
+// Checkpoint implements Searcher: every shard's store checkpoints (and
+// optionally compacts) in turn, sequentially — checkpoints are disk-bound,
+// so staggering them bounds peak I/O while each shard's writer stays live.
+// The first failing shard aborts the sweep; shards already checkpointed
+// keep their new checkpoints, which is harmless (each shard's manifest is
+// self-consistent on its own).
+func (sx *ShardedIndex) Checkpoint(compact bool) ([]store.CheckpointInfo, error) {
+	infos := make([]store.CheckpointInfo, 0, len(sx.shards))
+	for i, sh := range sx.shards {
+		sub, err := sh.Checkpoint(compact)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		infos = append(infos, sub...)
+	}
+	return infos, nil
+}
+
 // CheckInvariants verifies every shard's R-tree structure and that each
 // shard only holds ids it owns.
 func (sx *ShardedIndex) CheckInvariants() error {

@@ -9,6 +9,7 @@
 //	POST   /objects       {object}                                        → {id, objects}
 //	POST   /objects:batch {objects: [...], delete_ids?: [...]}            → {results, applied, failed, objects}
 //	DELETE /objects/{id}                                                  → {id, objects}
+//	POST   /checkpoint    {compact?} (body optional)                      → {shards, compacted}
 //	GET    /stats         index size + engine lifetime totals
 //	GET    /healthz       liveness probe
 //
@@ -29,6 +30,14 @@
 // request itself only 400s when the body is malformed or the batch is
 // empty.
 //
+// POST /checkpoint cuts a durable checkpoint of every shard's log store —
+// and, by default, compacts each log — while the server keeps answering
+// queries and mutations; pass {"compact": false} to skip compaction. The
+// next process start then loads the snapshots and replays only the log
+// suffix, restarting in time proportional to live data. On an index whose
+// store cannot checkpoint (in-memory or read-only) it answers 501. GET
+// /stats reports each shard's checkpoint generation, size and age.
+//
 // The query object is given inline ({"points": [{"p": [x, y], "mu": 0.8},
 // ...]}) or as a stored id ({"query_id": 7}; resolving it counts as one
 // object access, like any store probe). Algorithm names match the CLI tools:
@@ -44,8 +53,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"fuzzyknn"
 )
@@ -68,6 +79,7 @@ func New(ix *fuzzyknn.Index, eng *fuzzyknn.Engine) *Server {
 	s.mux.HandleFunc("POST /objects", s.handleInsert)
 	s.mux.HandleFunc("POST /objects:batch", s.handleBatchMutate)
 	s.mux.HandleFunc("DELETE /objects/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -202,12 +214,38 @@ type RKNNResponse struct {
 	Stats   StatsJSON          `json:"stats"`
 }
 
-// ShardJSON is one shard's physical state in GET /stats.
+// CheckpointRequest is the (optional) body of POST /checkpoint. Compact
+// defaults to true: checkpoint, then drop the log records the snapshot
+// covers.
+type CheckpointRequest struct {
+	Compact *bool `json:"compact,omitempty"`
+}
+
+// CheckpointShardJSON is one shard's checkpoint state, in POST /checkpoint
+// responses and (when the store supports checkpoints) in GET /stats shards.
+type CheckpointShardJSON struct {
+	Generation   uint64  `json:"generation"`
+	Objects      int     `json:"objects"`
+	Bytes        int64   `json:"bytes"`
+	LogBytes     int64   `json:"log_bytes"`
+	LogTailBytes int64   `json:"log_tail_bytes"`
+	AgeSeconds   float64 `json:"age_seconds"`
+}
+
+// CheckpointResponse is the body of a successful POST /checkpoint.
+type CheckpointResponse struct {
+	Shards    []CheckpointShardJSON `json:"shards"`
+	Compacted bool                  `json:"compacted"`
+}
+
+// ShardJSON is one shard's physical state in GET /stats. Checkpoint is nil
+// for stores that cannot checkpoint (in-memory or read-only indexes).
 type ShardJSON struct {
-	Objects        int   `json:"objects"`
-	Dims           int   `json:"dims"`
-	TreeHeight     int   `json:"tree_height"`
-	ObjectAccesses int64 `json:"object_accesses"`
+	Objects        int                  `json:"objects"`
+	Dims           int                  `json:"dims"`
+	TreeHeight     int                  `json:"tree_height"`
+	ObjectAccesses int64                `json:"object_accesses"`
+	Checkpoint     *CheckpointShardJSON `json:"checkpoint,omitempty"`
 }
 
 // StatsResponse is the body of GET /stats. Shards always has one entry per
@@ -405,6 +443,54 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, MutationResponse{ID: id, Objects: s.ix.Len()})
 }
 
+// handleCheckpoint cuts a durable checkpoint of every shard's store while
+// the server keeps serving, compacting the logs unless the (optional) body
+// says {"compact": false}. Indexes whose store cannot checkpoint answer 501.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	compact := true
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	var req CheckpointRequest
+	switch err := dec.Decode(&req); {
+	case err == nil:
+		if req.Compact != nil {
+			compact = *req.Compact
+		}
+	case errors.Is(err, io.EOF): // empty body: defaults
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	infos, err := s.eng.Checkpoint(compact)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, fuzzyknn.ErrCheckpointUnsupported) {
+			status = http.StatusNotImplemented
+		}
+		writeError(w, status, err)
+		return
+	}
+	out := CheckpointResponse{Shards: make([]CheckpointShardJSON, len(infos)), Compacted: compact}
+	for i := range infos {
+		out.Shards[i] = toCheckpointJSON(&infos[i])
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func toCheckpointJSON(info *fuzzyknn.CheckpointInfo) CheckpointShardJSON {
+	cj := CheckpointShardJSON{
+		Generation:   info.Generation,
+		Objects:      info.Objects,
+		Bytes:        info.Bytes,
+		LogBytes:     info.LogBytes,
+		LogTailBytes: info.TailBytes,
+	}
+	if info.Generation > 0 {
+		cj.AgeSeconds = time.Since(info.CreatedAt).Seconds()
+	}
+	return cj
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	t := s.eng.Totals()
 	info := s.ix.ShardInfo()
@@ -415,6 +501,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Dims:           sh.Dims,
 			TreeHeight:     sh.TreeHeight,
 			ObjectAccesses: sh.ObjectAccesses,
+		}
+		if sh.Checkpoint != nil {
+			cj := toCheckpointJSON(sh.Checkpoint)
+			shards[i].Checkpoint = &cj
 		}
 	}
 	writeJSON(w, http.StatusOK, StatsResponse{

@@ -1,0 +1,736 @@
+package store
+
+import (
+	"bufio"
+	"cmp"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"strings"
+	"time"
+)
+
+// ErrUnsupported is returned for checkpoint operations on stores that have
+// no durable log to checkpoint (in-memory or immutable stores).
+var ErrUnsupported = errors.New("store: operation unsupported")
+
+// CheckpointInfo describes a log store's durable checkpoint state.
+type CheckpointInfo struct {
+	Generation uint64    // checkpoint generation; 0 means no checkpoint yet
+	Objects    int       // live objects the checkpoint holds
+	Bytes      int64     // checkpoint file size
+	LogSeq     uint64    // active log sequence (0 = the original log file)
+	LogBytes   int64     // active log size (the append position)
+	TailBytes  int64     // log bytes past the checkpoint cut that reopen must replay
+	CreatedAt  time.Time // when the checkpoint was cut; zero when Generation == 0
+}
+
+// Checkpointer is implemented by stores that can cut durable checkpoints of
+// their live set and compact their log so reopen cost is proportional to
+// live data, not total history.
+type Checkpointer interface {
+	// Checkpoint atomically writes a snapshot of all live objects and
+	// commits a manifest binding it to the current log position. The
+	// writer stays live throughout.
+	Checkpoint() (CheckpointInfo, error)
+	// CompactLog rewrites the log suffix not covered by the checkpoint,
+	// dropping tombstoned and overwritten records, and swaps it in.
+	CompactLog() (CheckpointInfo, error)
+	// CheckpointInfo reports the current checkpoint state. The bool is
+	// false when the underlying store cannot checkpoint at all.
+	CheckpointInfo() (CheckpointInfo, bool)
+}
+
+// Manifest file layout (little-endian, fixed size):
+//
+//	magic "FZKNNMF1" | version u32 | dims u32 | gen u64 | objects u64 |
+//	logSeq u64 | logTail u64 | logSize u64 | createdUnixNano u64 | crc32 u4
+//
+// The manifest crash-safely binds the (checkpoint, log) pair: reopen loads
+// checkpoint generation gen, opens log file logSeq, and replays only the
+// records in [logTail, end). It is always published with temp file + fsync
+// + rename (+ directory fsync), so the path atomically holds either the
+// old manifest or the new one — a torn manifest is therefore never a crash
+// artifact and is refused as ErrCorrupt, the manifest's analogue of the
+// log's refuse-to-truncate rule. logSize records how much of the log was
+// fsync'd at commit time: recovering less than that means durable records
+// were lost (a torn compacted log, a rolled-back file system), which is
+// likewise refused rather than silently truncated.
+const (
+	manifestMagic   = "FZKNNMF1"
+	manifestVersion = 1
+	manifestSize    = 8 + 4 + 4 + 8 + 8 + 8 + 8 + 8 + 8 + 4
+)
+
+type logManifest struct {
+	dims    int
+	gen     uint64 // checkpoint generation (0 = none: the log alone is the state)
+	objects uint64 // object count the checkpoint must contain
+	logSeq  uint64 // active log file (0 = the base path, else path.log-<seq>)
+	tail    int64  // replay starts here; earlier bytes are covered by the checkpoint
+	size    int64  // log size at commit, all of it fsync'd
+	created int64  // unix nanos of the checkpoint cut
+}
+
+func manifestPath(path string) string { return path + ".manifest" }
+
+func ckptPath(path string, gen uint64) string {
+	return fmt.Sprintf("%s.ckpt-%d", path, gen)
+}
+
+// logPathFor names the active log file: compaction never rewrites a log in
+// place, it publishes a new generation under the next sequence number and
+// lets the manifest name the winner (two files cannot be swapped in one
+// atomic step, but one rename of the manifest commits both).
+func logPathFor(path string, seq uint64) string {
+	if seq == 0 {
+		return path
+	}
+	return fmt.Sprintf("%s.log-%d", path, seq)
+}
+
+func encodeManifest(m *logManifest) []byte {
+	buf := make([]byte, manifestSize)
+	copy(buf, manifestMagic)
+	binary.LittleEndian.PutUint32(buf[8:], manifestVersion)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(m.dims))
+	binary.LittleEndian.PutUint64(buf[16:], m.gen)
+	binary.LittleEndian.PutUint64(buf[24:], m.objects)
+	binary.LittleEndian.PutUint64(buf[32:], m.logSeq)
+	binary.LittleEndian.PutUint64(buf[40:], uint64(m.tail))
+	binary.LittleEndian.PutUint64(buf[48:], uint64(m.size))
+	binary.LittleEndian.PutUint64(buf[56:], uint64(m.created))
+	binary.LittleEndian.PutUint32(buf[64:], crc32.ChecksumIEEE(buf[:manifestSize-4]))
+	return buf
+}
+
+// readManifest loads and validates path's manifest. A missing manifest is
+// not an error — (nil, nil) means the store opens in the single-log layout
+// that predates checkpoints. Anything else wrong is ErrCorrupt (see the
+// format comment for why a torn manifest cannot be a crash artifact).
+func readManifest(path string) (*logManifest, error) {
+	buf, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) != manifestSize {
+		return nil, fmt.Errorf("%w: manifest is %d bytes, want %d", ErrCorrupt, len(buf), manifestSize)
+	}
+	if string(buf[:8]) != manifestMagic {
+		return nil, fmt.Errorf("%w: bad manifest magic", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(buf[:manifestSize-4]) != binary.LittleEndian.Uint32(buf[manifestSize-4:]) {
+		return nil, fmt.Errorf("%w: manifest checksum mismatch", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:]); v != manifestVersion {
+		return nil, fmt.Errorf("%w: unsupported manifest version %d", ErrCorrupt, v)
+	}
+	m := &logManifest{
+		dims:    int(binary.LittleEndian.Uint32(buf[12:])),
+		gen:     binary.LittleEndian.Uint64(buf[16:]),
+		objects: binary.LittleEndian.Uint64(buf[24:]),
+		logSeq:  binary.LittleEndian.Uint64(buf[32:]),
+		tail:    int64(binary.LittleEndian.Uint64(buf[40:])),
+		size:    int64(binary.LittleEndian.Uint64(buf[48:])),
+		created: int64(binary.LittleEndian.Uint64(buf[56:])),
+	}
+	// Plausibility rules, mirroring the log's tail checks: refuse field
+	// combinations no commit could have produced.
+	if m.dims < 1 {
+		return nil, fmt.Errorf("%w: manifest dims %d", ErrCorrupt, m.dims)
+	}
+	if m.tail < logHeaderSize || m.size < m.tail {
+		return nil, fmt.Errorf("%w: manifest log tail %d / size %d implausible", ErrCorrupt, m.tail, m.size)
+	}
+	if m.gen == 0 && (m.objects != 0 || m.tail != logHeaderSize) {
+		return nil, fmt.Errorf("%w: manifest has no checkpoint but binds tail %d / %d objects", ErrCorrupt, m.tail, m.objects)
+	}
+	return m, nil
+}
+
+// atomicWriteFile publishes data at path via temp file + fsync + rename +
+// directory fsync: after a crash the path holds either the old content or
+// the new, never a prefix.
+func atomicWriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Checkpoint file layout (little-endian):
+//
+//	header:  magic "FZKNNCK1" | version u32 | dims u32 | gen u64 | count u64
+//	record:  length u32 | encodeObject payload (count times, sorted by id)
+//	footer:  crc32 u4 of every preceding byte
+//
+// The embedded generation must match the manifest that names the file —
+// that is what catches a stale checkpoint (say, restored from a backup)
+// paired with a newer manifest. The whole-file CRC means a truncated or
+// bit-flipped snapshot is detected before a single entry is trusted.
+const (
+	ckptMagic      = "FZKNNCK1"
+	ckptVersion    = 1
+	ckptHeaderSize = 8 + 4 + 4 + 8 + 8
+)
+
+// ckptSource pairs a directory entry with the file its payload currently
+// lives in, captured together under the lock so the pair stays coherent
+// after the lock is dropped.
+type ckptSource struct {
+	e dirEntry
+	f *os.File
+}
+
+// writeCheckpoint streams a snapshot of srcs to path via temp file + fsync
+// + rename, returning each record's payload offset and the final size.
+func writeCheckpoint(path string, dims int, gen uint64, srcs []ckptSource) (offsets []int64, size int64, err error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	fail := func(err error) ([]int64, int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return nil, 0, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	crc := crc32.NewIEEE()
+	w := io.MultiWriter(bw, crc)
+
+	hdr := make([]byte, ckptHeaderSize)
+	copy(hdr, ckptMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], ckptVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(dims))
+	binary.LittleEndian.PutUint64(hdr[16:], gen)
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(len(srcs)))
+	if _, err := w.Write(hdr); err != nil {
+		return fail(err)
+	}
+	offsets = make([]int64, len(srcs))
+	pos := int64(ckptHeaderSize)
+	var frame [4]byte
+	var payload []byte
+	for i, src := range srcs {
+		if uint64(cap(payload)) < src.e.length {
+			payload = make([]byte, src.e.length)
+		}
+		p := payload[:src.e.length]
+		if _, err := src.f.ReadAt(p, int64(src.e.offset)); err != nil {
+			return fail(fmt.Errorf("store: checkpoint read object %d: %w", src.e.id, err))
+		}
+		binary.LittleEndian.PutUint32(frame[:], uint32(src.e.length))
+		if _, err := w.Write(frame[:]); err != nil {
+			return fail(err)
+		}
+		if _, err := w.Write(p); err != nil {
+			return fail(err)
+		}
+		offsets[i] = pos + 4
+		pos += 4 + int64(src.e.length)
+	}
+	binary.LittleEndian.PutUint32(frame[:], crc.Sum32())
+	if _, err := bw.Write(frame[:]); err != nil { // the footer is outside its own CRC
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, 0, err
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return nil, 0, err
+	}
+	return offsets, pos + 4, nil
+}
+
+// loadCheckpoint opens the checkpoint the manifest binds and fills the live
+// directory from it, in one sequential CRC-verified pass. Every structural
+// violation — wrong generation, wrong count, implausible record shape,
+// truncation, checksum mismatch — is ErrCorrupt: checkpoints are published
+// atomically, so unlike a log they have no legitimate torn state.
+func (s *LogStore) loadCheckpoint(path string, man *logManifest) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("%w: manifest names checkpoint %s: %v", ErrCorrupt, filepath.Base(path), err)
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+		}
+	}()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	if size < ckptHeaderSize+4 {
+		return fmt.Errorf("%w: checkpoint is %d bytes, shorter than its header", ErrCorrupt, size)
+	}
+	crc := crc32.NewIEEE()
+	r := io.TeeReader(bufio.NewReaderSize(io.NewSectionReader(f, 0, size-4), 1<<20), crc)
+
+	hdr := make([]byte, ckptHeaderSize)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return fmt.Errorf("%w: unreadable checkpoint header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:8]) != ckptMagic {
+		return fmt.Errorf("%w: bad checkpoint magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != ckptVersion {
+		return fmt.Errorf("%w: unsupported checkpoint version %d", ErrCorrupt, v)
+	}
+	if d := int(binary.LittleEndian.Uint32(hdr[12:])); d != man.dims {
+		return fmt.Errorf("%w: checkpoint dims %d, manifest dims %d", ErrCorrupt, d, man.dims)
+	}
+	if g := binary.LittleEndian.Uint64(hdr[16:]); g != man.gen {
+		return fmt.Errorf("%w: checkpoint generation %d, manifest expects %d (stale snapshot)", ErrCorrupt, g, man.gen)
+	}
+	count := binary.LittleEndian.Uint64(hdr[24:])
+	if count != man.objects {
+		return fmt.Errorf("%w: checkpoint holds %d objects, manifest expects %d", ErrCorrupt, count, man.objects)
+	}
+	if count > uint64(size)/(4+minPutPayloadLen)+1 {
+		return fmt.Errorf("%w: checkpoint count %d impossible for %d bytes", ErrCorrupt, count, size)
+	}
+
+	entries := make(map[uint64]dirEntry, count)
+	pos := int64(ckptHeaderSize)
+	var prefix [4 + 16]byte // record length + the payload's own id/n/d header
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(r, prefix[:]); err != nil {
+			return fmt.Errorf("%w: checkpoint record %d truncated: %v", ErrCorrupt, i, err)
+		}
+		length := int64(binary.LittleEndian.Uint32(prefix[:]))
+		if length < minPutPayloadLen || pos+4+length > size-4 {
+			return fmt.Errorf("%w: checkpoint record %d length %d overruns the file", ErrCorrupt, i, length)
+		}
+		id := binary.LittleEndian.Uint64(prefix[4:])
+		if d := int(binary.LittleEndian.Uint32(prefix[4+12:])); d != man.dims {
+			return fmt.Errorf("%w: checkpoint record %d dims %d", ErrCorrupt, i, d)
+		}
+		if !putShapeConsistent(prefix[4:], length) {
+			return fmt.Errorf("%w: checkpoint record %d length %d inconsistent with its shape", ErrCorrupt, i, length)
+		}
+		if _, dup := entries[id]; dup {
+			return fmt.Errorf("%w: duplicate id %d in checkpoint", ErrCorrupt, id)
+		}
+		entries[id] = dirEntry{id: id, offset: uint64(pos + 4), length: uint64(length), src: f}
+		if _, err := io.CopyN(io.Discard, r, length-16); err != nil {
+			return fmt.Errorf("%w: checkpoint record %d truncated: %v", ErrCorrupt, i, err)
+		}
+		pos += 4 + length
+	}
+	if pos != size-4 {
+		return fmt.Errorf("%w: checkpoint carries %d trailing bytes", ErrCorrupt, size-4-pos)
+	}
+	var foot [4]byte
+	if _, err := f.ReadAt(foot[:], size-4); err != nil {
+		return fmt.Errorf("%w: unreadable checkpoint footer: %v", ErrCorrupt, err)
+	}
+	if crc.Sum32() != binary.LittleEndian.Uint32(foot[:]) {
+		return fmt.Errorf("%w: checkpoint checksum mismatch", ErrCorrupt)
+	}
+
+	s.ckptIDs = make(map[uint64]struct{}, len(entries))
+	for id, e := range entries {
+		s.live[id] = e
+		s.ckptIDs[id] = struct{}{}
+	}
+	s.ckptF = f
+	s.ckptBytes = size
+	ok = true
+	return nil
+}
+
+// cleanupLogDebris removes files a crash mid-swap can leave next to the
+// store: torn temp files, checkpoints and compacted logs that were fully
+// written but never manifest-committed, and a superseded log the crash
+// struck before unlinking. Anything the manifest (or, without one, the
+// base log) does not reference is unreachable and safe to drop.
+// Best-effort: removal failures are ignored, reopen will retry.
+func cleanupLogDebris(path string, man *logManifest) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	keepCkpt, keepLog := "", base
+	if man != nil {
+		if man.gen > 0 {
+			keepCkpt = filepath.Base(ckptPath(path, man.gen))
+		}
+		keepLog = filepath.Base(logPathFor(path, man.logSeq))
+	}
+	for _, de := range names {
+		name := de.Name()
+		doomed := false
+		switch {
+		case name == base+".manifest.tmp":
+			doomed = true
+		case strings.HasPrefix(name, base+".ckpt-"):
+			doomed = name != keepCkpt
+		case strings.HasPrefix(name, base+".log-"):
+			doomed = name != keepLog
+		case name == base:
+			doomed = man != nil && man.logSeq > 0 // superseded by a compacted log
+		}
+		if doomed {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// Checkpoint implements Checkpointer: it cuts a durable snapshot of all
+// live objects and commits a manifest binding {generation, log tail}, so
+// the next open loads the snapshot and replays only records appended after
+// the cut. The writer stays live throughout: only the cut (phase 1) and
+// the commit (phase 3) take the store lock; the big snapshot write
+// (phase 2) runs lock-free, and anything written concurrently lands after
+// the recorded tail and replays on top of the snapshot.
+func (s *LogStore) Checkpoint() (CheckpointInfo, error) {
+	if s.path == "" {
+		return CheckpointInfo{}, fmt.Errorf("%w: anonymous log store cannot checkpoint", ErrUnsupported)
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+
+	// Phase 1 — cut: capture the live directory, the log position the
+	// snapshot covers, and each entry's backing file (payloads may live
+	// in the log or in the previous checkpoint).
+	s.mu.RLock()
+	gen := s.ckptGen + 1
+	tail := s.offset
+	srcs := make([]ckptSource, 0, len(s.live))
+	for _, e := range s.live {
+		srcs = append(srcs, ckptSource{e: e, f: s.fileFor(e)})
+	}
+	s.mu.RUnlock()
+	slices.SortFunc(srcs, func(a, b ckptSource) int { return cmp.Compare(a.e.id, b.e.id) })
+
+	// Phase 2 — stream: write the snapshot with no lock held.
+	cpath := ckptPath(s.path, gen)
+	offsets, size, err := writeCheckpoint(cpath, s.dims, gen, srcs)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	newF, err := os.Open(cpath)
+	if err != nil {
+		os.Remove(cpath)
+		return CheckpointInfo{}, err
+	}
+
+	// Phase 3 — commit: force the log down to at least the recorded tail
+	// (under SyncBatch/SyncOff the manifest must never bind bytes that are
+	// not yet durable), publish the manifest, and rebind untouched
+	// directory entries to the snapshot so the covered log prefix is no
+	// longer needed for reads.
+	s.mu.Lock()
+	if err := s.f.Sync(); err != nil {
+		s.mu.Unlock()
+		newF.Close()
+		os.Remove(cpath)
+		return CheckpointInfo{}, err
+	}
+	now := time.Now().UnixNano()
+	man := &logManifest{
+		dims:    s.dims,
+		gen:     gen,
+		objects: uint64(len(srcs)),
+		logSeq:  s.logSeq,
+		tail:    tail,
+		size:    s.offset,
+		created: now,
+	}
+	if err := atomicWriteFile(manifestPath(s.path), encodeManifest(man)); err != nil {
+		s.mu.Unlock()
+		newF.Close()
+		os.Remove(cpath)
+		return CheckpointInfo{}, err
+	}
+	oldF, oldPath := s.ckptF, ""
+	if s.ckptGen > 0 {
+		oldPath = ckptPath(s.path, s.ckptGen)
+	}
+	ids := make(map[uint64]struct{}, len(srcs))
+	for i, src := range srcs {
+		ids[src.e.id] = struct{}{}
+		ne := dirEntry{id: src.e.id, offset: uint64(offsets[i]), length: src.e.length, src: newF}
+		// Rebind only entries the concurrent writer has not touched since
+		// the cut; a reinserted id already points at its newer log record.
+		if cur, ok := s.live[src.e.id]; ok && cur == src.e {
+			s.live[src.e.id] = ne
+		} else if cur, ok := s.dead[src.e.id]; ok && cur == src.e {
+			s.dead[src.e.id] = ne
+		}
+	}
+	if oldF != nil {
+		s.retired = append(s.retired, oldF)
+	}
+	s.ckptF = newF
+	s.ckptGen = gen
+	s.ckptIDs = ids
+	s.ckptBytes = size
+	s.ckptAt = now
+	s.tail = tail
+	info := s.checkpointInfoLocked()
+	s.mu.Unlock()
+
+	if oldPath != "" {
+		// Superseded snapshot: unlink the path; in-flight readers keep
+		// the retired handle until Close.
+		os.Remove(oldPath)
+	}
+	return info, nil
+}
+
+// CompactLog implements Checkpointer: it rewrites the log suffix the
+// checkpoint does not cover — dropping tombstoned and overwritten records —
+// publishes it under the next log sequence number, and swaps it in under
+// the write lock. After a checkpoint the suffix is small, so the pause is
+// short; without one this compacts the entire history down to the live set.
+func (s *LogStore) CompactLog() (CheckpointInfo, error) {
+	if s.path == "" {
+		return CheckpointInfo{}, fmt.Errorf("%w: anonymous log store cannot compact", ErrUnsupported)
+	}
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Survivors: a tombstone for every checkpointed id no longer live as
+	// its checkpoint copy (deleted, or deleted and reinserted), then a put
+	// for every live object the checkpoint does not cover. Tombstones must
+	// precede puts — replay would otherwise see a put for an id the
+	// checkpoint holds live and refuse it as a duplicate.
+	inCkpt := func(e dirEntry) bool { return s.ckptF != nil && e.src == s.ckptF }
+	var tombs []uint64
+	for id := range s.ckptIDs {
+		if e, ok := s.live[id]; !ok || !inCkpt(e) {
+			tombs = append(tombs, id)
+		}
+	}
+	slices.Sort(tombs)
+	puts := make([]ckptSource, 0, len(s.live))
+	for _, e := range s.live {
+		if !inCkpt(e) {
+			puts = append(puts, ckptSource{e: e, f: s.fileFor(e)})
+		}
+	}
+	slices.SortFunc(puts, func(a, b ckptSource) int { return cmp.Compare(a.e.id, b.e.id) })
+
+	newSeq := s.logSeq + 1
+	npath := logPathFor(s.path, newSeq)
+	offsets, size, err := writeCompactedLog(npath, s.dims, tombs, puts)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	newF, err := os.OpenFile(npath, os.O_RDWR, 0o644)
+	if err != nil {
+		os.Remove(npath)
+		return CheckpointInfo{}, err
+	}
+	man := &logManifest{
+		dims:    s.dims,
+		gen:     s.ckptGen,
+		objects: uint64(len(s.ckptIDs)),
+		logSeq:  newSeq,
+		tail:    logHeaderSize,
+		size:    size,
+		created: s.ckptAt,
+	}
+	if err := atomicWriteFile(manifestPath(s.path), encodeManifest(man)); err != nil {
+		newF.Close()
+		os.Remove(npath)
+		return CheckpointInfo{}, err
+	}
+	oldF, oldPath := s.f, logPathFor(s.path, s.logSeq)
+	for i, src := range puts {
+		s.live[src.e.id] = dirEntry{id: src.e.id, offset: uint64(offsets[i]), length: src.e.length}
+	}
+	// Dead payloads in the retiring log stay readable through its handle.
+	for id, e := range s.dead {
+		if e.src == nil {
+			e.src = oldF
+			s.dead[id] = e
+		}
+	}
+	s.retired = append(s.retired, oldF)
+	s.f = newF
+	s.offset = size
+	s.logSeq = newSeq
+	s.tail = logHeaderSize
+	os.Remove(oldPath)
+	return s.checkpointInfoLocked(), nil
+}
+
+// writeCompactedLog streams a fresh log holding only the survivor records
+// to path via temp file + fsync + rename, returning each put's payload
+// offset and the final size.
+func writeCompactedLog(path string, dims int, tombs []uint64, puts []ckptSource) (offsets []int64, size int64, err error) {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	fail := func(err error) ([]int64, int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return nil, 0, err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	hdr := make([]byte, logHeaderSize)
+	copy(hdr, logMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], logVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(dims))
+	if _, err := w.Write(hdr); err != nil {
+		return fail(err)
+	}
+	pos := int64(logHeaderSize)
+	var frame [logFrameSize]byte
+	var tail [4]byte
+	writeRec := func(kind byte, payload []byte) error {
+		frame[0] = kind
+		binary.LittleEndian.PutUint32(frame[1:], uint32(len(payload)))
+		crc := crc32.ChecksumIEEE(frame[:])
+		crc = crc32.Update(crc, crc32.IEEETable, payload)
+		binary.LittleEndian.PutUint32(tail[:], crc)
+		if _, err := w.Write(frame[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+		if _, err := w.Write(tail[:]); err != nil {
+			return err
+		}
+		pos += int64(logFrameSize + len(payload) + 4)
+		return nil
+	}
+	var idBuf [8]byte
+	for _, id := range tombs {
+		binary.LittleEndian.PutUint64(idBuf[:], id)
+		if err := writeRec(recTombstone, idBuf[:]); err != nil {
+			return fail(err)
+		}
+	}
+	offsets = make([]int64, len(puts))
+	var payload []byte
+	for i, src := range puts {
+		if uint64(cap(payload)) < src.e.length {
+			payload = make([]byte, src.e.length)
+		}
+		p := payload[:src.e.length]
+		if _, err := src.f.ReadAt(p, int64(src.e.offset)); err != nil {
+			return fail(fmt.Errorf("store: compaction read object %d: %w", src.e.id, err))
+		}
+		offsets[i] = pos + logFrameSize
+		if err := writeRec(recPut, p); err != nil {
+			return fail(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, 0, err
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return nil, 0, err
+	}
+	return offsets, pos, nil
+}
+
+func (s *LogStore) checkpointInfoLocked() CheckpointInfo {
+	info := CheckpointInfo{
+		Generation: s.ckptGen,
+		Objects:    len(s.ckptIDs),
+		Bytes:      s.ckptBytes,
+		LogSeq:     s.logSeq,
+		LogBytes:   s.offset,
+		TailBytes:  s.offset - s.tail,
+	}
+	if s.ckptGen > 0 {
+		info.CreatedAt = time.Unix(0, s.ckptAt)
+	}
+	return info
+}
+
+// CheckpointInfo implements Checkpointer.
+func (s *LogStore) CheckpointInfo() (CheckpointInfo, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.checkpointInfoLocked(), true
+}
+
+// ReplayedRecords reports how many log records the open had to replay —
+// the structural measure of reopen cost: after a checkpoint it is the
+// number of records appended since the cut, not the full history.
+func (s *LogStore) ReplayedRecords() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.replayed
+}

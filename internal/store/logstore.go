@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"slices"
 	"sync"
 
@@ -76,20 +77,34 @@ func (p SyncPolicy) String() string {
 //
 // Deletes are logical: the payload bytes stay in the file and Get keeps
 // serving the most recent tombstoned version of an id, so index snapshots
-// taken before a delete still resolve their probes. Rewriting the log
-// without dead records (compaction) is future work.
+// taken before a delete still resolve their probes. Checkpoint snapshots
+// the live set and CompactLog rewrites the log without dead records (see
+// Checkpointer); files they retire stay open until Close so those in-flight
+// reads keep resolving.
 //
 // All methods are safe for concurrent use; appends are serialized, reads use
 // positioned I/O.
 type LogStore struct {
 	mu     sync.RWMutex
 	f      *os.File
+	path   string // base path; manifest/checkpoint/compacted logs are named after it ("" = anonymous, no checkpoints)
 	dims   int
 	policy SyncPolicy
 	live   map[uint64]dirEntry
 	dead   map[uint64]dirEntry // most recent tombstoned version per id
 	ids    []uint64            // sorted live ids
 	offset int64               // append position
+
+	ckptMu    sync.Mutex // serializes Checkpoint and CompactLog
+	ckptF     *os.File   // current checkpoint file (nil when ckptGen == 0)
+	ckptGen   uint64
+	ckptIDs   map[uint64]struct{} // ids the current checkpoint holds
+	ckptBytes int64
+	ckptAt    int64      // checkpoint cut time, unix nanos
+	logSeq    uint64     // active log sequence (0 = the original path)
+	tail      int64      // manifest-bound replay start; earlier bytes are covered by the checkpoint
+	retired   []*os.File // superseded files kept open for in-flight readers until Close
+	replayed  int        // records replayed at open (reopen-cost diagnostics)
 }
 
 const (
@@ -131,17 +146,106 @@ func OpenLog(path string, dims int) (*LogStore, error) {
 // OpenLogPolicy is OpenLog with an explicit fsync policy (see SyncPolicy
 // for the durability tradeoffs; the on-disk format is policy-independent,
 // so a log may be reopened under any policy).
+//
+// If a manifest exists next to the log (written by Checkpoint or
+// CompactLog), the open loads the checkpoint it binds and replays only the
+// log suffix past the checkpoint cut, making reopen cost proportional to
+// live data plus writes since the last checkpoint instead of total
+// history. Without a manifest the whole log is replayed as before.
 func OpenLogPolicy(path string, dims int, policy SyncPolicy) (*LogStore, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	man, err := readManifest(manifestPath(path))
 	if err != nil {
 		return nil, err
 	}
-	s, err := openLogFile(f, dims)
-	if err != nil {
-		f.Close()
+	var s *LogStore
+	if man == nil {
+		f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		if s, err = openLogFile(f, dims); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if s, err = openWithManifest(path, dims, man); err != nil {
 		return nil, err
 	}
+	s.path = path
 	s.policy = policy
+	cleanupLogDebris(path, man)
+	return s, nil
+}
+
+// openWithManifest restores the (checkpoint, log-suffix) pair a manifest
+// binds. The manifest's own commit discipline guarantees that whatever it
+// names was fully durable when it was published, so every mismatch here —
+// a missing or stale checkpoint, a log shorter than the committed size —
+// is corruption, never a crash artifact.
+func openWithManifest(path string, dims int, man *logManifest) (*LogStore, error) {
+	if dims != 0 && dims != man.dims {
+		return nil, fmt.Errorf("store: log manifest dims %d, requested %d", man.dims, dims)
+	}
+	s := &LogStore{
+		path:    path,
+		dims:    man.dims,
+		live:    make(map[uint64]dirEntry),
+		dead:    make(map[uint64]dirEntry),
+		ckptGen: man.gen,
+		logSeq:  man.logSeq,
+		tail:    man.tail,
+		ckptAt:  man.created,
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			if s.ckptF != nil {
+				s.ckptF.Close()
+			}
+			if s.f != nil {
+				s.f.Close()
+			}
+		}
+	}()
+	if man.gen > 0 {
+		if err := s.loadCheckpoint(ckptPath(path, man.gen), man); err != nil {
+			return nil, err
+		}
+	}
+	lp := logPathFor(path, man.logSeq)
+	f, err := os.OpenFile(lp, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("%w: manifest names log %s: %v", ErrCorrupt, filepath.Base(lp), err)
+	}
+	s.f = f
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < man.size {
+		return nil, fmt.Errorf("%w: log %s is %d bytes, manifest committed %d (fsync'd data missing)",
+			ErrCorrupt, filepath.Base(lp), size, man.size)
+	}
+	hdims, err := readLogHeader(f)
+	if err != nil {
+		return nil, err
+	}
+	if hdims != man.dims {
+		return nil, fmt.Errorf("%w: log dims %d, manifest dims %d", ErrCorrupt, hdims, man.dims)
+	}
+	if err := s.replay(man.tail, size); err != nil {
+		return nil, err
+	}
+	if s.offset < man.size {
+		return nil, fmt.Errorf("%w: log recovered to %d bytes, manifest committed %d (fsync'd records lost)",
+			ErrCorrupt, s.offset, man.size)
+	}
+	s.ids = make([]uint64, 0, len(s.live))
+	for id := range s.live {
+		s.ids = append(s.ids, id)
+	}
+	slices.Sort(s.ids)
+	ok = true
 	return s, nil
 }
 
@@ -154,6 +258,7 @@ func openLogFile(f *os.File, dims int) (*LogStore, error) {
 		f:    f,
 		live: make(map[uint64]dirEntry),
 		dead: make(map[uint64]dirEntry),
+		tail: logHeaderSize,
 	}
 	if st.Size() < logHeaderSize {
 		// Empty file, or a partial header left by a crash during creation
@@ -181,24 +286,15 @@ func openLogFile(f *os.File, dims int) (*LogStore, error) {
 		return s, nil
 	}
 
-	hdr := make([]byte, logHeaderSize)
-	if _, err := io.ReadFull(io.NewSectionReader(f, 0, logHeaderSize), hdr); err != nil {
-		return nil, fmt.Errorf("%w: unreadable log header: %v", ErrCorrupt, err)
+	hdims, err := readLogHeader(f)
+	if err != nil {
+		return nil, err
 	}
-	if string(hdr[:8]) != logMagic {
-		return nil, fmt.Errorf("%w: bad log magic", ErrCorrupt)
-	}
-	if v := binary.LittleEndian.Uint32(hdr[8:]); v != logVersion {
-		return nil, fmt.Errorf("%w: unsupported log version %d", ErrCorrupt, v)
-	}
-	s.dims = int(binary.LittleEndian.Uint32(hdr[12:]))
-	if s.dims < 1 {
-		return nil, fmt.Errorf("%w: log header dims %d", ErrCorrupt, s.dims)
-	}
+	s.dims = hdims
 	if dims != 0 && dims != s.dims {
 		return nil, fmt.Errorf("store: log file dims %d, requested %d", s.dims, dims)
 	}
-	if err := s.replay(st.Size()); err != nil {
+	if err := s.replay(logHeaderSize, st.Size()); err != nil {
 		return nil, err
 	}
 	for id := range s.live {
@@ -208,15 +304,37 @@ func openLogFile(f *os.File, dims int) (*LogStore, error) {
 	return s, nil
 }
 
-// replay scans the records, rebuilding the live/dead directories. A partial
-// record at the very end is a crash tail and gets truncated; everything
-// else must be coherent. Before trusting an apparent crash tail, the frame
-// is cross-checked against its own payload (see checkTailPlausible) so a
-// corrupted length field cannot masquerade as a crash and destroy the valid
-// records behind it.
-func (s *LogStore) replay(size int64) error {
-	pos := int64(logHeaderSize)
+// readLogHeader validates the fixed log file header and returns its dims.
+func readLogHeader(f *os.File) (int, error) {
+	hdr := make([]byte, logHeaderSize)
+	if _, err := io.ReadFull(io.NewSectionReader(f, 0, logHeaderSize), hdr); err != nil {
+		return 0, fmt.Errorf("%w: unreadable log header: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:8]) != logMagic {
+		return 0, fmt.Errorf("%w: bad log magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != logVersion {
+		return 0, fmt.Errorf("%w: unsupported log version %d", ErrCorrupt, v)
+	}
+	d := int(binary.LittleEndian.Uint32(hdr[12:]))
+	if d < 1 {
+		return 0, fmt.Errorf("%w: log header dims %d", ErrCorrupt, d)
+	}
+	return d, nil
+}
+
+// replay scans the records in [start, size), rebuilding the live/dead
+// directories. A partial record at the very end is a crash tail and gets
+// truncated; everything else must be coherent. Before trusting an apparent
+// crash tail, the frame is cross-checked against its own payload (see
+// checkTailPlausible) so a corrupted length field cannot masquerade as a
+// crash and destroy the valid records behind it. One read buffer is reused
+// across records, so replay cost is I/O plus directory inserts — not one
+// allocation per historical record.
+func (s *LogStore) replay(start, size int64) error {
+	pos := start
 	frame := make([]byte, logFrameSize)
+	var buf []byte
 	for pos < size {
 		if size-pos < logFrameSize {
 			// Less than one frame header: cannot hide a valid record.
@@ -236,7 +354,11 @@ func (s *LogStore) replay(size int64) error {
 			}
 			return s.truncateTail(pos)
 		}
-		buf := make([]byte, logFrameSize+length+4)
+		need := logFrameSize + length + 4
+		if int64(cap(buf)) < need {
+			buf = make([]byte, need, need+need/2)
+		}
+		buf = buf[:need]
 		if _, err := s.f.ReadAt(buf, pos); err != nil {
 			return fmt.Errorf("%w: unreadable record: %v", ErrCorrupt, err)
 		}
@@ -259,6 +381,7 @@ func (s *LogStore) replay(size int64) error {
 				return err
 			}
 		}
+		s.replayed++
 		pos += logFrameSize + length + 4
 	}
 	s.offset = pos
@@ -521,20 +644,33 @@ func (s *LogStore) writeRecord(buf []byte, sync bool) error {
 	return nil
 }
 
+// fileFor resolves the file backing an entry's payload — the active log,
+// the checkpoint, or a retired handle. Call with s.mu held (either mode).
+func (s *LogStore) fileFor(e dirEntry) *os.File {
+	if e.src != nil {
+		return e.src
+	}
+	return s.f
+}
+
 // Get implements Reader. The most recent version of a tombstoned id remains
-// readable (see the type comment).
+// readable (see the type comment). The entry and its backing file are
+// captured together under the lock: a concurrent Checkpoint or CompactLog
+// may swap the active files, but the captured handle stays open (retired,
+// not closed) until Close, so the positioned read below stays valid.
 func (s *LogStore) Get(id uint64) (*fuzzy.Object, error) {
 	s.mu.RLock()
 	e, ok := s.live[id]
 	if !ok {
 		e, ok = s.dead[id]
 	}
+	f := s.fileFor(e)
 	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
 	}
 	buf := make([]byte, e.length)
-	if _, err := s.f.ReadAt(buf, int64(e.offset)); err != nil {
+	if _, err := f.ReadAt(buf, int64(e.offset)); err != nil {
 		return nil, fmt.Errorf("%w: read object %d: %v", ErrCorrupt, id, err)
 	}
 	return decodeObject(buf, id, s.dims)
@@ -683,5 +819,21 @@ func (s *LogStore) Sync() error {
 	return s.f.Sync()
 }
 
-// Close releases the underlying file.
-func (s *LogStore) Close() error { return s.f.Close() }
+// Close releases the log, the checkpoint, and every retired file handle.
+func (s *LogStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.f.Close()
+	if s.ckptF != nil {
+		if cerr := s.ckptF.Close(); err == nil {
+			err = cerr
+		}
+	}
+	for _, f := range s.retired {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.retired = nil
+	return err
+}

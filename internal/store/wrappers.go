@@ -248,3 +248,68 @@ func (l *LRU) ApplyBatch(inserts []*fuzzy.Object, deletes []uint64) error {
 // Live implements LivenessChecker by forwarding ((false, false) when the
 // wrapped store cannot answer).
 func (l *LRU) Live(id uint64) (bool, bool) { return forwardLive(l.inner, id) }
+
+// asCheckpointer resolves r's checkpoint side, or fails with ErrUnsupported.
+func asCheckpointer(r Reader) (Checkpointer, error) {
+	if cp, ok := r.(Checkpointer); ok {
+		return cp, nil
+	}
+	return nil, fmt.Errorf("%w: %T cannot checkpoint", ErrUnsupported, r)
+}
+
+// Checkpoint implements Checkpointer by forwarding to the wrapped store
+// (ErrUnsupported when it has no durable log).
+func (c *Counting) Checkpoint() (CheckpointInfo, error) {
+	cp, err := asCheckpointer(c.Reader)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	return cp.Checkpoint()
+}
+
+// CompactLog implements Checkpointer by forwarding.
+func (c *Counting) CompactLog() (CheckpointInfo, error) {
+	cp, err := asCheckpointer(c.Reader)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	return cp.CompactLog()
+}
+
+// CheckpointInfo implements Checkpointer by forwarding (false when the
+// wrapped store cannot checkpoint).
+func (c *Counting) CheckpointInfo() (CheckpointInfo, bool) {
+	if cp, ok := c.Reader.(Checkpointer); ok {
+		return cp.CheckpointInfo()
+	}
+	return CheckpointInfo{}, false
+}
+
+// Checkpoint implements Checkpointer by forwarding to the wrapped store
+// (ErrUnsupported when it has no durable log). The cache needs no
+// invalidation: a checkpoint changes where payloads live, not their bytes.
+func (l *LRU) Checkpoint() (CheckpointInfo, error) {
+	cp, err := asCheckpointer(l.inner)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	return cp.Checkpoint()
+}
+
+// CompactLog implements Checkpointer by forwarding.
+func (l *LRU) CompactLog() (CheckpointInfo, error) {
+	cp, err := asCheckpointer(l.inner)
+	if err != nil {
+		return CheckpointInfo{}, err
+	}
+	return cp.CompactLog()
+}
+
+// CheckpointInfo implements Checkpointer by forwarding (false when the
+// wrapped store cannot checkpoint).
+func (l *LRU) CheckpointInfo() (CheckpointInfo, bool) {
+	if cp, ok := l.inner.(Checkpointer); ok {
+		return cp.CheckpointInfo()
+	}
+	return CheckpointInfo{}, false
+}
