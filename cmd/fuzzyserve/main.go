@@ -69,8 +69,23 @@
 //	        any recently acknowledged mutation may be lost on power loss,
 //	        with the same fail-loud recovery contract.
 //
-// See the server package docs (internal/server) for the full wire format.
-// SIGINT/SIGTERM drain in-flight requests before exiting.
+// Operating the server: every instance exposes Prometheus metrics and a
+// load-shedding admission policy.
+//
+//	curl -s localhost:8080/metrics              # Prometheus text exposition
+//	fuzzyserve -demo 2000 -pprof                # mount /debug/pprof/*
+//	fuzzyserve -demo 2000 -request-timeout 2s   # per-request deadline → 504
+//	fuzzyserve -demo 2000 -admission-wait 250ms # queue-full budget → 429
+//	fuzzyserve -demo 2000 -slow-query 500ms     # structured slow_request log
+//
+// A request that waits longer than -admission-wait for a queue slot is shed
+// with 429 and Retry-After instead of parking the connection; one that
+// outlives -request-timeout answers 504. Requests at least -slow-query slow
+// log one structured line (slow_request method=… endpoint=… duration=…).
+//
+// See the server package docs (internal/server) for the full wire format
+// and the README's "Operating fuzzyserve" section for the metrics
+// reference. SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
 
 import (
@@ -105,6 +120,11 @@ func main() {
 		demo        = flag.Int("demo", 0, "serve a generated synthetic dataset of this many objects instead of a store file")
 		demoSeed    = flag.Uint64("demo-seed", 1, "seed for the -demo dataset")
 		drain       = flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
+
+		reqTimeout    = flag.Duration("request-timeout", 5*time.Second, "per-request deadline (queue wait + execution); expired requests answer 504 (0 = none)")
+		admissionWait = flag.Duration("admission-wait", fuzzyknn.DefaultAdmissionWait, "how long a request may wait for queue space before a 429 (negative = wait forever)")
+		slowQuery     = flag.Duration("slow-query", time.Second, "log a structured slow_request line for requests at least this slow (0 = off)")
+		enablePprof   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -120,12 +140,22 @@ func main() {
 	}
 	defer idx.Close()
 
-	eng := idx.NewEngine(&fuzzyknn.EngineConfig{Parallelism: *parallelism, CheckpointEvery: *ckptEvery})
+	eng := idx.NewEngine(&fuzzyknn.EngineConfig{
+		Parallelism:     *parallelism,
+		CheckpointEvery: *ckptEvery,
+		AdmissionWait:   *admissionWait,
+	})
 	defer eng.Close()
-	log.Printf("serving %d objects (%d dims) on %s, shards %d, parallelism %d",
-		idx.Len(), idx.Dims(), *addr, idx.NumShards(), eng.Parallelism())
+	log.Printf("serving %d objects (%d dims) on %s, shards %d, parallelism %d, request timeout %v, pprof %v",
+		idx.Len(), idx.Dims(), *addr, idx.NumShards(), eng.Parallelism(), *reqTimeout, *enablePprof)
 
-	srv := &http.Server{Addr: *addr, Handler: server.New(idx, eng)}
+	handler := server.New(idx, eng, &server.Options{
+		RequestTimeout:       *reqTimeout,
+		SlowRequestThreshold: *slowQuery,
+		EnablePprof:          *enablePprof,
+		Logf:                 log.Printf,
+	})
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

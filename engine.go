@@ -3,6 +3,8 @@ package fuzzyknn
 import (
 	"context"
 	"fmt"
+	"io"
+	"time"
 
 	"fuzzyknn/internal/engine"
 )
@@ -34,6 +36,17 @@ type EngineTotals = engine.Totals
 // ErrEngineClosed is returned for work submitted to a closed Engine.
 var ErrEngineClosed = engine.ErrClosed
 
+// ErrOverloaded is returned when a request could not be admitted because
+// the engine's queue stayed full past the admission budget
+// (EngineConfig.AdmissionWait). It signals load, not an invalid request:
+// back off and retry. The HTTP server maps it to 429 with a Retry-After
+// header.
+var ErrOverloaded = engine.ErrOverloaded
+
+// DefaultAdmissionWait is the admission budget used when
+// EngineConfig.AdmissionWait is zero.
+const DefaultAdmissionWait = engine.DefaultAdmissionWait
+
 // EngineConfig tunes an Engine. The zero value (or nil) picks defaults.
 type EngineConfig struct {
 	// Parallelism is the number of queries executing at once
@@ -53,6 +66,12 @@ type EngineConfig struct {
 	// log-backed indexes (OpenLogIndex); see Index.Checkpoint. Default: 0,
 	// never.
 	CheckpointEvery int
+	// AdmissionWait bounds how long a request may wait for queue space
+	// before the engine sheds it with ErrOverloaded, so a saturated engine
+	// answers with an explicit, retryable rejection instead of parking
+	// callers indefinitely. Zero selects DefaultAdmissionWait; negative
+	// waits without bound (the request context still applies).
+	AdmissionWait time.Duration
 }
 
 // Engine executes queries concurrently against one Index through a bounded
@@ -72,22 +91,38 @@ func (ix *Index) NewEngine(cfg *EngineConfig) *Engine {
 		opts.QueueDepth = cfg.QueueDepth
 		opts.MaxWriteBatch = cfg.MaxWriteBatch
 		opts.CheckpointEvery = cfg.CheckpointEvery
+		opts.AdmissionWait = cfg.AdmissionWait
 	}
 	return &Engine{inner: engine.New(ix.inner, opts)}
+}
+
+// WriteMetrics renders the engine's metrics — per-kind request counters and
+// latency histograms, queue-depth and in-flight gauges, write-coalescer
+// batch sizes, checkpoint counts/durations, lifetime query-work totals —
+// in the Prometheus text exposition format. Recording is lock-free atomic
+// work on the request path; rendering happens only here, at scrape time.
+func (e *Engine) WriteMetrics(w io.Writer) error {
+	return e.inner.Metrics().WritePrometheus(w)
 }
 
 // Parallelism returns the worker count the engine runs with.
 func (e *Engine) Parallelism() int { return e.inner.Parallelism() }
 
-// Do executes one request, blocking until it completes (or ctx is cancelled
-// while it is still queued).
+// Do executes one request, blocking until it completes. A request still
+// queued when ctx cancels fails with the ctx error; one that cannot even
+// enter the queue within the engine's admission budget
+// (EngineConfig.AdmissionWait) fails with ErrOverloaded.
 func (e *Engine) Do(ctx context.Context, req BatchRequest) BatchResponse {
 	return e.inner.Do(ctx, req)
 }
 
 // DoBatch executes a mixed batch across the worker pool, returning responses
 // in request order. Per-request failures land in BatchResponse.Err; the
-// batch itself always completes.
+// batch itself always completes. The admission budget gates batch entry
+// only: if the first job cannot enter the queue within it, every response
+// carries ErrOverloaded; once any job is admitted, the rest wait for queue
+// slots without shedding (a batch draining through a smaller queue is
+// progress, not overload).
 func (e *Engine) DoBatch(ctx context.Context, reqs []BatchRequest) []BatchResponse {
 	return e.inner.DoBatch(ctx, reqs)
 }

@@ -29,8 +29,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/metrics"
 	"fuzzyknn/internal/query"
 	"fuzzyknn/internal/store"
 )
@@ -138,16 +140,37 @@ type Options struct {
 	// store supports checkpoints — the periodic trigger is skipped (and
 	// counted as a failure) otherwise.
 	CheckpointEvery int
+	// AdmissionWait bounds how long a submission may wait for queue space
+	// before the engine sheds it with ErrOverloaded. Zero selects
+	// DefaultAdmissionWait; negative waits indefinitely (bounded only by
+	// the request context), the pre-admission-control behavior. A bounded
+	// wait is what keeps a saturated engine returning fast, actionable
+	// rejections (HTTP 429 upstream) instead of accumulating blocked
+	// submitter goroutines without limit.
+	AdmissionWait time.Duration
 }
+
+// DefaultAdmissionWait is the admission budget when Options.AdmissionWait
+// is zero: long enough to ride out a queue-full blip while a worker drains
+// one slot, short enough that a truly saturated engine answers within
+// operator-reflex time.
+const DefaultAdmissionWait = time.Second
 
 // ErrClosed is returned for requests submitted after Close.
 var ErrClosed = errors.New("engine: closed")
 
+// ErrOverloaded is returned when a request could not be admitted because
+// its queue stayed full past the admission budget (Options.AdmissionWait).
+// It is a load signal, not a failure of the request itself: the caller
+// should back off and retry. The HTTP layer maps it to 429 + Retry-After.
+var ErrOverloaded = errors.New("engine: overloaded: queue full past admission budget")
+
 type job struct {
-	ctx  context.Context
-	req  Request
-	resp *Response
-	wg   *sync.WaitGroup
+	ctx   context.Context
+	req   Request
+	resp  *Response
+	wg    *sync.WaitGroup
+	start time.Time // submission time; latency histograms measure from here
 }
 
 // Engine is a bounded worker pool over one shared index, plus a dedicated
@@ -164,7 +187,9 @@ type Engine struct {
 	workers         sync.WaitGroup
 	parallelism     int
 	maxWriteBatch   int
-	checkpointEvery int // cut a checkpoint every N write groups (0 = never)
+	checkpointEvery int           // cut a checkpoint every N write groups (0 = never)
+	admissionWait   time.Duration // queue-full budget before ErrOverloaded (<0 = unbounded)
+	metrics         *engineMetrics
 
 	// lifecycle serializes channel sends against Close: submitters hold the
 	// read side across their send, so Close can only close the channels once
@@ -192,6 +217,10 @@ func New(ix query.Searcher, opts Options) *Engine {
 	if maxBatch < 1 {
 		maxBatch = 256
 	}
+	wait := opts.AdmissionWait
+	if wait == 0 {
+		wait = DefaultAdmissionWait
+	}
 	e := &Engine{
 		ix:   ix,
 		jobs: make(chan job, depth),
@@ -202,8 +231,10 @@ func New(ix query.Searcher, opts Options) *Engine {
 		parallelism:     p,
 		maxWriteBatch:   maxBatch,
 		checkpointEvery: opts.CheckpointEvery,
+		admissionWait:   wait,
 	}
 	e.totals.Requests = map[string]int64{}
+	e.metrics = newEngineMetrics(e)
 	e.workers.Add(p + 1)
 	for i := 0; i < p; i++ {
 		go e.worker()
@@ -218,10 +249,17 @@ func (e *Engine) Index() query.Searcher { return e.ix }
 // Parallelism returns the worker count.
 func (e *Engine) Parallelism() int { return e.parallelism }
 
+// Metrics returns the engine's metric registry for exposition (e.g. a
+// Prometheus /metrics endpoint). Callers may register additional families
+// of their own on it; the engine's are all prefixed fuzzyknn_.
+func (e *Engine) Metrics() *metrics.Registry { return e.metrics.reg }
+
 func (e *Engine) worker() {
 	defer e.workers.Done()
 	for j := range e.jobs {
+		e.metrics.inflightQueries.Add(1)
 		e.execute(j)
+		e.metrics.inflightQueries.Add(-1)
 		j.wg.Done()
 	}
 }
@@ -237,7 +275,10 @@ func (e *Engine) writer() {
 	defer e.workers.Done()
 	groups := 0
 	commit := func(group []job) {
+		e.metrics.inflightWrites.Add(int64(len(group)))
+		e.metrics.batchSize.Observe(int64(len(group)))
 		e.executeWrites(group)
+		e.metrics.inflightWrites.Add(-int64(len(group)))
 		groups++
 		if e.checkpointEvery > 0 && groups >= e.checkpointEvery {
 			groups = 0
@@ -272,7 +313,13 @@ func (e *Engine) writer() {
 // the "checkpoint" kind. It may be called concurrently with the writer's
 // periodic trigger — the store serializes checkpoints internally.
 func (e *Engine) Checkpoint(compact bool) ([]store.CheckpointInfo, error) {
+	start := time.Now()
 	infos, err := e.ix.Checkpoint(compact)
+	e.metrics.checkpoints.Inc()
+	e.metrics.checkpointDur.ObserveDuration(time.Since(start))
+	if err != nil {
+		e.metrics.checkpointFailures.Inc()
+	}
 	e.mu.Lock()
 	e.totals.Requests["checkpoint"]++
 	if err != nil {
@@ -299,7 +346,7 @@ func (e *Engine) executeWrites(group []job) {
 		answered[i] = true
 		group[i].resp.Stats = st
 		group[i].resp.Err = err
-		e.record(group[i].req.Kind, st, err == nil)
+		e.record(group[i].req.Kind, st, err == nil, group[i].start)
 		group[i].wg.Done()
 	}
 	defer func() {
@@ -393,12 +440,12 @@ func (e *Engine) execute(j job) {
 		if p := recover(); p != nil {
 			j.resp.Results, j.resp.Ranged = nil, nil
 			j.resp.Err = fmt.Errorf("engine: query panicked: %v", p)
-			e.record(j.req.Kind, j.resp.Stats, false)
+			e.record(j.req.Kind, j.resp.Stats, false, j.start)
 		}
 	}()
 	if err := j.ctx.Err(); err != nil {
 		j.resp.Err = err
-		e.record(j.req.Kind, j.resp.Stats, false)
+		e.record(j.req.Kind, j.resp.Stats, false, j.start)
 		return
 	}
 	r := &j.req
@@ -419,10 +466,15 @@ func (e *Engine) execute(j job) {
 	default:
 		j.resp.Err = fmt.Errorf("engine: unknown request kind %d (%w)", int(r.Kind), query.ErrInvalidArgument)
 	}
-	e.record(r.Kind, j.resp.Stats, j.resp.Err == nil)
+	e.record(r.Kind, j.resp.Stats, j.resp.Err == nil, j.start)
 }
 
-func (e *Engine) record(k Kind, st query.Stats, ok bool) {
+// record books one finished request: latency and outcome onto the atomic
+// metric series (lock-free), then the lifetime totals under their mutex.
+// start is the submission time, so the histogram measures what the caller
+// experienced — queue wait included.
+func (e *Engine) record(k Kind, st query.Stats, ok bool, start time.Time) {
+	e.metrics.observe(k, ok, time.Since(start))
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.totals.Requests[k.String()]++
@@ -455,18 +507,37 @@ func (e *Engine) Do(ctx context.Context, req Request) Response {
 // responses in request order. It blocks until every request has either run
 // or been abandoned to a cancelled context; per-request failures land in
 // Response.Err rather than aborting the batch.
+//
+// The admission budget gates batch ENTRY, not every job: until a first job
+// is admitted, each submission may shed with ErrOverloaded — and one shed
+// fails the whole remaining batch, since the queue already stayed full past
+// the budget. Once any job is in, the rest submit blocking (bounded only by
+// ctx): a batch's later jobs waiting while its own earlier jobs drain is
+// progress, not overload, and shedding them would turn a batch merely
+// larger than the queue into spurious failures.
 func (e *Engine) DoBatch(ctx context.Context, reqs []Request) []Response {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	resps := make([]Response, len(reqs))
 	var wg sync.WaitGroup
+	wait := e.admissionWait
+	shed := false
 	for i := range reqs {
-		j := job{ctx: ctx, req: reqs[i], resp: &resps[i], wg: &wg}
+		j := job{ctx: ctx, req: reqs[i], resp: &resps[i], wg: &wg, start: time.Now()}
 		wg.Add(1)
-		if err := e.submit(j); err != nil {
+		var err error
+		if shed {
+			err = ErrOverloaded
+			e.metrics.shed.Inc()
+		} else if err = e.submit(j, wait); err == nil {
+			wait = -1 // admitted: the rest stream in behind it
+		} else if errors.Is(err, ErrOverloaded) {
+			shed = true
+		}
+		if err != nil {
 			resps[i].Err = err
-			e.record(reqs[i].Kind, query.Stats{}, false)
+			e.record(reqs[i].Kind, query.Stats{}, false, j.start)
 			wg.Done()
 		}
 	}
@@ -480,7 +551,16 @@ func (e *Engine) DoBatch(ctx context.Context, reqs []Request) []Response {
 // across the send keeps Close from closing the channel mid-send; workers
 // keep draining until the channel actually closes, so a full queue cannot
 // deadlock Close.
-func (e *Engine) submit(j job) error {
+//
+// Admission control lives here: a queue that stays full past the wait
+// budget sheds the request with ErrOverloaded instead of parking the
+// submitter indefinitely. Before this bound, a client with no context
+// deadline waited forever on a saturated engine — every such connection
+// pinned a goroutine, and overload looked like infinite latency instead of
+// an explicit, retryable rejection. A negative wait blocks until queue
+// space or ctx cancellation (DoBatch uses it for jobs behind an already
+// admitted batchmate).
+func (e *Engine) submit(j job, wait time.Duration) error {
 	e.lifecycle.RLock()
 	defer e.lifecycle.RUnlock()
 	if e.closed {
@@ -490,11 +570,30 @@ func (e *Engine) submit(j job) error {
 	if j.req.Kind == Insert || j.req.Kind == Delete {
 		queue = e.writes
 	}
+	// Fast path: queue has room — no timer, no extra branches.
+	select {
+	case queue <- j:
+		return nil
+	default:
+	}
+	if wait < 0 { // unbounded: blocking submission
+		select {
+		case queue <- j:
+			return nil
+		case <-j.ctx.Done():
+			return j.ctx.Err()
+		}
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
 	select {
 	case queue <- j:
 		return nil
 	case <-j.ctx.Done():
 		return j.ctx.Err()
+	case <-timer.C:
+		e.metrics.shed.Inc()
+		return ErrOverloaded
 	}
 }
 

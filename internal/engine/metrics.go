@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"time"
+
+	"fuzzyknn/internal/metrics"
+)
+
+// numKinds is the count of real request kinds; kindSlots adds one overflow
+// slot so an out-of-range Kind in a malformed request records under
+// kind="other" instead of indexing out of bounds.
+const (
+	numKinds  = int(Delete) + 1
+	kindSlots = numKinds + 1
+)
+
+// kindSlot maps a Kind onto its metrics array slot.
+func kindSlot(k Kind) int {
+	if k < 0 || int(k) >= numKinds {
+		return numKinds
+	}
+	return int(k)
+}
+
+// engineMetrics is the engine's pre-registered metric set. Every series the
+// request path touches is resolved to a pointer at engine construction, so
+// recording a finished request is array indexing plus atomic adds — no map
+// lookups, no locks, no allocation. Scrape-time-only series (queue depths,
+// lifetime stats totals) are sampled lazily via Gauge/CounterFuncs.
+type engineMetrics struct {
+	reg *metrics.Registry
+
+	requests [kindSlots]*metrics.Counter
+	failures [kindSlots]*metrics.Counter
+	latency  [kindSlots]*metrics.Histogram
+
+	inflightQueries *metrics.Gauge
+	inflightWrites  *metrics.Gauge
+	shed            *metrics.Counter
+	batchSize       *metrics.Histogram
+
+	checkpoints        *metrics.Counter
+	checkpointFailures *metrics.Counter
+	checkpointDur      *metrics.Histogram
+}
+
+// newEngineMetrics registers the engine's metric families on a fresh
+// registry. The per-kind families are fully pre-registered (all kinds plus
+// the "other" overflow) so scrapes see every series from the first page,
+// zeros included — absent-until-first-hit series make rate() queries lie.
+func newEngineMetrics(e *Engine) *engineMetrics {
+	reg := metrics.NewRegistry()
+	m := &engineMetrics{reg: reg}
+
+	durBounds, durScale := metrics.DurationBuckets()
+	kindName := func(slot int) string {
+		if slot == numKinds {
+			return "other"
+		}
+		return Kind(slot).String()
+	}
+	for slot := 0; slot < kindSlots; slot++ {
+		kind := kindName(slot)
+		m.requests[slot] = reg.Counter("fuzzyknn_requests_total",
+			"Finished engine requests by kind, failures included.", "kind", kind)
+		m.failures[slot] = reg.Counter("fuzzyknn_request_failures_total",
+			"Engine requests that returned an error, by kind.", "kind", kind)
+		m.latency[slot] = reg.Histogram("fuzzyknn_request_duration_seconds",
+			"End-to-end request latency (queue wait + execution) by kind.",
+			durBounds, durScale, "kind", kind)
+	}
+
+	m.inflightQueries = reg.Gauge("fuzzyknn_engine_inflight",
+		"Requests executing right now, by queue.", "queue", "query")
+	m.inflightWrites = reg.Gauge("fuzzyknn_engine_inflight",
+		"Requests executing right now, by queue.", "queue", "write")
+	reg.GaugeFunc("fuzzyknn_engine_queue_depth",
+		"Accepted-but-not-yet-running requests, by queue.",
+		func() int64 { return int64(len(e.jobs)) }, "queue", "query")
+	reg.GaugeFunc("fuzzyknn_engine_queue_depth",
+		"Accepted-but-not-yet-running requests, by queue.",
+		func() int64 { return int64(len(e.writes)) }, "queue", "write")
+	reg.GaugeFunc("fuzzyknn_engine_queue_capacity",
+		"Queue capacity, by queue.",
+		func() int64 { return int64(cap(e.jobs)) }, "queue", "query")
+	reg.GaugeFunc("fuzzyknn_engine_queue_capacity",
+		"Queue capacity, by queue.",
+		func() int64 { return int64(cap(e.writes)) }, "queue", "write")
+	m.shed = reg.Counter("fuzzyknn_engine_overloaded_total",
+		"Requests shed with ErrOverloaded: the queue stayed full past the admission budget.")
+
+	sizeBounds, sizeScale := metrics.SizeBuckets(1024)
+	m.batchSize = reg.Histogram("fuzzyknn_engine_write_batch_size",
+		"Mutations per coalesced group commit.", sizeBounds, sizeScale)
+
+	m.checkpoints = reg.Counter("fuzzyknn_engine_checkpoints_total",
+		"Checkpoints cut (explicit and periodic), failures included.")
+	m.checkpointFailures = reg.Counter("fuzzyknn_engine_checkpoint_failures_total",
+		"Checkpoints that returned an error.")
+	m.checkpointDur = reg.Histogram("fuzzyknn_engine_checkpoint_duration_seconds",
+		"Wall time of one checkpoint across all shards.", durBounds, durScale)
+
+	// Lifetime query-work totals already accumulated in Totals; sampled
+	// under the totals mutex only at scrape time.
+	sample := func(pick func(Totals) int64) func() int64 {
+		return func() int64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return pick(e.totals)
+		}
+	}
+	reg.CounterFunc("fuzzyknn_engine_object_accesses_total",
+		"Store object probes summed across every executed request.",
+		sample(func(t Totals) int64 { return int64(t.Stats.ObjectAccesses) }))
+	reg.CounterFunc("fuzzyknn_engine_node_accesses_total",
+		"R-tree node visits summed across every executed request.",
+		sample(func(t Totals) int64 { return int64(t.Stats.NodeAccesses) }))
+	reg.CounterFunc("fuzzyknn_engine_distance_evals_total",
+		"Exact distance evaluations summed across every executed request.",
+		sample(func(t Totals) int64 { return int64(t.Stats.DistanceEvals) }))
+
+	return m
+}
+
+// observe records one finished request: counter bumps plus one latency
+// histogram sample — atomic adds only, safe on the zero-allocation path.
+func (m *engineMetrics) observe(k Kind, ok bool, elapsed time.Duration) {
+	slot := kindSlot(k)
+	m.requests[slot].Inc()
+	if !ok {
+		m.failures[slot].Inc()
+	}
+	m.latency[slot].ObserveDuration(elapsed)
+}

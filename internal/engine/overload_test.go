@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/geom"
+	"fuzzyknn/internal/query"
+)
+
+// gatedSearcher wraps a real Searcher but parks AKNN and ApplyBatch calls
+// until released, so tests can hold workers busy and saturate the queues
+// deterministically.
+type gatedSearcher struct {
+	query.Searcher
+	started chan struct{} // one send per call that reached the gate
+	release chan struct{} // closed to let parked calls proceed
+}
+
+func (g *gatedSearcher) AKNN(q *fuzzy.Object, k int, alpha float64, algo query.AKNNAlgorithm) ([]query.Result, query.Stats, error) {
+	g.started <- struct{}{}
+	<-g.release
+	return g.Searcher.AKNN(q, k, alpha, algo)
+}
+
+func (g *gatedSearcher) ApplyBatch(inserts []*fuzzy.Object, deletes []uint64) ([]query.Stats, error) {
+	g.started <- struct{}{}
+	<-g.release
+	return g.Searcher.ApplyBatch(inserts, deletes)
+}
+
+// waitDepth polls until the queue holds want jobs (the submissions that
+// made it past admission but have no free worker).
+func waitDepth(t *testing.T, queue chan job, want int) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for len(queue) < want {
+		select {
+		case <-deadline:
+			t.Fatalf("queue depth %d never reached %d", len(queue), want)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// TestEngineShedsWhenSaturated saturates the query pool and queue, then
+// checks the next submission is shed with ErrOverloaded within the
+// admission budget — not parked forever — while every in-flight and queued
+// query still completes successfully once the index unblocks. Run under
+// -race in CI, this pins the admission-control path as data-race free.
+func TestEngineShedsWhenSaturated(t *testing.T) {
+	env := newTestEnv(t, 40, 4)
+	gate := &gatedSearcher{
+		Searcher: env.ix,
+		started:  make(chan struct{}, 16),
+		release:  make(chan struct{}),
+	}
+	const budget = 50 * time.Millisecond
+	eng := New(gate, Options{Parallelism: 2, QueueDepth: 1, AdmissionWait: budget})
+	defer eng.Close()
+
+	req := Request{Kind: AKNN, Q: env.queries[0], K: 2, Alpha: 0.5, AKNNAlgo: query.Basic}
+
+	// 2 in flight (both workers parked at the gate) + 1 queued = saturated.
+	var wg sync.WaitGroup
+	resps := make([]Response, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i] = eng.Do(context.Background(), req)
+		}(i)
+	}
+	<-gate.started
+	<-gate.started
+	waitDepth(t, eng.jobs, 1)
+
+	// The 4th request must be rejected, promptly.
+	start := time.Now()
+	resp := eng.Do(context.Background(), req)
+	elapsed := time.Since(start)
+	if !errors.Is(resp.Err, ErrOverloaded) {
+		t.Fatalf("saturated submit err = %v, want ErrOverloaded", resp.Err)
+	}
+	if elapsed > 20*budget {
+		t.Fatalf("shed took %v, want within a few admission budgets (%v)", elapsed, budget)
+	}
+
+	// A context that cancels before the budget elapses still wins.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if resp := eng.Do(ctx, req); !errors.Is(resp.Err, context.Canceled) {
+		t.Fatalf("cancelled saturated submit err = %v, want context.Canceled", resp.Err)
+	}
+
+	// Unblock: everything admitted completes with real answers.
+	close(gate.release)
+	wg.Wait()
+	for i, r := range resps {
+		if r.Err != nil {
+			t.Fatalf("admitted request %d failed: %v", i, r.Err)
+		}
+		if len(r.Results) == 0 {
+			t.Fatalf("admitted request %d returned no results", i)
+		}
+	}
+
+	// The shed is visible on /metrics and counted as a failed request.
+	var sb strings.Builder
+	if err := eng.Metrics().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fuzzyknn_engine_overloaded_total 1") {
+		t.Fatalf("overload counter not exported:\n%s", sb.String())
+	}
+	tot := eng.Totals()
+	if tot.Failures < 2 { // the shed + the cancelled submit
+		t.Fatalf("Failures = %d, want >= 2", tot.Failures)
+	}
+}
+
+// TestEngineWriteQueueSheds pins the same admission bound on the mutation
+// path: a parked writer and a full write queue yield ErrOverloaded instead
+// of blocking the submitter.
+func TestEngineWriteQueueSheds(t *testing.T) {
+	env := newTestEnv(t, 40, 1)
+	gate := &gatedSearcher{
+		Searcher: env.ix,
+		started:  make(chan struct{}, 16),
+		release:  make(chan struct{}),
+	}
+	eng := New(gate, Options{Parallelism: 1, MaxWriteBatch: 1, AdmissionWait: 50 * time.Millisecond})
+	defer eng.Close()
+
+	obj := func(id uint64) *fuzzy.Object {
+		o, err := fuzzy.New(id, []fuzzy.WeightedPoint{{P: geom.Point{1, 2}, Mu: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+
+	// One mutation parks the writer at the gate; the write queue (cap
+	// 2×MaxWriteBatch = 2) then fills behind it.
+	var wg sync.WaitGroup
+	inflight := make([]Response, 3)
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			inflight[i] = eng.Do(context.Background(), Request{Kind: Insert, Obj: obj(uint64(1000 + i))})
+		}(i)
+	}
+	<-gate.started
+	waitDepth(t, eng.writes, 2)
+
+	resp := eng.Do(context.Background(), Request{Kind: Insert, Obj: obj(2000)})
+	if !errors.Is(resp.Err, ErrOverloaded) {
+		t.Fatalf("saturated write submit err = %v, want ErrOverloaded", resp.Err)
+	}
+
+	close(gate.release)
+	wg.Wait()
+	for i, r := range inflight {
+		if r.Err != nil {
+			t.Fatalf("admitted mutation %d failed: %v", i, r.Err)
+		}
+	}
+}
+
+// TestEngineBatchAdmission pins DoBatch's entry-gated admission: a batch
+// far larger than workers+queue completes in full on an engine that is
+// merely busy with the batch itself (later jobs stream in behind admitted
+// ones instead of shedding), while a batch arriving at an engine already
+// jammed by other work sheds every job.
+func TestEngineBatchAdmission(t *testing.T) {
+	env := newTestEnv(t, 40, 4)
+
+	// Busy-with-itself: tiny budget, tiny queue, 12-job batch. Only batch
+	// entry pays the budget; the rest must not shed no matter how slowly
+	// the queue drains relative to the 1ns budget.
+	eng := New(env.ix, Options{Parallelism: 1, QueueDepth: 1, AdmissionWait: time.Nanosecond})
+	reqs := make([]Request, 12)
+	for i := range reqs {
+		reqs[i] = Request{Kind: AKNN, Q: env.queries[i%4], K: 2, Alpha: 0.5, AKNNAlgo: query.Basic}
+	}
+	for i, r := range eng.DoBatch(context.Background(), reqs) {
+		if r.Err != nil {
+			t.Fatalf("batch job %d on idle engine: %v", i, r.Err)
+		}
+		if len(r.Results) == 0 {
+			t.Fatalf("batch job %d returned no results", i)
+		}
+	}
+	eng.Close()
+
+	// Jammed-by-others: park the worker and fill the queue with foreign
+	// requests, then submit a batch. Entry sheds, and one entry shed fails
+	// the whole batch promptly.
+	gate := &gatedSearcher{
+		Searcher: env.ix,
+		started:  make(chan struct{}, 16),
+		release:  make(chan struct{}),
+	}
+	jammed := New(gate, Options{Parallelism: 1, QueueDepth: 1, AdmissionWait: 50 * time.Millisecond})
+	defer jammed.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ { // 1 parked at the gate + 1 queued
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			jammed.Do(context.Background(), reqs[0])
+		}()
+	}
+	<-gate.started
+	waitDepth(t, jammed.jobs, 1)
+
+	start := time.Now()
+	resps := jammed.DoBatch(context.Background(), reqs[:4])
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("shed batch took %v, want one admission budget, not one per job", elapsed)
+	}
+	for i, r := range resps {
+		if !errors.Is(r.Err, ErrOverloaded) {
+			t.Fatalf("batch job %d on jammed engine err = %v, want ErrOverloaded", i, r.Err)
+		}
+	}
+	close(gate.release)
+	wg.Wait()
+}
+
+// TestEngineUnboundedAdmissionWait checks AdmissionWait < 0 restores the
+// legacy behavior: a saturated submission waits (bounded only by its
+// context) and succeeds once the queue drains.
+func TestEngineUnboundedAdmissionWait(t *testing.T) {
+	env := newTestEnv(t, 40, 1)
+	gate := &gatedSearcher{
+		Searcher: env.ix,
+		started:  make(chan struct{}, 16),
+		release:  make(chan struct{}),
+	}
+	eng := New(gate, Options{Parallelism: 1, QueueDepth: 1, AdmissionWait: -1})
+	defer eng.Close()
+
+	req := Request{Kind: AKNN, Q: env.queries[0], K: 2, Alpha: 0.5, AKNNAlgo: query.Basic}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ { // 1 in flight + 1 queued
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			eng.Do(context.Background(), req)
+		}()
+	}
+	<-gate.started
+	waitDepth(t, eng.jobs, 1)
+
+	done := make(chan Response, 1)
+	go func() { done <- eng.Do(context.Background(), req) }()
+	select {
+	case r := <-done:
+		t.Fatalf("unbounded submission returned early: %+v", r)
+	case <-time.After(100 * time.Millisecond): // well past any default budget slice
+	}
+	close(gate.release)
+	wg.Wait()
+	if r := <-done; r.Err != nil {
+		t.Fatalf("unbounded submission failed after drain: %v", r.Err)
+	}
+}

@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests.", "kind", "aknn")
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	// Get-or-create: same (name, labels) is the same series, label order
+	// irrelevant for multi-label sets.
+	if again := r.Counter("requests_total", "Requests.", "kind", "aknn"); again != c {
+		t.Fatal("re-registering the same counter returned a new series")
+	}
+	g := r.Gauge("queue_depth", "Depth.")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("m", "h", "x", "1", "y", "2")
+	b := r.Counter("m", "h", "y", "2", "x", "1")
+	if a != b {
+		t.Fatal("label order produced distinct series")
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "h")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []int64{10, 100, 1000}, 1e-3, "kind", "aknn")
+	for _, v := range []int64{5, 10, 11, 99, 5000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got, want := h.Sum(), 5.125; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{kind="aknn",le="0.01"} 2`,
+		`latency_seconds_bucket{kind="aknn",le="0.1"} 4`,
+		`latency_seconds_bucket{kind="aknn",le="1"} 4`,
+		`latency_seconds_bucket{kind="aknn",le="+Inf"} 5`,
+		`latency_seconds_sum{kind="aknn"} 5.125`,
+		`latency_seconds_count{kind="aknn"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramNoLabels(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("batch_size", "Batch sizes.", []int64{1, 2, 4}, 1)
+	h.Observe(3)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`batch_size_bucket{le="4"} 1`,
+		`batch_size_bucket{le="+Inf"} 1`,
+		"batch_size_sum 3",
+		"batch_size_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDurationBucketsRenderSeconds(t *testing.T) {
+	r := NewRegistry()
+	bounds, scale := DurationBuckets()
+	h := r.Histogram("d_seconds", "h", bounds, scale)
+	h.ObserveDuration(2 * time.Millisecond)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `d_seconds_bucket{le="0.002"} 1`) {
+		t.Fatalf("2ms sample not in the 0.002s bucket:\n%s", out)
+	}
+	if !strings.Contains(out, "d_seconds_sum 0.002") {
+		t.Fatalf("sum not scaled to seconds:\n%s", out)
+	}
+}
+
+func TestFuncsAndHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	n := int64(42)
+	r.GaugeFunc("live", "Sampled at scrape.", func() int64 { return n })
+	r.CounterFunc("ticks_total", "Sampled counter.", func() int64 { return 9 })
+	c := r.Counter("weird", "h", "path", `a"b\c`)
+	c.Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE live gauge", "live 42",
+		"# TYPE ticks_total counter", "ticks_total 9",
+		`weird{path="a\"b\\c"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestConcurrentRecordAndScrape hammers one histogram and one counter from
+// many goroutines while scraping; run under -race this pins the lock-free
+// record path as safe against exposition.
+func TestConcurrentRecordAndScrape(t *testing.T) {
+	r := NewRegistry()
+	bounds, scale := SizeBuckets(256)
+	h := r.Histogram("sizes", "h", bounds, scale)
+	c := r.Counter("hits_total", "h")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := int64(0); i < 1000; i++ {
+				h.Observe(seed + i%300)
+				c.Inc()
+			}
+		}(int64(w))
+	}
+	for s := 0; s < 20; s++ {
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}

@@ -27,7 +27,7 @@ func newLogTestServer(t *testing.T, shards int) (*httptest.Server, *fuzzyknn.Ind
 		}
 	}
 	eng := ix.NewEngine(&fuzzyknn.EngineConfig{Parallelism: 4})
-	ts := httptest.NewServer(New(ix, eng))
+	ts := httptest.NewServer(New(ix, eng, nil))
 	t.Cleanup(func() {
 		ts.Close()
 		eng.Close()

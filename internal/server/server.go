@@ -11,7 +11,9 @@
 //	DELETE /objects/{id}                                                  → {id, objects}
 //	POST   /checkpoint    {compact?} (body optional)                      → {shards, compacted}
 //	GET    /stats         index size + engine lifetime totals
+//	GET    /metrics       Prometheus text exposition (engine + HTTP series)
 //	GET    /healthz       liveness probe
+//	GET    /debug/pprof/* runtime profiles (opt-in via Options.EnablePprof)
 //
 // The mutation endpoints require a mutable index (in-memory or log-backed);
 // on a read-only index they answer 500. A duplicate insert id or malformed
@@ -19,6 +21,18 @@
 // 404. Mutations are dispatched through the engine like queries, so they
 // share its worker pool, cancellation and lifetime statistics, and every
 // query in flight during a mutation keeps its consistent snapshot.
+//
+// Error taxonomy beyond that: a request body over the 16 MiB cap is 413, a
+// request that outlives Options.RequestTimeout is 504, and a request the
+// engine sheds because its queue stayed full past the admission budget is
+// 429 with a Retry-After header — the signal a well-behaved client backs
+// off on. Every handler runs under a recover middleware: a panic becomes a
+// logged JSON 500 (and a fuzzyknn_http_panics_total increment) instead of
+// a severed connection. All error bodies are JSON with Content-Type set.
+//
+// Requests slower than Options.SlowRequestThreshold are logged as one
+// structured line (slow_request method=… endpoint=… status=… duration=…),
+// giving tail-latency forensics without a tracing dependency.
 //
 // POST /objects:batch ingests many objects (and optionally retires ids) in
 // one request: the items flow into the engine's write coalescer together,
@@ -50,29 +64,70 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
 	"strconv"
+	"strings"
 	"time"
 
 	"fuzzyknn"
+	"fuzzyknn/internal/metrics"
 )
+
+// Options tunes the server's operational behavior. The zero value (or a nil
+// pointer to New) serves with no deadline, no slow-request log and no pprof
+// — the pre-observability defaults.
+type Options struct {
+	// RequestTimeout is the per-request deadline, threaded as a context
+	// deadline through Engine.Do: it bounds queue wait and execution
+	// together, and an expired request answers 504 instead of occupying a
+	// handler goroutine indefinitely. Zero disables it. pprof endpoints are
+	// exempt (profiles legitimately run for tens of seconds).
+	RequestTimeout time.Duration
+	// SlowRequestThreshold, when > 0, logs one structured line for every
+	// request whose total wall time reaches it.
+	SlowRequestThreshold time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiles expose internals and cost CPU, so operators opt in.
+	EnablePprof bool
+	// Logf receives panic and slow-request log lines. Nil selects a no-op
+	// in tests' favor; cmd/fuzzyserve wires log.Printf.
+	Logf func(format string, args ...any)
+}
 
 // Server is an http.Handler serving one index through one engine. Both are
 // borrowed: closing them remains the caller's responsibility and must happen
 // after the server stops.
 type Server struct {
-	ix  *fuzzyknn.Index
-	eng *fuzzyknn.Engine
-	mux *http.ServeMux
+	ix   *fuzzyknn.Index
+	eng  *fuzzyknn.Engine
+	mux  *http.ServeMux
+	opts Options
+
+	// reg holds the HTTP-layer series (request counts/latency by endpoint
+	// and status, panics, index size); GET /metrics renders it followed by
+	// the engine's registry.
+	reg    *metrics.Registry
+	panics *metrics.Counter
 }
 
-// New builds the handler.
-func New(ix *fuzzyknn.Index, eng *fuzzyknn.Engine) *Server {
-	s := &Server{ix: ix, eng: eng, mux: http.NewServeMux()}
+// New builds the handler. opts may be nil for defaults.
+func New(ix *fuzzyknn.Index, eng *fuzzyknn.Engine, opts *Options) *Server {
+	s := &Server{ix: ix, eng: eng, mux: http.NewServeMux(), reg: metrics.NewRegistry()}
+	if opts != nil {
+		s.opts = *opts
+	}
+	s.panics = s.reg.Counter("fuzzyknn_http_panics_total",
+		"Handler panics recovered into JSON 500 responses.")
+	s.reg.GaugeFunc("fuzzyknn_index_objects",
+		"Live objects in the served index.",
+		func() int64 { return int64(ix.Len()) })
 	s.mux.HandleFunc("POST /aknn", s.handleAKNN)
 	s.mux.HandleFunc("POST /rknn", s.handleRKNN)
 	s.mux.HandleFunc("POST /range", s.handleRange)
@@ -81,14 +136,120 @@ func New(ix *fuzzyknn.Index, eng *fuzzyknn.Engine) *Server {
 	s.mux.HandleFunc("DELETE /objects/{id}", s.handleDelete)
 	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if s.opts.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// statusRecorder captures the response status (and whether anything was
+// written) so the middleware can record metrics and avoid double-writing
+// after a handler panic.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if !r.wrote {
+		r.status = http.StatusOK
+		r.wrote = true
+	}
+	return r.ResponseWriter.Write(p)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// ServeHTTP implements http.Handler. Every request passes through one
+// middleware layer doing four jobs: per-request deadline injection, panic
+// recovery into a JSON 500, per-endpoint request/latency metrics, and the
+// slow-request log.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w}
+	defer func() {
+		if p := recover(); p != nil {
+			// http.ErrAbortHandler is net/http's sanctioned way to drop a
+			// connection — pass it through.
+			if err, ok := p.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+				panic(p)
+			}
+			s.panics.Inc()
+			s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			if !rec.wrote {
+				writeError(rec, http.StatusInternalServerError, fmt.Errorf("internal error: %v", p))
+			}
+		}
+		s.observe(r, rec, time.Since(start))
+	}()
+	if s.opts.RequestTimeout > 0 && !strings.HasPrefix(r.URL.Path, "/debug/pprof") {
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	s.mux.ServeHTTP(rec, r)
+}
+
+// observe books one finished request into the HTTP metric families and the
+// slow-request log. The endpoint label is the mux pattern (bounded
+// cardinality), never the raw path.
+func (s *Server) observe(r *http.Request, rec *statusRecorder, elapsed time.Duration) {
+	_, pattern := s.mux.Handler(r)
+	if pattern == "" {
+		pattern = "unmatched"
+	}
+	status := rec.status
+	if status == 0 {
+		status = http.StatusOK // handler returned without writing
+	}
+	s.reg.Counter("fuzzyknn_http_requests_total",
+		"HTTP requests by endpoint pattern and status code.",
+		"endpoint", pattern, "code", strconv.Itoa(status)).Inc()
+	durBounds, durScale := metrics.DurationBuckets()
+	s.reg.Histogram("fuzzyknn_http_request_duration_seconds",
+		"Total request wall time by endpoint pattern.",
+		durBounds, durScale, "endpoint", pattern).ObserveDuration(elapsed)
+	if s.opts.SlowRequestThreshold > 0 && elapsed >= s.opts.SlowRequestThreshold {
+		s.logf("slow_request method=%s path=%s endpoint=%q status=%d duration=%s",
+			r.Method, r.URL.Path, pattern, status, elapsed)
+	}
+}
+
+// handleMetrics renders the HTTP-layer registry followed by the engine's:
+// two registries, one page. Families are disjoint by construction
+// (fuzzyknn_http_*/fuzzyknn_index_* here, fuzzyknn_*/fuzzyknn_engine_*
+// there), so concatenation is valid exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		return
+	}
+	_ = s.eng.WriteMetrics(w)
+}
 
 // --- wire types ---
 
@@ -458,7 +619,7 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		}
 	case errors.Is(err, io.EOF): // empty body: defaults
 	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		writeDecodeError(w, err)
 		return
 	}
 	infos, err := s.eng.Checkpoint(compact)
@@ -530,10 +691,25 @@ func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		writeDecodeError(w, err)
 		return false
 	}
 	return true
+}
+
+// writeDecodeError distinguishes a body over the size cap (413 — the
+// client must shrink or split the request, retrying as-is cannot succeed)
+// from merely malformed JSON (400). MaxBytesReader surfaces the former as a
+// *http.MaxBytesError wrapped inside the json decoder's error, so unwrap
+// with errors.As rather than string matching.
+func writeDecodeError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds %d bytes", mbe.Limit))
+		return
+	}
+	writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
 }
 
 // objectFromJSON validates and builds a fuzzy object from its wire form.
@@ -576,9 +752,31 @@ func (s *Server) resolveQuery(w http.ResponseWriter, obj *ObjectJSON, id *uint64
 	}
 }
 
+// writeLoadError maps the engine's load signals, shared by queries and
+// mutations: a shed request is 429 with Retry-After (back off, then the
+// same request is expected to succeed), an expired per-request deadline is
+// 504. Returns false when err is neither.
+func writeLoadError(w http.ResponseWriter, err error) bool {
+	switch {
+	case errors.Is(err, fuzzyknn.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout,
+			fmt.Errorf("request deadline exceeded: %w", err))
+	default:
+		return false
+	}
+	return true
+}
+
 // writeQueryError maps engine/query failures: validation errors from the
-// query layer are the client's fault, everything else is a 500.
+// query layer are the client's fault, load shedding is 429, a blown
+// deadline is 504, everything else is a 500.
 func writeQueryError(w http.ResponseWriter, err error) {
+	if writeLoadError(w, err) {
+		return
+	}
 	status := http.StatusInternalServerError
 	if errors.Is(err, fuzzyknn.ErrInvalidQuery) {
 		status = http.StatusBadRequest
@@ -588,8 +786,12 @@ func writeQueryError(w http.ResponseWriter, err error) {
 
 // writeMutationError maps Insert/Delete failures onto the same taxonomy:
 // invalid or duplicate objects are the client's fault (400), deleting a
-// dead id is 404, a read-only store (server configuration) is a 500.
+// dead id is 404, load signals as in writeLoadError, a read-only store
+// (server configuration) is a 500.
 func writeMutationError(w http.ResponseWriter, err error) {
+	if writeLoadError(w, err) {
+		return
+	}
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, fuzzyknn.ErrInvalidQuery), errors.Is(err, fuzzyknn.ErrDuplicate):

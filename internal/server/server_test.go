@@ -48,7 +48,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *fuzzyknn.Index, *fuzzyknn.E
 		t.Fatal(err)
 	}
 	eng := ix.NewEngine(&fuzzyknn.EngineConfig{Parallelism: 4})
-	ts := httptest.NewServer(New(ix, eng))
+	ts := httptest.NewServer(New(ix, eng, nil))
 	t.Cleanup(func() {
 		ts.Close()
 		eng.Close()
@@ -230,7 +230,7 @@ func TestServeShardedIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := ix.NewEngine(&fuzzyknn.EngineConfig{Parallelism: 4})
-	ts := httptest.NewServer(New(ix, eng))
+	ts := httptest.NewServer(New(ix, eng, nil))
 	t.Cleanup(func() {
 		ts.Close()
 		eng.Close()
@@ -511,7 +511,7 @@ func TestServeMutationsOnReadOnlyIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := ix.NewEngine(nil)
-	ts := httptest.NewServer(New(ix, eng))
+	ts := httptest.NewServer(New(ix, eng, nil))
 	t.Cleanup(func() {
 		ts.Close()
 		eng.Close()
