@@ -5,6 +5,12 @@
 //
 //	fuzzyserve -store objects.fzs -addr :8080 -parallelism 8 -cache 256
 //
+// Or serve the store through its paged R-tree (written by fuzzygen
+// -pagefile or Index.SavePaged): only hot index pages stay in RAM, held by
+// a block cache of -cache-mb MiB, so the index can exceed memory:
+//
+//	fuzzyserve -store objects.fzs -pagefile objects.fzp -cache-mb 128
+//
 // Or serve a mutable, durable index backed by an append-only log (created
 // on first use; -dims is required only when creating):
 //
@@ -114,6 +120,8 @@ func main() {
 		fsync       = flag.String("fsync", "batch", "log durability policy: always | batch | off (see command docs)")
 		ckptEvery   = flag.Int("checkpoint-every", 0, "checkpoint+compact the log after every N write groups (0 = only on POST /checkpoint)")
 		summary     = flag.String("summary", "", "index summary file (skips the store scan on open)")
+		pageFile    = flag.String("pagefile", "", "paged R-tree file (written by fuzzygen -pagefile or Index.SavePaged); serves -store without loading the tree into RAM")
+		cacheMB     = flag.Int("cache-mb", 64, "block cache budget in MiB for -pagefile indexes")
 		cacheSize   = flag.Int("cache", 0, "LRU object cache size (0 = none)")
 		shards      = flag.Int("shards", 1, "hash-partitioned index shards queried in parallel (1 = single tree)")
 		parallelism = flag.Int("parallelism", 0, "max queries executing at once (0 = GOMAXPROCS)")
@@ -134,7 +142,7 @@ func main() {
 	if *ckptEvery > 0 && *logPath == "" {
 		log.Fatal("-checkpoint-every only applies to -log indexes")
 	}
-	idx, err := openIndex(*storePath, *logPath, *summary, *fsync, *cacheSize, *shards, *dims, *demo, *demoSeed)
+	idx, err := openIndex(*storePath, *logPath, *summary, *pageFile, *fsync, *cacheSize, *cacheMB, *shards, *dims, *demo, *demoSeed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -180,7 +188,7 @@ func main() {
 
 // openIndex opens the store- or log-backed index, or builds an in-memory
 // synthetic one in -demo mode. Log-backed and demo indexes are mutable.
-func openIndex(storePath, logPath, summary, fsync string, cacheSize, shards, dims, demo int, demoSeed uint64) (*fuzzyknn.Index, error) {
+func openIndex(storePath, logPath, summary, pageFile, fsync string, cacheSize, cacheMB, shards, dims, demo int, demoSeed uint64) (*fuzzyknn.Index, error) {
 	modes := 0
 	for _, set := range []bool{storePath != "", logPath != "", demo > 0} {
 		if set {
@@ -201,10 +209,16 @@ func openIndex(storePath, logPath, summary, fsync string, cacheSize, shards, dim
 		return nil, errors.New("-summary only applies to -store indexes")
 	case summary != "" && shards > 1:
 		return nil, errors.New("-summary requires -shards 1")
+	case pageFile != "" && storePath == "":
+		return nil, errors.New("-pagefile only applies to -store indexes")
+	case pageFile != "" && summary != "":
+		return nil, errors.New("give at most one of -pagefile and -summary")
 	case dims != 0 && logPath == "":
 		return nil, errors.New("-dims only applies to -log indexes")
 	case fsync != "batch" && logPath == "":
 		return nil, errors.New("-fsync only applies to -log indexes")
+	case pageFile != "":
+		return fuzzyknn.OpenPagedIndex(storePath, pageFile, cacheMB, cfg)
 	case storePath != "":
 		cfg.SummaryFile = summary
 		return fuzzyknn.OpenIndex(storePath, cfg)

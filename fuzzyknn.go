@@ -283,6 +283,7 @@ type Index struct {
 	single    *query.Index      // non-nil iff unsharded (summary persistence)
 	countings []*store.Counting // per-shard access counters, in shard order
 	closers   []io.Closer       // underlying files (OpenIndex/OpenLogIndex)
+	lrus      []*store.LRU      // object caches (Config.CacheSize), for stats
 }
 
 // NewIndex builds an in-memory index over the given objects: one MemStore
@@ -310,17 +311,22 @@ func NewIndex(objs []*Object, cfg *Config) (*Index, error) {
 	}
 	shards := make([]*query.Index, n)
 	countings := make([]*store.Counting, n)
+	var lrus []*store.LRU
 	for i := range shards {
 		ms, err := store.NewMemStore(parts[i])
 		if err != nil {
 			return nil, fmt.Errorf("fuzzyknn: %w", err)
 		}
-		shards[i], countings[i], err = buildShard(ms, perShardCache(c.CacheSize, n), c, nil)
+		var lru *store.LRU
+		shards[i], countings[i], lru, err = buildShard(ms, perShardCache(c.CacheSize, n), c, nil)
 		if err != nil {
 			return nil, err
 		}
+		if lru != nil {
+			lrus = append(lrus, lru)
+		}
 	}
-	return assembleSharded(shards, countings, nil)
+	return assembleSharded(shards, countings, lrus, nil)
 }
 
 // shardCount normalizes Config.Shards (0 and 1 are both the single-tree
@@ -349,12 +355,12 @@ func checkShardedConfig(c Config) error {
 }
 
 // assembleSharded wraps built shards into a public Index.
-func assembleSharded(shards []*query.Index, countings []*store.Counting, closers []io.Closer) (*Index, error) {
+func assembleSharded(shards []*query.Index, countings []*store.Counting, lrus []*store.LRU, closers []io.Closer) (*Index, error) {
 	sx, err := query.NewSharded(shards)
 	if err != nil {
 		return nil, fmt.Errorf("fuzzyknn: %w", err)
 	}
-	return &Index{inner: sx, countings: countings, closers: closers}, nil
+	return &Index{inner: sx, countings: countings, lrus: lrus, closers: closers}, nil
 }
 
 // SaveObjects persists objects into a single store file that OpenIndex can
@@ -391,21 +397,23 @@ func OpenIndex(path string, cfg *Config) (*Index, error) {
 		return nil, err
 	}
 	var reader store.Reader = ds
+	var lrus []*store.LRU
 	if c.CacheSize > 0 {
-		reader = store.NewLRU(reader, c.CacheSize)
+		lru := store.NewLRU(reader, c.CacheSize)
+		reader, lrus = lru, []*store.LRU{lru}
 	}
 	shards := make([]*query.Index, n)
 	countings := make([]*store.Counting, n)
 	for i := range shards {
 		i := i
 		keep := func(id uint64) bool { return query.ShardOf(id, n) == i }
-		shards[i], countings[i], err = buildShard(reader, 0, c, keep)
+		shards[i], countings[i], _, err = buildShard(reader, 0, c, keep)
 		if err != nil {
 			ds.Close()
 			return nil, err
 		}
 	}
-	ix, err := assembleSharded(shards, countings, []io.Closer{ds})
+	ix, err := assembleSharded(shards, countings, lrus, []io.Closer{ds})
 	if err != nil {
 		ds.Close()
 		return nil, err
@@ -442,6 +450,7 @@ func OpenLogIndex(path string, dims int, cfg *Config) (*Index, error) {
 	}
 	shards := make([]*query.Index, n)
 	countings := make([]*store.Counting, n)
+	var lrus []*store.LRU
 	var closers []io.Closer
 	fail := func(err error) (*Index, error) {
 		for _, cl := range closers {
@@ -455,12 +464,16 @@ func OpenLogIndex(path string, dims int, cfg *Config) (*Index, error) {
 			return fail(fmt.Errorf("fuzzyknn: shard %d: %w", i, err))
 		}
 		closers = append(closers, ls)
-		shards[i], countings[i], err = buildShard(ls, perShardCache(c.CacheSize, n), c, nil)
+		var lru *store.LRU
+		shards[i], countings[i], lru, err = buildShard(ls, perShardCache(c.CacheSize, n), c, nil)
 		if err != nil {
 			return fail(err)
 		}
+		if lru != nil {
+			lrus = append(lrus, lru)
+		}
 	}
-	ix, err := assembleSharded(shards, countings, closers)
+	ix, err := assembleSharded(shards, countings, lrus, closers)
 	if err != nil {
 		return fail(err)
 	}
@@ -477,11 +490,14 @@ func shardLogPath(path string, i, n int) string {
 // buildIndex assembles the single-tree layout (the pre-sharding code path,
 // kept byte-identical for Shards <= 1).
 func buildIndex(r store.Reader, closer io.Closer, cfg Config) (*Index, error) {
-	inner, counting, err := buildShard(r, cfg.CacheSize, cfg, nil)
+	inner, counting, lru, err := buildShard(r, cfg.CacheSize, cfg, nil)
 	if err != nil {
 		return nil, err
 	}
 	ix := &Index{inner: inner, single: inner, countings: []*store.Counting{counting}}
+	if lru != nil {
+		ix.lrus = []*store.LRU{lru}
+	}
 	if closer != nil {
 		ix.closers = []io.Closer{closer}
 	}
@@ -489,11 +505,15 @@ func buildIndex(r store.Reader, closer io.Closer, cfg Config) (*Index, error) {
 }
 
 // buildShard stacks one shard's readers (optional LRU, then the access
-// counter) and builds its tree over the ids keep admits (nil = all).
-func buildShard(r store.Reader, cacheCap int, cfg Config, keep func(uint64) bool) (*query.Index, *store.Counting, error) {
+// counter) and builds its tree over the ids keep admits (nil = all). The
+// LRU, when configured, is also returned so the index can expose its
+// hit/miss counters.
+func buildShard(r store.Reader, cacheCap int, cfg Config, keep func(uint64) bool) (*query.Index, *store.Counting, *store.LRU, error) {
 	var reader store.Reader = r
+	var lru *store.LRU
 	if cacheCap > 0 {
-		reader = store.NewLRU(reader, cacheCap)
+		lru = store.NewLRU(reader, cacheCap)
+		reader = lru
 	}
 	counting := store.NewCounting(reader)
 	opts := query.Options{
@@ -517,10 +537,10 @@ func buildShard(r store.Reader, cacheCap int, cfg Config, keep func(uint64) bool
 		inner, err = query.BuildFiltered(counting, opts, keep)
 	}
 	if err != nil {
-		return nil, nil, fmt.Errorf("fuzzyknn: %w", err)
+		return nil, nil, nil, fmt.Errorf("fuzzyknn: %w", err)
 	}
 	counting.Reset() // exclude index construction from query accounting
-	return inner, counting, nil
+	return inner, counting, lru, nil
 }
 
 // SaveSummaries persists the index's per-object summaries (MBRs,
@@ -629,6 +649,9 @@ type ShardInfo struct {
 	// Checkpoint is the shard store's checkpoint state; nil when the store
 	// cannot checkpoint (in-memory or immutable stores).
 	Checkpoint *CheckpointInfo
+	// PageCache is the shard's block-cache counters; nil for fully
+	// resident (non-paged) shards.
+	PageCache *CacheStats
 }
 
 // ShardInfo reports per-shard physical state, in shard order (one entry
@@ -643,6 +666,10 @@ func (ix *Index) ShardInfo() []ShardInfo {
 			TreeHeight:     s.TreeHeight,
 			ObjectAccesses: ix.countings[i].Count(),
 			Checkpoint:     s.Checkpoint,
+		}
+		if s.PageCache != nil {
+			cs := cacheStatsFrom(*s.PageCache)
+			out[i].PageCache = &cs
 		}
 	}
 	return out

@@ -84,8 +84,8 @@ func TestLookup(t *testing.T) {
 		}
 		seen[e.ID] = true
 	}
-	if len(seen) != 17 {
-		t.Fatalf("expected 17 experiments (14 figure panels + §5 + shards + ingest), got %d", len(seen))
+	if len(seen) != 18 {
+		t.Fatalf("expected 18 experiments (14 figure panels + §5 + shards + ingest + paged), got %d", len(seen))
 	}
 }
 

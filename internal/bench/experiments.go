@@ -36,6 +36,7 @@ func Experiments() []Experiment {
 		{"sec5", "Cost model validation — measured vs. predicted accesses (§5)", sec5},
 		{"shards", "Sharded fan-out vs single tree — latency, accesses, throughput", shardsExp},
 		{"ingest", "Ingest throughput vs group-commit batch size — in-memory and log-backed", ingestExp},
+		{"paged", "Paged index vs cache budget — AKNN latency and block-cache hit ratio", pagedExp},
 	}
 }
 

@@ -118,6 +118,12 @@ func newEngineMetrics(e *Engine) *engineMetrics {
 	reg.CounterFunc("fuzzyknn_engine_distance_evals_total",
 		"Exact distance evaluations summed across every executed request.",
 		sample(func(t Totals) int64 { return int64(t.Stats.DistanceEvals) }))
+	reg.CounterFunc("fuzzyknn_engine_page_reads_total",
+		"Index pages read from disk (block-cache misses) summed across every executed request.",
+		sample(func(t Totals) int64 { return int64(t.Stats.PageReads) }))
+	reg.CounterFunc("fuzzyknn_engine_page_cache_hits_total",
+		"Index page loads served by the block cache summed across every executed request.",
+		sample(func(t Totals) int64 { return int64(t.Stats.PageCacheHits) }))
 
 	return m
 }

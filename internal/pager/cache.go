@@ -1,0 +1,247 @@
+package pager
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fuzzyknn/internal/rtree"
+)
+
+// fillShards is the number of singleflight shards; fills for different
+// pages proceed concurrently unless they collide on a shard lock, and
+// duplicate fills for the same page coalesce onto one read.
+const fillShards = 16
+
+// DecodeFunc turns one page's header and payload into a decoded node frame.
+// The payload aliases a scratch buffer; implementations must copy what they
+// keep.
+type DecodeFunc func(page uint32, flags uint16, count uint16, payload []byte) (*rtree.Node, error)
+
+// CacheStats is a point-in-time snapshot of cache accounting.
+type CacheStats struct {
+	Hits          int64 // loads served from a resident frame (incl. singleflight waiters)
+	Misses        int64 // loads that performed a page read
+	Evictions     int64 // frames dropped to stay under capacity
+	ResidentBytes int64 // resident frames × page size
+	CapacityBytes int64 // configured capacity, in whole pages
+}
+
+// slot is one page's cache state. The frame pointer doubles as the
+// residency flag; ref is the CLOCK reference bit; pins > 0 exempts the
+// frame from eviction.
+type slot struct {
+	frame atomic.Pointer[rtree.Node]
+	ref   atomic.Uint32
+	pins  atomic.Int32
+}
+
+type fillCall struct {
+	done  chan struct{}
+	frame *rtree.Node // nil when the fill failed
+	hit   bool        // true for everyone who waited instead of reading
+}
+
+type fillShard struct {
+	mu       sync.Mutex
+	inflight map[uint32]*fillCall
+}
+
+// Cache is a block cache over one page file. The hot path is an
+// array-index probe: Load on a resident page is one atomic pointer load
+// plus a reference-bit store and a hit count — no locks, no allocation.
+// Misses take a sharded singleflight path so concurrent loads of the same
+// page perform one read, and evict with a CLOCK (second-chance) sweep that
+// skips pinned frames.
+//
+// Read or decode failures are fail-stop: the first error is recorded
+// (retrievable via Err) and Load degrades to an empty leaf frame so
+// traversals terminate; query layers surface the recorded error instead of
+// returning silently truncated answers. Evicted frames remain valid for
+// traversals still holding them (they are ordinary garbage-collected
+// nodes); eviction only bounds what the cache itself keeps resident.
+type Cache struct {
+	file     *File
+	decode   DecodeFunc
+	slots    []slot
+	capPages int64
+	pageSize int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	resident  atomic.Int64 // pages with a resident frame
+	hand      atomic.Uint32
+
+	errOnce sync.Once
+	err     atomic.Pointer[error]
+
+	fill [fillShards]fillShard
+
+	emptyLeaf *rtree.Node
+}
+
+// NewCache builds a cache over f holding at most capacityBytes of pages
+// (rounded down to whole pages, minimum one page).
+func NewCache(f *File, capacityBytes int64, decode DecodeFunc) *Cache {
+	pageSize := int64(f.Manifest().PageSize)
+	capPages := capacityBytes / pageSize
+	if capPages < 1 {
+		capPages = 1
+	}
+	c := &Cache{
+		file:      f,
+		decode:    decode,
+		slots:     make([]slot, f.Manifest().PageCount),
+		capPages:  capPages,
+		pageSize:  pageSize,
+		emptyLeaf: rtree.NewFrame(true, nil),
+	}
+	for i := range c.fill {
+		c.fill[i].inflight = make(map[uint32]*fillCall)
+	}
+	return c
+}
+
+// Load implements rtree.NodeSource: it returns the decoded frame for page
+// and whether it was served without a page read. On failure it records the
+// error and returns an empty leaf.
+func (c *Cache) Load(page uint32) (*rtree.Node, bool) {
+	if int64(page) >= int64(len(c.slots)) {
+		c.fail(fmt.Errorf("%w: page %d out of range (%d pages)", ErrCorrupt, page, len(c.slots)))
+		return c.emptyLeaf, false
+	}
+	s := &c.slots[page]
+	if f := s.frame.Load(); f != nil {
+		s.ref.Store(1)
+		c.hits.Add(1)
+		return f, true
+	}
+	return c.fillSlow(page, s)
+}
+
+// fillSlow resolves a cache miss with singleflight: the first caller reads
+// and decodes the page, everyone else arriving before it finishes waits
+// for the same frame (and counts as a hit — only one read happened).
+func (c *Cache) fillSlow(page uint32, s *slot) (*rtree.Node, bool) {
+	sh := &c.fill[page%fillShards]
+	sh.mu.Lock()
+	if f := s.frame.Load(); f != nil { // raced with a concurrent fill
+		sh.mu.Unlock()
+		s.ref.Store(1)
+		c.hits.Add(1)
+		return f, true
+	}
+	if call, ok := sh.inflight[page]; ok {
+		sh.mu.Unlock()
+		<-call.done
+		if call.frame == nil {
+			return c.emptyLeaf, false
+		}
+		c.hits.Add(1)
+		return call.frame, true
+	}
+	call := &fillCall{done: make(chan struct{})}
+	sh.inflight[page] = call
+	sh.mu.Unlock()
+
+	frame := c.read(page)
+	if frame != nil {
+		c.evictFor()
+		s.frame.Store(frame)
+		s.ref.Store(1)
+		c.resident.Add(1)
+		c.misses.Add(1)
+	}
+
+	sh.mu.Lock()
+	call.frame = frame
+	delete(sh.inflight, page)
+	sh.mu.Unlock()
+	close(call.done)
+
+	if frame == nil {
+		return c.emptyLeaf, false
+	}
+	return frame, false
+}
+
+// read performs the page read + decode, recording any failure.
+func (c *Cache) read(page uint32) *rtree.Node {
+	buf := make([]byte, c.pageSize)
+	flags, count, payload, err := c.file.ReadPage(page, buf)
+	if err != nil {
+		c.fail(err)
+		return nil
+	}
+	frame, err := c.decode(page, flags, count, payload)
+	if err != nil {
+		c.fail(err)
+		return nil
+	}
+	return frame
+}
+
+// evictFor makes room for one incoming frame with a bounded CLOCK sweep:
+// referenced frames get a second chance, pinned frames are skipped. If
+// everything evictable is pinned the frame is admitted over capacity —
+// residency is then bounded by capacity plus the pinned set.
+func (c *Cache) evictFor() {
+	if c.resident.Load() < c.capPages {
+		return
+	}
+	n := uint32(len(c.slots))
+	for step := uint32(0); step < 2*n && c.resident.Load() >= c.capPages; step++ {
+		i := (c.hand.Add(1) - 1) % n
+		s := &c.slots[i]
+		if s.frame.Load() == nil || s.pins.Load() > 0 {
+			continue
+		}
+		if s.ref.Swap(0) != 0 {
+			continue // second chance
+		}
+		if s.frame.Swap(nil) != nil {
+			c.resident.Add(-1)
+			c.evictions.Add(1)
+		}
+	}
+}
+
+// Pin exempts a page's frame from eviction until a matching Unpin. Pinning
+// a non-resident page only affects it once loaded.
+func (c *Cache) Pin(page uint32) {
+	if int64(page) < int64(len(c.slots)) {
+		c.slots[page].pins.Add(1)
+	}
+}
+
+// Unpin releases one Pin.
+func (c *Cache) Unpin(page uint32) {
+	if int64(page) < int64(len(c.slots)) {
+		c.slots[page].pins.Add(-1)
+	}
+}
+
+// fail records the first unrecoverable error (fail-stop).
+func (c *Cache) fail(err error) {
+	c.errOnce.Do(func() { c.err.Store(&err) })
+}
+
+// Err returns the first read or decode error the cache hit, if any.
+func (c *Cache) Err() error {
+	if p := c.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		ResidentBytes: c.resident.Load() * c.pageSize,
+		CapacityBytes: c.capPages * c.pageSize,
+	}
+}

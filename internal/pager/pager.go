@@ -1,0 +1,356 @@
+// Package pager provides the on-disk page tier for serving R-tree indexes
+// larger than RAM: a fixed-size-page file format with per-page CRCs, a
+// small manifest that is the atomic commit point (mirroring the checkpoint
+// manifest discipline), and a sharded block cache with pinning and
+// singleflight miss-filling.
+//
+// A page file is pageCount pages of pageSize bytes each. Every page starts
+// with an 8-byte header — CRC-32 (IEEE) of the rest of the page, a flags
+// word and an entry count — followed by a payload whose layout belongs to
+// the caller (internal/query encodes R-tree nodes into it). The manifest
+// lives next to the page file at <path>.manifest and binds {generation,
+// page size, page count, root page, dims, tree shape, object count}; both
+// files are written via the temp + fsync + rename discipline, manifest
+// last, so a crash mid-write leaves the previous generation intact.
+package pager
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Page-file format constants.
+const (
+	manifestMagic = "FZPGMAN1"
+	version       = 1
+
+	// PageHeaderSize is the per-page overhead: crc32 (4) + flags (2) +
+	// entry count (2).
+	PageHeaderSize = 8
+
+	// PageAlign is the granularity page sizes are rounded up to.
+	PageAlign = 4096
+
+	// maxPageSize bounds manifest plausibility checks.
+	maxPageSize = 1 << 28
+
+	manifestSize = len(manifestMagic) + 8*4 + 2*8 + 4 // magic + eight u32 + two u64 + crc
+)
+
+// LeafPage marks a page holding leaf entries (clear = interior entries).
+const LeafPage uint16 = 1 << 0
+
+// ErrCorrupt reports a page file or manifest that failed an integrity
+// check: bad magic, checksum mismatch, truncated data, or implausible
+// header fields. Errors wrap it, so test with errors.Is.
+var ErrCorrupt = errors.New("pager: corrupt page file")
+
+// Manifest describes one committed page-file generation.
+type Manifest struct {
+	Generation uint64 // increments on every rewrite of the same path
+	PageSize   uint32
+	PageCount  uint32
+	RootPage   uint32
+	Dims       uint32
+	Height     uint32 // tree levels; 1 = root is a leaf
+	MinEntries uint32
+	MaxEntries uint32
+	Objects    uint64 // leaf entries reachable from the root
+}
+
+// ManifestPath returns the manifest path for a page file path.
+func ManifestPath(path string) string { return path + ".manifest" }
+
+func encodeManifest(m Manifest) []byte {
+	buf := make([]byte, manifestSize)
+	copy(buf, manifestMagic)
+	off := len(manifestMagic)
+	for _, v := range []uint32{version, m.PageSize, m.PageCount, m.RootPage, m.Dims, m.Height, m.MinEntries, m.MaxEntries} {
+		binary.LittleEndian.PutUint32(buf[off:], v)
+		off += 4
+	}
+	binary.LittleEndian.PutUint64(buf[off:], m.Generation)
+	binary.LittleEndian.PutUint64(buf[off+8:], m.Objects)
+	off += 16
+	binary.LittleEndian.PutUint32(buf[off:], crc32.ChecksumIEEE(buf[:off]))
+	return buf
+}
+
+func decodeManifest(buf []byte) (Manifest, error) {
+	var m Manifest
+	if len(buf) != manifestSize {
+		return m, fmt.Errorf("%w: manifest is %d bytes, want %d", ErrCorrupt, len(buf), manifestSize)
+	}
+	if string(buf[:len(manifestMagic)]) != manifestMagic {
+		return m, fmt.Errorf("%w: bad manifest magic", ErrCorrupt)
+	}
+	body := len(buf) - 4
+	if got, want := crc32.ChecksumIEEE(buf[:body]), binary.LittleEndian.Uint32(buf[body:]); got != want {
+		return m, fmt.Errorf("%w: manifest checksum mismatch", ErrCorrupt)
+	}
+	off := len(manifestMagic)
+	u32 := func() uint32 { v := binary.LittleEndian.Uint32(buf[off:]); off += 4; return v }
+	if v := u32(); v != version {
+		return m, fmt.Errorf("%w: unsupported manifest version %d", ErrCorrupt, v)
+	}
+	m.PageSize = u32()
+	m.PageCount = u32()
+	m.RootPage = u32()
+	m.Dims = u32()
+	m.Height = u32()
+	m.MinEntries = u32()
+	m.MaxEntries = u32()
+	m.Generation = binary.LittleEndian.Uint64(buf[off:])
+	m.Objects = binary.LittleEndian.Uint64(buf[off+8:])
+	if err := m.validate(); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// validate rejects manifests whose fields cannot describe a real page file.
+func (m Manifest) validate() error {
+	switch {
+	case m.PageSize < PageHeaderSize || m.PageSize > maxPageSize:
+		return fmt.Errorf("%w: implausible page size %d", ErrCorrupt, m.PageSize)
+	case m.PageCount == 0:
+		return fmt.Errorf("%w: zero pages", ErrCorrupt)
+	case m.RootPage >= m.PageCount:
+		return fmt.Errorf("%w: root page %d out of range (%d pages)", ErrCorrupt, m.RootPage, m.PageCount)
+	case m.Dims > 1<<16:
+		return fmt.Errorf("%w: implausible dims %d", ErrCorrupt, m.Dims)
+	case m.Height < 1 || m.Height > 64:
+		return fmt.Errorf("%w: implausible height %d", ErrCorrupt, m.Height)
+	case m.MaxEntries < 2 || m.MinEntries < 1 || m.MinEntries > m.MaxEntries:
+		return fmt.Errorf("%w: implausible node capacities min=%d max=%d", ErrCorrupt, m.MinEntries, m.MaxEntries)
+	case m.Objects > uint64(m.PageCount)*uint64(m.PageSize):
+		return fmt.Errorf("%w: implausible object count %d", ErrCorrupt, m.Objects)
+	}
+	return nil
+}
+
+// ReadManifest reads and validates the manifest for a page file path.
+func ReadManifest(path string) (Manifest, error) {
+	buf, err := os.ReadFile(ManifestPath(path))
+	if err != nil {
+		return Manifest{}, err
+	}
+	return decodeManifest(buf)
+}
+
+// Writer streams pages into a new page-file generation. Pages are written
+// sequentially (page ids are assigned in write order, starting at 0) into a
+// temporary file; Commit fsyncs it, renames it over the final path and then
+// atomically publishes the manifest — the manifest rename is the commit
+// point, exactly like checkpoints.
+type Writer struct {
+	path     string
+	tmp      string
+	f        *os.File
+	pageSize uint32
+	buf      []byte
+	pages    uint32
+	err      error
+}
+
+// NewWriter starts a page-file generation at path. pageSize is rounded up
+// to a PageAlign multiple; every page payload must fit in pageSize -
+// PageHeaderSize bytes.
+func NewWriter(path string, pageSize uint32) (*Writer, error) {
+	pageSize = RoundPageSize(pageSize)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{path: path, tmp: tmp, f: f, pageSize: pageSize, buf: make([]byte, pageSize)}, nil
+}
+
+// RoundPageSize rounds n up to the next PageAlign multiple (minimum one
+// alignment unit).
+func RoundPageSize(n uint32) uint32 {
+	if n < PageAlign {
+		return PageAlign
+	}
+	return (n + PageAlign - 1) / PageAlign * PageAlign
+}
+
+// PageSize returns the (rounded) page size the writer emits.
+func (w *Writer) PageSize() uint32 { return w.pageSize }
+
+// WritePage appends one page and returns its page id. The payload is padded
+// with zeros to the fixed page size and protected by the page CRC.
+func (w *Writer) WritePage(flags uint16, count uint16, payload []byte) (uint32, error) {
+	if w.err != nil {
+		return 0, w.err
+	}
+	if len(payload) > int(w.pageSize)-PageHeaderSize {
+		w.err = fmt.Errorf("pager: payload %d bytes exceeds page capacity %d", len(payload), w.pageSize-PageHeaderSize)
+		return 0, w.err
+	}
+	buf := w.buf
+	clear(buf)
+	binary.LittleEndian.PutUint16(buf[4:], flags)
+	binary.LittleEndian.PutUint16(buf[6:], count)
+	copy(buf[PageHeaderSize:], payload)
+	binary.LittleEndian.PutUint32(buf, crc32.ChecksumIEEE(buf[4:]))
+	if _, err := w.f.Write(buf); err != nil {
+		w.err = err
+		return 0, err
+	}
+	id := w.pages
+	w.pages++
+	return id, nil
+}
+
+// Commit durably publishes the generation: page file first, then manifest.
+// The writer fills in PageCount, PageSize and Generation (previous
+// generation at this path plus one).
+func (w *Writer) Commit(m Manifest) error {
+	if w.err != nil {
+		w.Abort()
+		return w.err
+	}
+	m.PageSize = w.pageSize
+	m.PageCount = w.pages
+	m.Generation = 1
+	if prev, err := ReadManifest(w.path); err == nil {
+		m.Generation = prev.Generation + 1
+	}
+	if err := m.validate(); err != nil {
+		w.Abort()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.Abort()
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		w.f = nil
+		w.Abort()
+		return err
+	}
+	w.f = nil
+	if err := os.Rename(w.tmp, w.path); err != nil {
+		w.Abort()
+		return err
+	}
+	if err := syncDir(filepath.Dir(w.path)); err != nil {
+		return err
+	}
+	return atomicWriteFile(ManifestPath(w.path), encodeManifest(m))
+}
+
+// Abort discards the in-progress generation.
+func (w *Writer) Abort() {
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	os.Remove(w.tmp)
+}
+
+// File is an open page-file generation: the manifest plus random-access,
+// CRC-checked page reads. Reads are safe for concurrent use.
+type File struct {
+	f *os.File
+	m Manifest
+}
+
+// Open validates the manifest, opens the page file and checks its size
+// matches pageCount × pageSize exactly.
+func Open(path string) (*File, error) {
+	m, err := ReadManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if want := int64(m.PageCount) * int64(m.PageSize); st.Size() != want {
+		f.Close()
+		return nil, fmt.Errorf("%w: page file is %d bytes, manifest wants %d", ErrCorrupt, st.Size(), want)
+	}
+	return &File{f: f, m: m}, nil
+}
+
+// Manifest returns the generation's manifest.
+func (f *File) Manifest() Manifest { return f.m }
+
+// ReadPage reads one page into buf (which must be PageSize bytes), checks
+// its CRC, and returns the flags, entry count and payload slice (aliasing
+// buf).
+func (f *File) ReadPage(page uint32, buf []byte) (flags uint16, count uint16, payload []byte, err error) {
+	if page >= f.m.PageCount {
+		return 0, 0, nil, fmt.Errorf("%w: page %d out of range (%d pages)", ErrCorrupt, page, f.m.PageCount)
+	}
+	if len(buf) != int(f.m.PageSize) {
+		return 0, 0, nil, fmt.Errorf("pager: read buffer is %d bytes, want %d", len(buf), f.m.PageSize)
+	}
+	if _, err := f.f.ReadAt(buf, int64(page)*int64(f.m.PageSize)); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			err = fmt.Errorf("%w: short read at page %d", ErrCorrupt, page)
+		}
+		return 0, 0, nil, err
+	}
+	if got, want := crc32.ChecksumIEEE(buf[4:]), binary.LittleEndian.Uint32(buf); got != want {
+		return 0, 0, nil, fmt.Errorf("%w: checksum mismatch at page %d", ErrCorrupt, page)
+	}
+	return binary.LittleEndian.Uint16(buf[4:]), binary.LittleEndian.Uint16(buf[6:]), buf[PageHeaderSize:], nil
+}
+
+// Close closes the page file.
+func (f *File) Close() error { return f.f.Close() }
+
+// atomicWriteFile writes data to path via temp file + fsync + rename +
+// directory sync (same discipline as checkpoint manifests).
+func atomicWriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed file is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some platforms cannot fsync directories; the rename itself is still
+	// atomic there, so tolerate the failure like the checkpoint writer.
+	_ = d.Sync()
+	return nil
+}

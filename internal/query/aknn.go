@@ -162,6 +162,9 @@ func (ix *Index) aknnInto(sc *scratch, dst []Result, s *snapshot, q *fuzzy.Objec
 	sc.buffer = r.buffer[:0] // keep grown capacity
 	out := r.results
 	r.results = nil
+	if err == nil {
+		err = ix.pagedErr()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -321,7 +324,7 @@ func (r *aknnRun) run() error {
 
 		case kindNode:
 			r.st.NodeAccesses++
-			r.expand(e.node)
+			r.expand(resolveNode(e.node, r.st))
 
 		case kindLeaf:
 			if !r.lazy {
@@ -386,13 +389,16 @@ func (ix *Index) LinearScanAKNN(q *fuzzy.Object, k int, alpha float64) ([]Result
 	cands := sc.idDists[:0]
 	// Scan the snapshot's population (not the live store) so the baseline
 	// stays consistent under concurrent mutation.
-	for _, id := range s.leafIDs() {
+	for _, id := range s.leafIDs(&st) {
 		obj, err := ix.getObject(id, &st)
 		if err != nil {
 			return nil, st, err
 		}
 		st.DistanceEvals++
 		cands = append(cands, idDist{id: id, d: sc.dist.Dist(obj)})
+	}
+	if err := ix.pagedErr(); err != nil {
+		return nil, st, err
 	}
 	sortIDDists(cands)
 	if len(cands) > k {
@@ -533,6 +539,9 @@ func (ix *Index) rangeSearch(sc *scratch, s *snapshot, q *fuzzy.Object, alpha, r
 			return nil, nil, err
 		}
 	}
+	if err := ix.pagedErr(); err != nil {
+		return nil, nil, err
+	}
 	return r.objs, r.dists, nil
 }
 
@@ -563,7 +572,7 @@ func (r *rangeRun) visit(n *rtree.Node) error {
 				r.dists[it.id] = d
 			}
 		} else if n.EntryMinDist(i, r.mq) <= r.radius {
-			if err := r.visit(ents[i].Child); err != nil {
+			if err := r.visit(resolveNode(ents[i].Child, r.st)); err != nil {
 				return err
 			}
 		}

@@ -115,6 +115,9 @@ func (ix *Index) ApplyBatch(inserts []*fuzzy.Object, deletes []uint64) ([]Stats,
 	if len(inserts)+len(deletes) == 0 {
 		return stats, nil
 	}
+	if ix.pageCache != nil {
+		return stats, fmt.Errorf("query: batch: %w: paged index is read-only", store.ErrReadOnly)
+	}
 	ix.writeMu.Lock()
 	defer ix.writeMu.Unlock()
 	prep, errs := ix.prepareBatch(inserts, deletes,
@@ -303,6 +306,7 @@ func (ix *Index) bulkRebuild(tree *rtree.Tree, inserts []*fuzzy.Object, items []
 	all := make([]rtree.BulkItem, 0, tree.Len()+len(inserts))
 	var walk func(n *rtree.Node)
 	walk = func(n *rtree.Node) {
+		n = n.Resolve(nil)
 		for _, e := range n.Entries() {
 			if n.Leaf() {
 				all = append(all, rtree.BulkItem{Rect: e.Rect, Data: e.Data})

@@ -43,7 +43,7 @@ func (ix *Index) expectedDistTopK(s *snapshot, q *fuzzy.Object, k int, st *Stats
 	sc := getScratch()
 	defer putScratch(sc)
 	cands := sc.idDists[:0]
-	for _, id := range s.leafIDs() {
+	for _, id := range s.leafIDs(st) {
 		obj, err := ix.getObject(id, st)
 		if err != nil {
 			return nil, err
@@ -64,5 +64,8 @@ func (ix *Index) expectedDistTopK(s *snapshot, q *fuzzy.Object, k int, st *Stats
 		out[i] = Result{ID: c.id, Dist: c.d, Exact: true, Lower: c.d, Upper: c.d}
 	}
 	sc.idDists = cands[:0]
+	if err := ix.pagedErr(); err != nil {
+		return nil, err
+	}
 	return out, nil
 }

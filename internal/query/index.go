@@ -31,6 +31,7 @@ import (
 
 	"fuzzyknn/internal/fuzzy"
 	"fuzzyknn/internal/geom"
+	"fuzzyknn/internal/pager"
 	"fuzzyknn/internal/rtree"
 	"fuzzyknn/internal/store"
 )
@@ -88,6 +89,14 @@ func (a RKNNAlgorithm) String() string {
 }
 
 // Stats instruments one query execution.
+//
+// NodeAccesses counts logical tree-node visits and is identical for
+// in-memory and paged execution of the same query over the same tree.
+// PageReads/PageCacheHits count the physical page faults behind those
+// visits on a paged index (both zero in-memory): a visit of a non-resident
+// node is one PageRead, a visit served by the block cache is one
+// PageCacheHit. Cache activity never inflates ObjectAccesses — that remains
+// purely the paper's store-probe metric.
 type Stats struct {
 	ObjectAccesses int           // store probes — the paper's primary metric
 	NodeAccesses   int           // R-tree nodes visited
@@ -96,6 +105,8 @@ type Stats struct {
 	AKNNCalls      int           // AKNN sub-searches issued (RKNN)
 	Candidates     int           // RKNN candidate set size after pruning
 	Pieces         int           // RKNN refinement iterations (plateaus)
+	PageReads      int           // index pages fetched from disk (block-cache misses)
+	PageCacheHits  int           // index page visits served by the block cache
 	Duration       time.Duration // wall time of the public call
 }
 
@@ -116,6 +127,8 @@ func (s *Stats) Add(o Stats) {
 	s.AKNNCalls += o.AKNNCalls
 	s.Candidates += o.Candidates
 	s.Pieces += o.Pieces
+	s.PageReads += o.PageReads
+	s.PageCacheHits += o.PageCacheHits
 	s.Duration += o.Duration
 }
 
@@ -175,6 +188,11 @@ type Index struct {
 	opts      Options
 	estimator func(*fuzzy.Object) fuzzy.MBREstimator
 
+	// pageCache is the block cache serving the tree's pages when the index
+	// is paged (OpenPagedIndex); nil for fully in-memory indexes. Paged
+	// indexes are read-only: their tree shape is bound to the page file.
+	pageCache *pager.Cache
+
 	// writeMu serializes Insert/Delete; readers never take it.
 	writeMu sync.Mutex
 	snap    atomic.Pointer[snapshot]
@@ -192,11 +210,13 @@ type snapshot struct {
 func (ix *Index) read() *snapshot { return ix.snap.Load() }
 
 // leafIDs returns the ids of every object in the snapshot, ascending. It is
-// the snapshot-consistent replacement for store.Reader.IDs.
-func (s *snapshot) leafIDs() []uint64 {
+// the snapshot-consistent replacement for store.Reader.IDs. Page faults on
+// paged trees are charged to st.
+func (s *snapshot) leafIDs(st *Stats) []uint64 {
 	out := make([]uint64, 0, s.tree.Len())
 	var walk func(n *rtree.Node)
 	walk = func(n *rtree.Node) {
+		n = resolveNode(n, st)
 		for _, e := range n.Entries() {
 			if n.Leaf() {
 				out = append(out, e.Data.(*leafItem).id)
@@ -298,7 +318,18 @@ func (ix *Index) Bounds() geom.Rect { return ix.read().tree.Bounds() }
 
 // CheckInvariants verifies the current snapshot's R-tree structure (entry
 // counts, MBR containment, uniform leaf depth); see rtree.CheckInvariants.
-func (ix *Index) CheckInvariants() error { return ix.read().tree.CheckInvariants() }
+// On a paged index the walk faults in every page, so it doubles as a full
+// integrity scan of the page file.
+func (ix *Index) CheckInvariants() error {
+	err := ix.read().tree.CheckInvariants()
+	if perr := ix.pagedErr(); perr != nil {
+		// A page that failed its CRC degrades to an empty frame, so the
+		// walk's structural complaint (stale MBRs, missing entries) is only
+		// a symptom — surface the root cause instead.
+		return perr
+	}
+	return err
+}
 
 // Stats reports the index's physical layout: a plain Index is one shard.
 func (ix *Index) Stats() IndexStats {
@@ -313,6 +344,10 @@ func (ix *Index) Stats() IndexStats {
 		if info, can := cp.CheckpointInfo(); can {
 			sh.Checkpoint = &info
 		}
+	}
+	if ix.pageCache != nil {
+		cs := ix.pageCache.Stats()
+		sh.PageCache = &cs
 	}
 	return IndexStats{Objects: sh.Objects, Dims: sh.Dims, Shards: []ShardStats{sh}}
 }
@@ -354,6 +389,9 @@ func (ix *Index) Insert(obj *fuzzy.Object) error {
 	if obj == nil {
 		return badArgf("query: insert: nil object")
 	}
+	if ix.pageCache != nil {
+		return fmt.Errorf("query: insert: %w: paged index is read-only", store.ErrReadOnly)
+	}
 	ix.writeMu.Lock()
 	defer ix.writeMu.Unlock()
 	s := ix.read()
@@ -384,6 +422,9 @@ func (ix *Index) Insert(obj *fuzzy.Object) error {
 func (ix *Index) Delete(id uint64) (Stats, error) {
 	started := time.Now()
 	var st Stats
+	if ix.pageCache != nil {
+		return st, fmt.Errorf("query: delete: %w: paged index is read-only", store.ErrReadOnly)
+	}
 	ix.writeMu.Lock()
 	defer ix.writeMu.Unlock()
 	s := ix.read()

@@ -199,6 +199,7 @@ func distanceJoinTrees(tk treePair, alpha, eps float64) ([]JoinPair, Stats, erro
 	var out []JoinPair
 	var walk func(a, b *rtree.Node) error
 	walk = func(a, b *rtree.Node) error {
+		a, b = resolveNode(a, &st), resolveNode(b, &st)
 		st.NodeAccesses++
 		switch {
 		case !a.Leaf() && !b.Leaf():
@@ -268,6 +269,12 @@ func distanceJoinTrees(tk treePair, alpha, eps float64) ([]JoinPair, Stats, erro
 			return nil, st, err
 		}
 	}
+	if err := left.pagedErr(); err != nil {
+		return nil, st, err
+	}
+	if err := right.pagedErr(); err != nil {
+		return nil, st, err
+	}
 	return out, st, nil
 }
 
@@ -309,6 +316,8 @@ func shardTrees(s Searcher) ([]*Index, error) {
 	switch v := s.(type) {
 	case *Index:
 		return []*Index{v}, nil
+	case *PagedIndex:
+		return []*Index{v.Index}, nil
 	case *ShardedIndex:
 		return v.shards, nil
 	}
@@ -433,6 +442,7 @@ func kClosestPairsTrees(tk treePair, k int, alpha float64) ([]JoinPair, Stats, e
 
 	// expand enumerates an entry's children as pair sides at threshold α.
 	children := func(n *rtree.Node) []pairSide {
+		n = resolveNode(n, &st)
 		st.NodeAccesses++
 		out := make([]pairSide, 0, len(n.Entries()))
 		for _, e := range n.Entries() {
@@ -498,6 +508,12 @@ func kClosestPairsTrees(tk treePair, k int, alpha float64) ([]JoinPair, Stats, e
 				}
 			}
 		}
+	}
+	if err := left.pagedErr(); err != nil {
+		return nil, st, err
+	}
+	if err := right.pagedErr(); err != nil {
+		return nil, st, err
 	}
 	return results, st, nil
 }

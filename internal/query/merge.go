@@ -98,7 +98,7 @@ func (c *nnCursor) next() (r Result, ok bool, err error) {
 			return Result{ID: e.id, Dist: e.dist, Exact: true, Lower: e.dist, Upper: e.dist}, true, nil
 		case kindNode:
 			c.st.NodeAccesses++
-			n := e.node
+			n := resolveNode(e.node, &c.st)
 			ents := n.Entries()
 			if n.Leaf() {
 				for i := range ents {
@@ -126,6 +126,9 @@ func (c *nnCursor) next() (r Result, ok bool, err error) {
 			d := c.sc.dist.Dist(obj)
 			c.h.Push(pqItem{key: d, kind: kindObject, id: e.item.id, dist: d})
 		}
+	}
+	if err := c.ix.pagedErr(); err != nil {
+		return Result{}, false, err
 	}
 	return Result{}, false, nil
 }
@@ -250,6 +253,11 @@ func mergeAKNN(streams []*shardStream, k int, st *Stats) ([]Result, error) {
 	}
 	for _, s := range streams {
 		addParallel(st, s.cur.st)
+		// A shard whose page cache failed mid-stream emitted a truncated
+		// stream; surface that instead of a silently incomplete answer.
+		if err := s.cur.ix.pagedErr(); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,351 @@
+package query
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/geom"
+	"fuzzyknn/internal/hull"
+	"fuzzyknn/internal/pager"
+	"fuzzyknn/internal/rtree"
+	"fuzzyknn/internal/store"
+)
+
+// Paged indexes: the R-tree is serialized into fixed-size CRC'd pages (one
+// node per page, ids assigned in pre-order so every child page id exceeds
+// its parent's — page graphs are acyclic by construction) and served
+// through a block cache. OpenPagedIndex keeps only the root node resident;
+// interior entries hold stub nodes that traversals resolve on visit, so
+// best-first search faults in exactly the pages its priority order reaches.
+//
+// The page payloads reuse the summary-file record layout for leaves (id,
+// support/kernel MBRs, boundary lines, representative point — bitwise
+// identical floats), and interior records are the exact entry MBR plus the
+// child's page id. Because the serialized tree preserves the in-memory tree
+// shape node for node, a paged index returns byte-identical answers and
+// identical NodeAccesses counts; only the new PageReads/PageCacheHits stats
+// differ from zero.
+
+// ErrPagedMismatch reports a page file that does not describe the given
+// store (different dimensionality or object count).
+var ErrPagedMismatch = errors.New("query: page file does not match store")
+
+// interiorRecordSize is the fixed per-entry record size of interior pages:
+// the entry MBR plus the child page id.
+func interiorRecordSize(d int) int { return 2*d*8 + 4 }
+
+// pagePayloadSize returns the payload capacity one node needs at the given
+// dimensionality and fan-out.
+func pagePayloadSize(d, maxEntries int) int {
+	rec := summaryRecordSize(d)
+	if ir := interiorRecordSize(d); ir > rec {
+		rec = ir
+	}
+	return rec * maxEntries
+}
+
+// SavePaged serializes the current snapshot's R-tree to a page file at path
+// (manifest at path+".manifest") via the temp+fsync+rename discipline. Like
+// SaveSummaries it requires the default boundary estimator — only the
+// paper's linear approximation has a persistent form. The saved tree keeps
+// the snapshot's exact shape, so OpenPagedIndex serves byte-identical
+// answers with identical node-access counts.
+func (ix *Index) SavePaged(path string) error {
+	s := ix.read()
+	d := s.dims
+	tree := s.tree
+
+	// Number nodes in pre-order, resolving any page-backed nodes once and
+	// retaining them until their page is written.
+	type savedNode struct {
+		n        *rtree.Node
+		children []uint32
+	}
+	var nodes []savedNode
+	var visit func(n *rtree.Node) uint32
+	visit = func(n *rtree.Node) uint32 {
+		id := uint32(len(nodes))
+		nodes = append(nodes, savedNode{n: n})
+		if !n.Leaf() {
+			kids := make([]uint32, len(n.Entries()))
+			for i, e := range n.Entries() {
+				kids[i] = visit(e.Child.Resolve(nil))
+			}
+			nodes[id].children = kids
+		}
+		return id
+	}
+	visit(tree.Root().Resolve(nil))
+
+	min, max := ix.opts.MinEntries, tree.MaxEntries()
+	if min == 0 {
+		min = rtree.DefaultMinEntries
+	}
+	if min > max {
+		min = max
+	}
+	w, err := pager.NewWriter(path, uint32(pager.PageHeaderSize+pagePayloadSize(d, max)))
+	if err != nil {
+		return err
+	}
+	payload := make([]byte, 0, pagePayloadSize(d, max))
+	appendFloat := func(v float64) { payload = binary.LittleEndian.AppendUint64(payload, math.Float64bits(v)) }
+	appendRect := func(r geom.Rect) {
+		for i := 0; i < d; i++ {
+			appendFloat(r.Lo[i])
+		}
+		for i := 0; i < d; i++ {
+			appendFloat(r.Hi[i])
+		}
+	}
+	for _, sn := range nodes {
+		payload = payload[:0]
+		flags := uint16(0)
+		ents := sn.n.Entries()
+		if sn.n.Leaf() {
+			flags = pager.LeafPage
+			for _, e := range ents {
+				it := e.Data.(*leafItem)
+				ba, ok := it.approx.(*fuzzy.BoundaryApprox)
+				if !ok {
+					w.Abort()
+					return fmt.Errorf("query: save paged: object %d uses a non-persistable estimator %T", it.id, it.approx)
+				}
+				payload = binary.LittleEndian.AppendUint64(payload, it.id)
+				appendRect(ba.Support)
+				appendRect(ba.Kernel)
+				for i := 0; i < d; i++ {
+					appendFloat(ba.HiLine[i].M)
+					appendFloat(ba.HiLine[i].T)
+				}
+				for i := 0; i < d; i++ {
+					appendFloat(ba.LoLine[i].M)
+					appendFloat(ba.LoLine[i].T)
+				}
+				for i := 0; i < d; i++ {
+					appendFloat(it.rep[i])
+				}
+			}
+		} else {
+			for i, e := range ents {
+				appendRect(e.Rect)
+				payload = binary.LittleEndian.AppendUint32(payload, sn.children[i])
+			}
+		}
+		if _, err := w.WritePage(flags, uint16(len(ents)), payload); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	return w.Commit(pager.Manifest{
+		RootPage:   0,
+		Dims:       uint32(d),
+		Height:     uint32(tree.Height()),
+		MinEntries: uint32(min),
+		MaxEntries: uint32(max),
+		Objects:    uint64(tree.Len()),
+	})
+}
+
+// decodePage turns one page into a node frame. Interior child references
+// must point strictly forward (pre-order ids), which makes cycles — and
+// therefore unbounded traversals over a corrupt file — structurally
+// impossible.
+func decodePage(src rtree.NodeSource, d int, pageCount uint32, page uint32, flags uint16, count uint16, payload []byte) (*rtree.Node, error) {
+	leaf := flags&pager.LeafPage != 0
+	rec := interiorRecordSize(d)
+	if leaf {
+		rec = summaryRecordSize(d)
+	}
+	if int(count)*rec > len(payload) {
+		return nil, fmt.Errorf("%w: page %d holds %d records of %d bytes beyond its payload", pager.ErrCorrupt, page, count, rec)
+	}
+	pos := 0
+	readFloat := func() float64 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(payload[pos:]))
+		pos += 8
+		return v
+	}
+	readRect := func() geom.Rect {
+		lo := make(geom.Point, d)
+		hi := make(geom.Point, d)
+		for i := 0; i < d; i++ {
+			lo[i] = readFloat()
+		}
+		for i := 0; i < d; i++ {
+			hi[i] = readFloat()
+		}
+		return geom.Rect{Lo: lo, Hi: hi}
+	}
+	readLines := func() []hull.Line {
+		ls := make([]hull.Line, d)
+		for i := 0; i < d; i++ {
+			ls[i].M = readFloat()
+			ls[i].T = readFloat()
+		}
+		return ls
+	}
+	entries := make([]rtree.Entry, count)
+	for i := range entries {
+		if leaf {
+			id := binary.LittleEndian.Uint64(payload[pos:])
+			pos += 8
+			approx := &fuzzy.BoundaryApprox{
+				Support: readRect(),
+				Kernel:  readRect(),
+				HiLine:  readLines(),
+				LoLine:  readLines(),
+			}
+			rep := make(geom.Point, d)
+			for j := 0; j < d; j++ {
+				rep[j] = readFloat()
+			}
+			entries[i] = rtree.Entry{
+				Rect: approx.Support,
+				Data: &leafItem{id: id, approx: approx, rep: rep},
+			}
+		} else {
+			r := readRect()
+			child := binary.LittleEndian.Uint32(payload[pos:])
+			pos += 4
+			if child <= page || child >= pageCount {
+				return nil, fmt.Errorf("%w: page %d references child page %d (must be in (%d, %d))", pager.ErrCorrupt, page, child, page, pageCount)
+			}
+			entries[i] = rtree.Entry{Rect: r, Child: rtree.NewStub(src, child)}
+		}
+	}
+	return rtree.NewFrame(leaf, entries), nil
+}
+
+// PagedIndex is an Index served from a page file through a block cache
+// instead of a fully resident tree. It implements the complete Searcher
+// interface (the query machinery is shared with in-memory indexes via stub
+// resolution); mutations are rejected with store.ErrReadOnly. Close
+// releases the page file.
+type PagedIndex struct {
+	*Index
+	file *pager.File
+}
+
+var _ Searcher = (*PagedIndex)(nil)
+
+// OpenPagedIndex serves the page file at path over st's objects through a
+// block cache holding at most cacheBytes of pages. Only the root page is
+// loaded (and pinned); everything else faults in on first touch. The store
+// must match the page file's dimensionality, and the manifest's object
+// count must equal expectObjects (pass -1 for st.Len() — a shard of a
+// partitioned index passes its partition's population instead, since the
+// store is shared). opts must use the default estimator — page files only
+// encode the paper's linear boundary approximation.
+func OpenPagedIndex(st store.Reader, path string, cacheBytes int64, expectObjects int, opts Options) (*PagedIndex, error) {
+	if opts.Estimator != nil {
+		return nil, badArgf("query: open paged: custom estimators have no persistent form")
+	}
+	f, err := pager.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	m := f.Manifest()
+	if st.Len() > 0 && int(m.Dims) != st.Dims() {
+		f.Close()
+		return nil, fmt.Errorf("%w: dims %d vs store %d", ErrPagedMismatch, m.Dims, st.Dims())
+	}
+	if expectObjects < 0 {
+		expectObjects = st.Len()
+	}
+	if int(m.Objects) != expectObjects {
+		f.Close()
+		return nil, fmt.Errorf("%w: %d indexed objects for %d expected", ErrPagedMismatch, m.Objects, expectObjects)
+	}
+	opts = opts.withDefaults()
+	opts.MinEntries, opts.MaxEntries = int(m.MinEntries), int(m.MaxEntries)
+
+	d := int(m.Dims)
+	var cache *pager.Cache
+	decode := func(page uint32, flags uint16, count uint16, payload []byte) (*rtree.Node, error) {
+		return decodePage(cache, d, m.PageCount, page, flags, count, payload)
+	}
+	cache = pager.NewCache(f, cacheBytes, decode)
+	cache.Pin(m.RootPage) // the root stays resident for the index lifetime
+	root, _ := cache.Load(m.RootPage)
+	if err := cache.Err(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	tree := rtree.NewPagedTree(root, int(m.Height), int(m.Objects), int(m.MinEntries), int(m.MaxEntries))
+	ix := newIndex(tree, st, opts)
+	ix.pageCache = cache
+	return &PagedIndex{Index: ix, file: f}, nil
+}
+
+// Close releases the page file. In-flight queries on old snapshots must
+// have drained.
+func (p *PagedIndex) Close() error { return p.file.Close() }
+
+// Generation returns the page file generation being served.
+func (p *PagedIndex) Generation() uint64 { return p.file.Manifest().Generation }
+
+// CacheStats returns the block cache counters.
+func (p *PagedIndex) CacheStats() pager.CacheStats { return p.Index.pageCache.Stats() }
+
+// resolveNode returns a node's decoded form, charging any page fault to the
+// query's stats: a cache miss is one page read, a cache hit is free I/O but
+// still recorded so hit ratios are observable per query. In-memory nodes
+// cost one nil check.
+func resolveNode(n *rtree.Node, st *Stats) *rtree.Node {
+	src := n.Source()
+	if src == nil {
+		return n
+	}
+	rn, hit := src.Load(n.Page())
+	if hit {
+		st.PageCacheHits++
+	} else {
+		st.PageReads++
+	}
+	return rn
+}
+
+// pagedErr surfaces the block cache's sticky failure so a degraded
+// traversal (a page that failed its CRC or could not be read resolves to an
+// empty node) reports an error instead of a silently truncated answer.
+func (ix *Index) pagedErr() error {
+	if ix.pageCache == nil {
+		return nil
+	}
+	if err := ix.pageCache.Err(); err != nil {
+		return fmt.Errorf("query: paged read failed: %w", err)
+	}
+	return nil
+}
+
+// CacheStatsOf exposes a searcher's block-cache counters, aggregated across
+// shards; ok is false for fully in-memory searchers.
+func CacheStatsOf(s Searcher) (cs pager.CacheStats, ok bool) {
+	add := func(ix *Index) {
+		if ix.pageCache == nil {
+			return
+		}
+		st := ix.pageCache.Stats()
+		cs.Hits += st.Hits
+		cs.Misses += st.Misses
+		cs.Evictions += st.Evictions
+		cs.ResidentBytes += st.ResidentBytes
+		cs.CapacityBytes += st.CapacityBytes
+		ok = true
+	}
+	switch v := s.(type) {
+	case *Index:
+		add(v)
+	case *PagedIndex:
+		add(v.Index)
+	case *ShardedIndex:
+		for _, sh := range v.shards {
+			add(sh)
+		}
+	}
+	return cs, ok
+}

@@ -1,0 +1,511 @@
+package query
+
+import (
+	"errors"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/pager"
+	"fuzzyknn/internal/store"
+)
+
+// pagedPair is one equivalence fixture: the same dataset served fully
+// in-memory and through a page file with a deliberately tiny block cache,
+// at the same shard count.
+type pagedPair struct {
+	mem     Searcher
+	paged   Searcher
+	closers []interface{ Close() error }
+}
+
+func (p *pagedPair) close() {
+	for _, c := range p.closers {
+		c.Close()
+	}
+}
+
+// tinyCache forces mid-query evictions: room for three pages per shard on
+// trees dozens of pages deep.
+const tinyCache = 3 * pager.PageAlign
+
+func newPagedPair(t testing.TB, seed uint64, n, shards int, cacheBytes int64) *pagedPair {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(seed, seed^0xfeed))
+	objs := makeObjects(rng, n, 10, 12, 8)
+	ms, err := store.NewMemStore(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{MinEntries: 2, MaxEntries: 4}
+	dir := t.TempDir()
+	p := &pagedPair{}
+	if shards <= 1 {
+		ix, err := Build(ms, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "index.fzp")
+		if err := ix.SavePaged(path); err != nil {
+			t.Fatal(err)
+		}
+		px, err := OpenPagedIndex(ms, path, cacheBytes, -1, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.mem, p.paged = ix, px
+		p.closers = append(p.closers, px)
+		return p
+	}
+	sx, err := BuildSharded(ms, shards, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pagedShards := make([]*Index, shards)
+	for i := 0; i < shards; i++ {
+		sh := sx.Shard(i)
+		path := filepath.Join(dir, "index.fzp.shard"+string(rune('0'+i)))
+		if err := sh.SavePaged(path); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		px, err := OpenPagedIndex(ms, path, cacheBytes, sh.Len(), opts)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		pagedShards[i] = px.Index
+		p.closers = append(p.closers, px)
+	}
+	psx, err := NewSharded(pagedShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.mem, p.paged = sx, psx
+	return p
+}
+
+// assertSameAnswers compares results and logical cost counters between the
+// in-memory and paged runs of one query. The paged side must return
+// byte-identical answers, visit the same nodes and probe the same objects —
+// block-cache activity shows up only in the page counters.
+func assertSameAnswers[R any](t *testing.T, label string, want, got []R, wantSt, gotSt Stats) {
+	t.Helper()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%s: paged answers differ\n mem: %+v\npaged: %+v", label, want, got)
+	}
+	if wantSt.NodeAccesses != gotSt.NodeAccesses {
+		t.Fatalf("%s: node accesses %d (mem) vs %d (paged)", label, wantSt.NodeAccesses, gotSt.NodeAccesses)
+	}
+	if wantSt.ObjectAccesses != gotSt.ObjectAccesses {
+		t.Fatalf("%s: object accesses %d (mem) vs %d (paged) — cache activity must not change the paper's accounting", label, wantSt.ObjectAccesses, gotSt.ObjectAccesses)
+	}
+	if wantSt.DistanceEvals != gotSt.DistanceEvals {
+		t.Fatalf("%s: distance evals %d (mem) vs %d (paged)", label, wantSt.DistanceEvals, gotSt.DistanceEvals)
+	}
+	if wantSt.PageReads != 0 || wantSt.PageCacheHits != 0 {
+		t.Fatalf("%s: in-memory run charged page I/O: %+v", label, wantSt)
+	}
+}
+
+func TestPagedEquivalence(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		p := newPagedPair(t, 42, 120, shards, tinyCache)
+		defer p.close()
+		rng := rand.New(rand.NewPCG(7, 11))
+		pagedIO := 0
+		for qi := 0; qi < 3; qi++ {
+			q := makeQuery(rng, 12, 12, 8)
+			label := func(s string) string {
+				return s + "/shards=" + string(rune('0'+shards))
+			}
+
+			for _, algo := range []AKNNAlgorithm{Basic, LB, LBLP, LBLPUB} {
+				want, wantSt, err := p.mem.AKNN(q, 5, 0.5, algo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, gotSt, err := p.paged.AKNN(q, 5, 0.5, algo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameAnswers(t, label("aknn/"+algo.String()), want, got, wantSt, gotSt)
+				pagedIO += gotSt.PageReads + gotSt.PageCacheHits
+			}
+			for _, algo := range []RKNNAlgorithm{Naive, BasicRKNN, RSS, RSSICR} {
+				want, wantSt, err := p.mem.RKNN(q, 4, 0.2, 0.8, algo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, gotSt, err := p.paged.RKNN(q, 4, 0.2, 0.8, algo)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameAnswers(t, label("rknn/"+algo.String()), want, got, wantSt, gotSt)
+				pagedIO += gotSt.PageReads + gotSt.PageCacheHits
+			}
+			{
+				want, wantSt, err := p.mem.RangeSearch(q, 0.5, 6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, gotSt, err := p.paged.RangeSearch(q, 0.5, 6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameAnswers(t, label("range"), want, got, wantSt, gotSt)
+			}
+			{
+				want, wantSt, err := p.mem.ReverseKNN(q, 3, 0.5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, gotSt, err := p.paged.ReverseKNN(q, 3, 0.5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameAnswers(t, label("reverse"), want, got, wantSt, gotSt)
+			}
+			{
+				want, wantSt, err := p.mem.ExpectedDistKNN(q, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, gotSt, err := p.paged.ExpectedDistKNN(q, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameAnswers(t, label("eknn"), want, got, wantSt, gotSt)
+			}
+			{
+				want, wantSt, err := p.mem.LinearScanAKNN(q, 5, 0.5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, gotSt, err := p.paged.LinearScanAKNN(q, 5, 0.5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameAnswers(t, label("linear"), want, got, wantSt, gotSt)
+			}
+		}
+		// Joins, including a self-join.
+		{
+			want, wantSt, err := DistanceJoin(p.mem, p.mem, 0.5, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotSt, err := DistanceJoin(p.paged, p.paged, 0.5, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameAnswers(t, "join", want, got, wantSt, gotSt)
+		}
+		{
+			want, wantSt, err := KClosestPairs(p.mem, p.mem, 8, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotSt, err := KClosestPairs(p.paged, p.paged, 8, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameAnswers(t, "pairs", want, got, wantSt, gotSt)
+		}
+
+		if pagedIO == 0 {
+			t.Fatal("paged queries reported no page I/O at all")
+		}
+		cs, ok := CacheStatsOf(p.paged)
+		if !ok {
+			t.Fatal("paged searcher reports no cache stats")
+		}
+		if cs.Misses == 0 || cs.Hits == 0 {
+			t.Fatalf("cache never exercised: %+v", cs)
+		}
+		if cs.Evictions == 0 {
+			t.Fatalf("tiny cache never evicted: %+v", cs)
+		}
+		if cs.ResidentBytes > cs.CapacityBytes {
+			t.Fatalf("resident bytes %d exceed capacity %d", cs.ResidentBytes, cs.CapacityBytes)
+		}
+		if _, ok := CacheStatsOf(p.mem); ok {
+			t.Fatal("in-memory searcher claims cache stats")
+		}
+		if err := p.paged.(interface{ CheckInvariants() error }).CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPagedIndexIsReadOnly(t *testing.T) {
+	p := newPagedPair(t, 5, 40, 1, tinyCache)
+	defer p.close()
+	o := makeObjectsWithBase(rand.New(rand.NewPCG(1, 2)), 9000, 1, 8, 12, 8)[0]
+	if err := p.paged.Insert(o); !errors.Is(err, store.ErrReadOnly) {
+		t.Fatalf("Insert: %v, want ErrReadOnly", err)
+	}
+	if _, err := p.paged.Delete(1); !errors.Is(err, store.ErrReadOnly) {
+		t.Fatalf("Delete: %v, want ErrReadOnly", err)
+	}
+	if _, err := p.paged.ApplyBatch([]*fuzzy.Object{o}, nil); !errors.Is(err, store.ErrReadOnly) {
+		t.Fatalf("ApplyBatch: %v, want ErrReadOnly", err)
+	}
+}
+
+// TestPagedResave covers saving a page file from an already-paged index
+// (stub resolution during the save walk): the second generation must serve
+// the same answers.
+func TestPagedResave(t *testing.T) {
+	p := newPagedPair(t, 9, 60, 1, tinyCache)
+	defer p.close()
+	px := p.paged.(*PagedIndex)
+	path2 := filepath.Join(t.TempDir(), "resaved.fzp")
+	if err := px.SavePaged(path2); err != nil {
+		t.Fatal(err)
+	}
+	ms := pagedStoreOf(t, p)
+	px2, err := OpenPagedIndex(ms, path2, tinyCache, -1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px2.Close()
+	if g := px2.Generation(); g != 1 {
+		t.Fatalf("fresh path generation %d, want 1", g)
+	}
+	q := makeQuery(rand.New(rand.NewPCG(3, 4)), 12, 12, 8)
+	want, _, err := p.mem.AKNN(q, 5, 0.5, Basic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := px2.AKNN(q, 5, 0.5, Basic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("resaved index answers differ:\n%+v\n%+v", want, got)
+	}
+}
+
+// pagedStoreOf digs the fixture's store back out via the index under test.
+func pagedStoreOf(t *testing.T, p *pagedPair) store.Reader {
+	t.Helper()
+	return p.paged.(*PagedIndex).Index.store
+}
+
+func TestPagedMismatchRejected(t *testing.T) {
+	p := newPagedPair(t, 13, 30, 1, tinyCache)
+	defer p.close()
+	path := filepath.Join(t.TempDir(), "other.fzp")
+	if err := p.mem.(*Index).SavePaged(path); err != nil {
+		t.Fatal(err)
+	}
+	// A store with a different population must be rejected.
+	other, err := store.NewMemStore(makeObjects(rand.New(rand.NewPCG(8, 8)), 7, 8, 12, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPagedIndex(other, path, tinyCache, -1, Options{}); !errors.Is(err, ErrPagedMismatch) {
+		t.Fatalf("mismatched store: %v, want ErrPagedMismatch", err)
+	}
+	// Custom estimators have no persistent form.
+	opts := Options{Estimator: func(o *fuzzy.Object) fuzzy.MBREstimator { return fuzzy.NewStaircaseApprox(o, 4) }}
+	if _, err := OpenPagedIndex(pagedStoreOf(t, p), path, tinyCache, -1, opts); !errors.Is(err, ErrInvalidArgument) {
+		t.Fatalf("custom estimator: %v, want ErrInvalidArgument", err)
+	}
+}
+
+// TestPagedCorruptionFailsLoudly flips one payload byte in a non-root page:
+// opening still succeeds (the root is intact), but any query that touches
+// the damaged page must return an error — never a silently truncated
+// answer.
+func TestPagedCorruptionFailsLoudly(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	objs := makeObjects(rng, 80, 10, 12, 8)
+	ms, err := store.NewMemStore(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(ms, Options{MinEntries: 2, MaxEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corrupt.fzp")
+	if err := ix.SavePaged(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pager.ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PageCount < 3 {
+		t.Fatalf("fixture too small: %d pages", m.PageCount)
+	}
+	data[2*int(m.PageSize)+pager.PageHeaderSize] ^= 0xff // page 2's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	px, err := OpenPagedIndex(ms, path, tinyCache, -1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer px.Close()
+	q := makeQuery(rng, 12, 12, 8)
+	// The linear scan walks every leaf, so it must cross the bad page.
+	if _, _, err := px.LinearScanAKNN(q, 5, 0.5); !errors.Is(err, pager.ErrCorrupt) {
+		t.Fatalf("linear scan over corrupt page: %v, want ErrCorrupt", err)
+	}
+	// The failure is sticky: every later query keeps reporting it.
+	if _, _, err := px.AKNN(q, 5, 0.5, Basic); !errors.Is(err, pager.ErrCorrupt) {
+		t.Fatalf("AKNN after sticky failure: %v, want ErrCorrupt", err)
+	}
+	if err := px.CheckInvariants(); !errors.Is(err, pager.ErrCorrupt) {
+		t.Fatalf("CheckInvariants: %v, want ErrCorrupt", err)
+	}
+}
+
+// FuzzPagedReopen feeds arbitrary page-file and manifest bytes into
+// OpenPagedIndex: every outcome must be a typed error or a queryable index,
+// never a panic. Seeds mutate every manifest field (one per u32/u64 slot
+// plus magic and checksum) and truncate the page file at page boundaries.
+func FuzzPagedReopen(f *testing.F) {
+	rng := rand.New(rand.NewPCG(31, 32))
+	objs := makeObjects(rng, 24, 8, 12, 8)
+	ms, err := store.NewMemStore(objs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ix, err := Build(ms, Options{MinEntries: 2, MaxEntries: 4})
+	if err != nil {
+		f.Fatal(err)
+	}
+	base := filepath.Join(f.TempDir(), "seed.fzp")
+	if err := ix.SavePaged(base); err != nil {
+		f.Fatal(err)
+	}
+	pageBytes, err := os.ReadFile(base)
+	if err != nil {
+		f.Fatal(err)
+	}
+	manBytes, err := os.ReadFile(pager.ManifestPath(base))
+	if err != nil {
+		f.Fatal(err)
+	}
+	m, err := pager.ReadManifest(base)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Add(pageBytes, manBytes) // the intact generation
+	// One seed per manifest field: magic, version, pageSize, pageCount,
+	// rootPage, dims, height, minEntries, maxEntries, generation, objects,
+	// and the trailing checksum.
+	for _, off := range []int{0, 8, 12, 16, 20, 24, 28, 32, 36, 40, 48, 56} {
+		mut := append([]byte(nil), manBytes...)
+		mut[off] ^= 0xff
+		f.Add(pageBytes, mut)
+	}
+	// Truncations at every page boundary, including the empty file.
+	for n := 0; n <= int(m.PageCount); n++ {
+		f.Add(append([]byte(nil), pageBytes[:n*int(m.PageSize)]...), manBytes)
+	}
+	// A torn write inside one page.
+	flip := append([]byte(nil), pageBytes...)
+	flip[int(m.PageSize)+pager.PageHeaderSize+3] ^= 0x80
+	f.Add(flip, manBytes)
+
+	q := makeQuery(rng, 8, 12, 8)
+	f.Fuzz(func(t *testing.T, page, man []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.fzp")
+		if err := os.WriteFile(path, page, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(pager.ManifestPath(path), man, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		px, err := OpenPagedIndex(ms, path, tinyCache, -1, Options{})
+		if err != nil {
+			if !errors.Is(err, pager.ErrCorrupt) && !errors.Is(err, ErrPagedMismatch) {
+				t.Fatalf("untyped open error: %v", err)
+			}
+			return
+		}
+		defer px.Close()
+		// The file opened: queries may fail loudly (CRC-collision pages,
+		// dangling object ids) but must never panic or hang; bounded
+		// traversals are guaranteed by the forward-only child check.
+		if res, _, err := px.AKNN(q, 3, 0.5, Basic); err == nil {
+			for i := 1; i < len(res); i++ {
+				if res[i].Dist < res[i-1].Dist {
+					t.Fatalf("unsorted AKNN answer from accepted file: %+v", res)
+				}
+			}
+		}
+		_, _, _ = px.RKNN(q, 2, 0.3, 0.7, RSSICR)
+		_ = px.CheckInvariants()
+	})
+}
+
+// BenchmarkPagedAKNN measures paged query latency as the block cache
+// shrinks from holding the whole index to 5% of it, against the in-memory
+// tree as the reference. CI's bench gate watches the warm full-cache case.
+func BenchmarkPagedAKNN(b *testing.B) {
+	rng := rand.New(rand.NewPCG(77, 78))
+	objs := makeObjects(rng, 2000, 8, 100, 0)
+	ms, err := store.NewMemStore(objs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := Build(ms, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.fzp")
+	if err := ix.SavePaged(path); err != nil {
+		b.Fatal(err)
+	}
+	m, err := pager.ReadManifest(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := int64(m.PageCount) * int64(m.PageSize)
+	q := makeQuery(rng, 8, 100, 0)
+
+	run := func(b *testing.B, s Searcher) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := s.AKNN(q, 10, 0.5, LBLPUB); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("mem", func(b *testing.B) { run(b, ix) })
+	for _, c := range []struct {
+		name string
+		pct  int64
+	}{{"cache=100pct", 100}, {"cache=25pct", 25}, {"cache=5pct", 5}} {
+		b.Run(c.name, func(b *testing.B) {
+			px, err := OpenPagedIndex(ms, path, total*c.pct/100, -1, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer px.Close()
+			if _, _, err := px.AKNN(q, 10, 0.5, LBLPUB); err != nil { // warm
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			run(b, px)
+			b.StopTimer()
+			cs := px.CacheStats()
+			if cs.Hits+cs.Misses > 0 {
+				b.ReportMetric(float64(cs.Hits)/float64(cs.Hits+cs.Misses), "hit-ratio")
+			}
+		})
+	}
+}

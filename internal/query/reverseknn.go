@@ -123,12 +123,16 @@ func (ix *Index) reverseCandidates(sc *scratch, s *snapshot, q *fuzzy.Object, k 
 			cands = append(cands, revCandidate{obj: a, dist: dq, closer: closer})
 		}
 	}
+	if err := ix.pagedErr(); err != nil {
+		return nil, err
+	}
 	return cands, nil
 }
 
 // collectLeafItems appends every leaf item below n to dst, charging node
 // accesses to st.
 func collectLeafItems(dst []*leafItem, n *rtree.Node, st *Stats) []*leafItem {
+	n = resolveNode(n, st)
 	if len(n.Entries()) == 0 {
 		return dst
 	}
@@ -179,6 +183,9 @@ func (ix *Index) countCloser(sc *scratch, s *snapshot, a *fuzzy.Object, alpha, r
 			return 0, err
 		}
 	}
+	if err := ix.pagedErr(); err != nil {
+		return 0, err
+	}
 	return r.count, nil
 }
 
@@ -208,7 +215,7 @@ func (r *closerRun) visit(n *rtree.Node) error {
 				r.count++
 			}
 		} else if n.EntryMinDist(i, r.ma) <= r.radius {
-			if err := r.visit(ents[i].Child); err != nil {
+			if err := r.visit(resolveNode(ents[i].Child, r.st)); err != nil {
 				return err
 			}
 		}

@@ -64,6 +64,9 @@ func (ix *Index) RKNNAppend(dst []RangedResult, q *fuzzy.Object, k int, alphaSta
 	default:
 		err = badArgf("query: unknown RKNN algorithm %d", int(algo))
 	}
+	if err == nil {
+		err = ix.pagedErr()
+	}
 	if err != nil {
 		return dst, sc.stats, err
 	}
@@ -235,7 +238,7 @@ func (c *rknnCtx) naive() error {
 	// Collect the global level universe; the naive method pays for reading
 	// every object (of the snapshot, so the result is churn-consistent).
 	var levels []float64
-	for _, id := range c.snap.leafIDs() {
+	for _, id := range c.snap.leafIDs(c.st) {
 		o, err := c.object(id)
 		if err != nil {
 			return err

@@ -2,6 +2,7 @@ package query
 
 import (
 	"fuzzyknn/internal/fuzzy"
+	"fuzzyknn/internal/pager"
 	"fuzzyknn/internal/store"
 )
 
@@ -86,6 +87,9 @@ type ShardStats struct {
 	// Checkpoint is the shard store's checkpoint state; nil when the store
 	// cannot checkpoint (in-memory or immutable stores).
 	Checkpoint *store.CheckpointInfo
+	// PageCache is the shard's block-cache state; nil for fully in-memory
+	// shards.
+	PageCache *pager.CacheStats
 }
 
 // IndexStats describes an index's physical layout.

@@ -154,7 +154,7 @@ func (sx *ShardedIndex) CheckInvariants() error {
 		if err := sh.CheckInvariants(); err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
-		for _, id := range sh.read().leafIDs() {
+		for _, id := range sh.read().leafIDs(&Stats{}) {
 			if ShardOf(id, len(sx.shards)) != i {
 				return fmt.Errorf("shard %d holds id %d owned by shard %d", i, id, ShardOf(id, len(sx.shards)))
 			}

@@ -53,6 +53,7 @@ func (ix *Index) Summaries() ([]ObjectSummary, error) {
 	var firstErr error
 	var walk func(n *rtree.Node)
 	walk = func(n *rtree.Node) {
+		n = n.Resolve(nil)
 		for _, e := range n.Entries() {
 			if n.Leaf() {
 				it := e.Data.(*leafItem)
@@ -74,6 +75,9 @@ func (ix *Index) Summaries() ([]ObjectSummary, error) {
 	}
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ix.pagedErr(); err != nil {
+		return nil, err
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil

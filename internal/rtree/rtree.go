@@ -75,6 +75,13 @@ type Node struct {
 	// headers per entry. It is filled by pack() when a node's entries are
 	// final (nodes are immutable once reachable from a published root).
 	packed []float64
+
+	// src/page make the node a stub: a placeholder holding no entries that
+	// resolves on demand to the decoded form of page via src (see Resolve).
+	// Stubs let page-backed trees share every traversal with in-memory
+	// trees at the cost of one nil check per node visit.
+	src  NodeSource
+	page uint32
 }
 
 // Leaf reports whether the node's entries are leaf entries.
@@ -503,6 +510,7 @@ func (t *Tree) Search(r geom.Rect, fn func(Entry) bool) {
 }
 
 func (t *Tree) search(n *Node, r geom.Rect, fn func(Entry) bool) bool {
+	n = n.Resolve(nil)
 	for _, e := range n.entries {
 		if !e.Rect.Intersects(r) {
 			continue
@@ -659,16 +667,17 @@ func (t *Tree) CheckInvariants() error {
 			if e.Child == nil {
 				return errors.New("interior entry without child")
 			}
-			if got := nodeMBR(e.Child); !got.Equal(e.Rect) {
+			child := e.Child.Resolve(nil)
+			if got := nodeMBR(child); !got.Equal(e.Rect) {
 				return fmt.Errorf("stale MBR: entry %v vs child %v", e.Rect, got)
 			}
-			if err := walk(e.Child, depth+1); err != nil {
+			if err := walk(child, depth+1); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if err := walk(t.root, 1); err != nil {
+	if err := walk(t.root.Resolve(nil), 1); err != nil {
 		return err
 	}
 	if leafDepth != -1 && leafDepth != t.height {

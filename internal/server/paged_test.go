@@ -1,0 +1,143 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fuzzyknn"
+)
+
+// newPagedTestServer serves a paged index (small pages cache + object LRU)
+// built from blobs, so both cache layers are live.
+func newPagedTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	var objs []*fuzzyknn.Object
+	for i := 0; i < 60; i++ {
+		objs = append(objs, blob(t, uint64(i+1), float64(i%10), float64(i/10)))
+	}
+	dir := t.TempDir()
+	storePath := filepath.Join(dir, "objects.fzs")
+	pagePath := filepath.Join(dir, "index.fzp")
+	if err := fuzzyknn.SaveObjects(storePath, 2, objs); err != nil {
+		t.Fatal(err)
+	}
+	// Small fanout so the tree has interior levels for the cache to serve.
+	builder, err := fuzzyknn.OpenIndex(storePath, &fuzzyknn.Config{NodeMin: 2, NodeMax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := builder.SavePaged(pagePath); err != nil {
+		builder.Close()
+		t.Fatal(err)
+	}
+	builder.Close()
+
+	ix, err := fuzzyknn.OpenPagedIndex(storePath, pagePath, 1, &fuzzyknn.Config{CacheSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := ix.NewEngine(&fuzzyknn.EngineConfig{Parallelism: 2})
+	ts := httptest.NewServer(New(ix, eng, nil))
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+		ix.Close()
+	})
+	return ts
+}
+
+// TestServePagedCacheObservability drives queries against a paged index and
+// checks both cache layers surface under the one vocabulary — the
+// fuzzyknn_cache_* families labeled by cache on /metrics, and the
+// page_cache/object_cache sections of GET /stats — while page I/O shows up
+// in the engine totals without disturbing object accesses.
+func TestServePagedCacheObservability(t *testing.T) {
+	ts := newPagedTestServer(t)
+
+	aknnReq := map[string]any{"query": queryJSON(t), "k": 5, "alpha": 0.4}
+	var out QueryResponse
+	for i := 0; i < 4; i++ {
+		if code := postJSON(t, ts.URL+"/aknn", aknnReq, &out); code != http.StatusOK {
+			t.Fatalf("POST /aknn = %d, want 200", code)
+		}
+	}
+	if len(out.Results) == 0 {
+		t.Fatal("paged /aknn returned no results")
+	}
+
+	page := scrape(t, ts.URL)
+	if hits := seriesValue(t, page, `fuzzyknn_cache_hits_total{cache="pages"}`); hits == 0 {
+		t.Fatal("no page-cache hits after repeated identical queries")
+	}
+	if misses := seriesValue(t, page, `fuzzyknn_cache_misses_total{cache="pages"}`); misses == 0 {
+		t.Fatal("no page-cache misses after first traversal")
+	}
+	resident := seriesValue(t, page, `fuzzyknn_cache_resident_bytes{cache="pages"}`)
+	capacity := seriesValue(t, page, `fuzzyknn_cache_capacity_bytes{cache="pages"}`)
+	if resident <= 0 || resident > capacity {
+		t.Fatalf("resident %v outside (0, capacity %v]", resident, capacity)
+	}
+	seriesValue(t, page, `fuzzyknn_cache_evictions_total{cache="pages"}`)
+	if m := seriesValue(t, page, `fuzzyknn_cache_misses_total{cache="objects"}`); m == 0 {
+		t.Fatal("object LRU recorded no misses")
+	}
+	if v := seriesValue(t, page, `fuzzyknn_engine_page_reads_total`); v == 0 {
+		t.Fatal("engine page_reads_total did not advance")
+	}
+	if v := seriesValue(t, page, `fuzzyknn_engine_page_cache_hits_total`); v == 0 {
+		t.Fatal("engine page_cache_hits_total did not advance")
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.PageCache == nil {
+		t.Fatal("/stats missing page_cache section for a paged index")
+	}
+	if stats.PageCache.Hits == 0 || stats.PageCache.Misses == 0 {
+		t.Fatalf("/stats page_cache idle: %+v", stats.PageCache)
+	}
+	if stats.ObjectCache == nil {
+		t.Fatal("/stats missing object_cache section with Config.CacheSize set")
+	}
+	if stats.EngineStats.PageReads == 0 || stats.EngineStats.PageCacheHits == 0 {
+		t.Fatalf("/stats engine totals page_reads=%d page_cache_hits=%d, want both > 0",
+			stats.EngineStats.PageReads, stats.EngineStats.PageCacheHits)
+	}
+}
+
+// TestServeMemoryIndexHasNoCacheSeries pins the conditional registration:
+// a fully in-memory index must not expose dead fuzzyknn_cache_* series or
+// cache sections in /stats.
+func TestServeMemoryIndexHasNoCacheSeries(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	page := scrape(t, ts.URL)
+	for _, series := range []string{"fuzzyknn_cache_hits_total", "fuzzyknn_cache_misses_total"} {
+		if strings.Contains(page, series) {
+			t.Fatalf("in-memory index exposes %s", series)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.PageCache != nil || stats.ObjectCache != nil {
+		t.Fatalf("in-memory index reports cache sections: page=%+v object=%+v",
+			stats.PageCache, stats.ObjectCache)
+	}
+}

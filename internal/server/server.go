@@ -128,6 +128,41 @@ func New(ix *fuzzyknn.Index, eng *fuzzyknn.Engine, opts *Options) *Server {
 	s.reg.GaugeFunc("fuzzyknn_index_objects",
 		"Live objects in the served index.",
 		func() int64 { return int64(ix.Len()) })
+	// One cache vocabulary for both caching layers: the block cache holds
+	// index pages (cache="pages"), the store LRU holds decoded object
+	// payloads (cache="objects"). Families register only for the layers the
+	// index actually has, so in-memory deployments scrape no dead series.
+	if _, ok := ix.PageCacheStats(); ok {
+		pc := func(pick func(fuzzyknn.CacheStats) int64) func() int64 {
+			return func() int64 {
+				cs, _ := ix.PageCacheStats()
+				return pick(cs)
+			}
+		}
+		s.reg.CounterFunc("fuzzyknn_cache_hits_total",
+			"Cache lookups served without touching the layer below, by cache.",
+			pc(func(c fuzzyknn.CacheStats) int64 { return c.Hits }), "cache", "pages")
+		s.reg.CounterFunc("fuzzyknn_cache_misses_total",
+			"Cache lookups that fell through to the layer below, by cache.",
+			pc(func(c fuzzyknn.CacheStats) int64 { return c.Misses }), "cache", "pages")
+		s.reg.CounterFunc("fuzzyknn_cache_evictions_total",
+			"Entries dropped to stay under capacity, by cache.",
+			pc(func(c fuzzyknn.CacheStats) int64 { return c.Evictions }), "cache", "pages")
+		s.reg.GaugeFunc("fuzzyknn_cache_resident_bytes",
+			"Bytes held resident, by cache.",
+			pc(func(c fuzzyknn.CacheStats) int64 { return c.ResidentBytes }), "cache", "pages")
+		s.reg.GaugeFunc("fuzzyknn_cache_capacity_bytes",
+			"Configured capacity in bytes, by cache.",
+			pc(func(c fuzzyknn.CacheStats) int64 { return c.CapacityBytes }), "cache", "pages")
+	}
+	if _, _, ok := ix.ObjectCacheStats(); ok {
+		s.reg.CounterFunc("fuzzyknn_cache_hits_total",
+			"Cache lookups served without touching the layer below, by cache.",
+			func() int64 { h, _, _ := ix.ObjectCacheStats(); return h }, "cache", "objects")
+		s.reg.CounterFunc("fuzzyknn_cache_misses_total",
+			"Cache lookups that fell through to the layer below, by cache.",
+			func() int64 { _, m, _ := ix.ObjectCacheStats(); return m }, "cache", "objects")
+	}
 	s.mux.HandleFunc("POST /aknn", s.handleAKNN)
 	s.mux.HandleFunc("POST /rknn", s.handleRKNN)
 	s.mux.HandleFunc("POST /range", s.handleRange)
@@ -359,6 +394,8 @@ type StatsJSON struct {
 	ObjectAccesses int    `json:"object_accesses"`
 	NodeAccesses   int    `json:"node_accesses"`
 	DistanceEvals  int    `json:"distance_evals"`
+	PageReads      int    `json:"page_reads,omitempty"`
+	PageCacheHits  int    `json:"page_cache_hits,omitempty"`
 	DurationNs     int64  `json:"duration_ns"`
 	Duration       string `json:"duration"`
 }
@@ -409,9 +446,22 @@ type ShardJSON struct {
 	Checkpoint     *CheckpointShardJSON `json:"checkpoint,omitempty"`
 }
 
+// CacheJSON is one cache's lifetime counters in GET /stats. The page cache
+// reports resident and capacity bytes too; the object LRU counts entries,
+// not bytes, so those fields stay zero for it.
+type CacheJSON struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions,omitempty"`
+	ResidentBytes int64 `json:"resident_bytes,omitempty"`
+	CapacityBytes int64 `json:"capacity_bytes,omitempty"`
+}
+
 // StatsResponse is the body of GET /stats. Shards always has one entry per
 // shard (a single entry for an unsharded index), so dashboards can watch
-// per-shard size, tree depth and access skew.
+// per-shard size, tree depth and access skew. PageCache appears for paged
+// indexes (block cache over index pages), ObjectCache when Config.CacheSize
+// interposed an LRU over object payloads — two distinct layers.
 type StatsResponse struct {
 	Objects             int              `json:"objects"`
 	Dims                int              `json:"dims"`
@@ -421,6 +471,8 @@ type StatsResponse struct {
 	Requests            map[string]int64 `json:"requests"`
 	Failures            int64            `json:"failures"`
 	EngineStats         StatsJSON        `json:"engine_stats"`
+	PageCache           *CacheJSON       `json:"page_cache,omitempty"`
+	ObjectCache         *CacheJSON       `json:"object_cache,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -668,7 +720,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			shards[i].Checkpoint = &cj
 		}
 	}
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Objects:             s.ix.Len(),
 		Dims:                s.ix.Dims(),
 		Parallelism:         s.eng.Parallelism(),
@@ -677,7 +729,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Requests:            t.Requests,
 		Failures:            t.Failures,
 		EngineStats:         toStats(t.Stats),
-	})
+	}
+	if cs, ok := s.ix.PageCacheStats(); ok {
+		resp.PageCache = &CacheJSON{
+			Hits:          cs.Hits,
+			Misses:        cs.Misses,
+			Evictions:     cs.Evictions,
+			ResidentBytes: cs.ResidentBytes,
+			CapacityBytes: cs.CapacityBytes,
+		}
+	}
+	if hits, misses, ok := s.ix.ObjectCacheStats(); ok {
+		resp.ObjectCache = &CacheJSON{Hits: hits, Misses: misses}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // --- helpers ---
@@ -827,6 +892,8 @@ func toStats(st fuzzyknn.Stats) StatsJSON {
 		ObjectAccesses: st.ObjectAccesses,
 		NodeAccesses:   st.NodeAccesses,
 		DistanceEvals:  st.DistanceEvals,
+		PageReads:      st.PageReads,
+		PageCacheHits:  st.PageCacheHits,
 		DurationNs:     st.Duration.Nanoseconds(),
 		Duration:       st.Duration.String(),
 	}

@@ -1,0 +1,183 @@
+package fuzzyknn
+
+import (
+	"fmt"
+	"io"
+
+	"fuzzyknn/internal/pager"
+	"fuzzyknn/internal/query"
+	"fuzzyknn/internal/store"
+)
+
+// ErrPagedMismatch reports a page file that does not describe the store it
+// was opened against (different dimensionality or object count).
+var ErrPagedMismatch = query.ErrPagedMismatch
+
+// CacheStats reports block-cache activity: how many node loads were served
+// from resident frames, how many had to read a page from disk, and how much
+// of the configured budget is resident. A sharded index reports the sum
+// over its shards' caches.
+type CacheStats struct {
+	Hits          int64 // node loads served without I/O
+	Misses        int64 // node loads that read a page
+	Evictions     int64 // frames dropped to stay under capacity
+	ResidentBytes int64 // resident frames × page size
+	CapacityBytes int64 // configured capacity, in whole pages
+}
+
+func cacheStatsFrom(cs pager.CacheStats) CacheStats {
+	return CacheStats{
+		Hits:          cs.Hits,
+		Misses:        cs.Misses,
+		Evictions:     cs.Evictions,
+		ResidentBytes: cs.ResidentBytes,
+		CapacityBytes: cs.CapacityBytes,
+	}
+}
+
+// SavePaged serializes the index's R-tree(s) into paged on-disk form at
+// path: fixed-size CRC-protected pages plus a manifest (path+".manifest")
+// binding the file generation, root page and object count, written with the
+// temp+fsync+rename discipline. A sharded index writes one page file per
+// shard ("<path>.shard<i>-of-<n>", like OpenLogIndex's logs), so it must be
+// reopened with the same shard count. Requires the default boundary
+// estimator (like SaveSummaries): only the paper's linear approximation has
+// a persistent form. The page file pairs with the object store — serve both
+// with OpenPagedIndex.
+func (ix *Index) SavePaged(path string) error {
+	if ix.single != nil {
+		return wrapErr(ix.single.SavePaged(path))
+	}
+	sx := ix.inner.(*query.ShardedIndex)
+	n := sx.NumShards()
+	for i := 0; i < n; i++ {
+		if err := sx.Shard(i).SavePaged(shardPagePath(path, i, n)); err != nil {
+			return fmt.Errorf("fuzzyknn: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// shardPagePath names shard i's page file, mirroring shardLogPath: the
+// shard count is baked into the name so a reopen with a different Shards
+// value fails to find files instead of serving a wrong partition.
+func shardPagePath(path string, i, n int) string {
+	return fmt.Sprintf("%s.shard%d-of-%d", path, i, n)
+}
+
+func wrapErr(err error) error {
+	if err != nil {
+		return fmt.Errorf("fuzzyknn: %w", err)
+	}
+	return nil
+}
+
+// OpenPagedIndex serves queries from a page file written by SavePaged
+// without rebuilding (or fully loading) the R-tree: only each shard's root
+// page stays resident, and traversals fault pages in through a block cache
+// of cacheMB MiB total (split evenly across shards; <= 0 selects 64 MiB).
+// Answers are byte-identical to the in-memory index the pages were saved
+// from — the cache changes I/O, never results or the paper's cost
+// accounting. storePath is the object store (SaveObjects) the page file was
+// built over; object probes read it directly, optionally through an LRU
+// (Config.CacheSize) — the block cache holds index pages, the LRU holds
+// object payloads, and the two never double-count.
+//
+// With cfg.Shards > 1 the page files are "<pagePath>.shard<i>-of-<n>"; the
+// shard count must match SavePaged's. The index is read-only (Insert,
+// Delete and ApplyBatch fail with ErrReadOnly). Close the index when done.
+func OpenPagedIndex(storePath, pagePath string, cacheMB int, cfg *Config) (*Index, error) {
+	c := cfg.orDefault()
+	if c.SummaryFile != "" {
+		return nil, fmt.Errorf("fuzzyknn: OpenPagedIndex cannot combine with Config.SummaryFile")
+	}
+	if c.StaircaseSteps >= 2 {
+		return nil, fmt.Errorf("fuzzyknn: OpenPagedIndex requires the default estimator (StaircaseSteps < 2)")
+	}
+	if cacheMB <= 0 {
+		cacheMB = 64
+	}
+	ds, err := store.Open(storePath)
+	if err != nil {
+		return nil, fmt.Errorf("fuzzyknn: %w", err)
+	}
+	n := shardCount(c)
+	closers := []io.Closer{ds}
+	fail := func(err error) (*Index, error) {
+		for _, cl := range closers {
+			cl.Close()
+		}
+		return nil, err
+	}
+
+	var reader store.Reader = ds
+	var lrus []*store.LRU
+	if c.CacheSize > 0 {
+		lru := store.NewLRU(reader, c.CacheSize)
+		reader, lrus = lru, []*store.LRU{lru}
+	}
+	opts := query.Options{
+		SampleSize: c.SampleSize,
+		SampleSeed: c.SampleSeed,
+	}
+	perShard := (int64(cacheMB) << 20) / int64(n)
+
+	if n == 1 {
+		counting := store.NewCounting(reader)
+		p, err := query.OpenPagedIndex(counting, pagePath, perShard, -1, opts)
+		if err != nil {
+			return fail(wrapErr(err))
+		}
+		counting.Reset()
+		closers = append(closers, p)
+		return &Index{
+			inner:     p.Index,
+			single:    p.Index,
+			countings: []*store.Counting{counting},
+			closers:   closers,
+			lrus:      lrus,
+		}, nil
+	}
+
+	// Each shard's manifest records its partition's population; size the
+	// expectation from the shared store's id space.
+	expect := make([]int, n)
+	for _, id := range ds.IDs() {
+		expect[query.ShardOf(id, n)]++
+	}
+	shards := make([]*query.Index, n)
+	countings := make([]*store.Counting, n)
+	for i := range shards {
+		counting := store.NewCounting(reader)
+		p, err := query.OpenPagedIndex(counting, shardPagePath(pagePath, i, n), perShard, expect[i], opts)
+		if err != nil {
+			return fail(fmt.Errorf("fuzzyknn: shard %d: %w", i, err))
+		}
+		counting.Reset()
+		closers = append(closers, p)
+		shards[i], countings[i] = p.Index, counting
+	}
+	ix, err := assembleSharded(shards, countings, lrus, closers)
+	if err != nil {
+		return fail(err)
+	}
+	return ix, nil
+}
+
+// PageCacheStats returns the block cache's counters, summed across shards;
+// ok is false for fully in-memory (non-paged) indexes.
+func (ix *Index) PageCacheStats() (CacheStats, bool) {
+	cs, ok := query.CacheStatsOf(ix.inner)
+	return cacheStatsFrom(cs), ok
+}
+
+// ObjectCacheStats returns the object LRU's hit/miss counters (summed when
+// shards hold private caches); ok is false when Config.CacheSize was 0.
+func (ix *Index) ObjectCacheStats() (hits, misses int64, ok bool) {
+	for _, l := range ix.lrus {
+		h, m := l.Stats()
+		hits += h
+		misses += m
+	}
+	return hits, misses, len(ix.lrus) > 0
+}
