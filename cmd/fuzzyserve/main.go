@@ -75,6 +75,29 @@
 //	        any recently acknowledged mutation may be lost on power loss,
 //	        with the same fail-loud recovery contract.
 //
+// Any writable instance can lead a replica set. -replication makes the
+// server a leader: it serves a bootstrap snapshot and a committed-frame
+// feed under /replication/ that followers tail. A follower is started with
+// -follow and nothing else — it bootstraps over HTTP, stays byte-identical
+// to the leader at its applied sequence, serves the full query surface,
+// and answers 403 to local writes. Kill a follower at any point and
+// restart it: it re-bootstraps and converges. Restart the leader and the
+// generation token changes, so followers notice and re-bootstrap on their
+// own:
+//
+//	fuzzyserve -demo 2000 -replication                 # leader on :8080
+//	fuzzyserve -follow http://localhost:8080 -addr :8081
+//	fuzzyserve -follow http://localhost:8080 -addr :8082
+//	curl -s localhost:8081/stats | grep -o '"replication":{[^}]*}'
+//
+// -replication-listen binds the two /replication/ endpoints to their own
+// address so follower traffic never shares the query listener, and
+// -replication-retain-mb bounds the in-memory frame window (a follower
+// that falls further behind re-bootstraps from the snapshot instead).
+// /stats and /metrics report the replication position on both sides:
+// latest_seq/frames_retained/snapshots on the leader, applied_seq/
+// lag_frames/reconnects/bootstraps on followers.
+//
 // Operating the server: every instance exposes Prometheus metrics and a
 // load-shedding admission policy.
 //
@@ -129,6 +152,11 @@ func main() {
 		demoSeed    = flag.Uint64("demo-seed", 1, "seed for the -demo dataset")
 		drain       = flag.Duration("drain", 10*time.Second, "shutdown grace period for in-flight requests")
 
+		follow       = flag.String("follow", "", "replicate from the leader at this base URL and serve read-only (instead of -store/-log/-demo)")
+		replication  = flag.Bool("replication", false, "lead a replica set: serve the bootstrap snapshot and frame feed under /replication/")
+		replListen   = flag.String("replication-listen", "", "dedicated listen address for the /replication/ endpoints (default: share -addr)")
+		replRetainMB = flag.Int("replication-retain-mb", 64, "in-memory committed-frame window retained for followers, in MiB")
+
 		reqTimeout    = flag.Duration("request-timeout", 5*time.Second, "per-request deadline (queue wait + execution); expired requests answer 504 (0 = none)")
 		admissionWait = flag.Duration("admission-wait", fuzzyknn.DefaultAdmissionWait, "how long a request may wait for queue space before a 429 (negative = wait forever)")
 		slowQuery     = flag.Duration("slow-query", time.Second, "log a structured slow_request line for requests at least this slow (0 = off)")
@@ -142,11 +170,40 @@ func main() {
 	if *ckptEvery > 0 && *logPath == "" {
 		log.Fatal("-checkpoint-every only applies to -log indexes")
 	}
-	idx, err := openIndex(*storePath, *logPath, *summary, *pageFile, *fsync, *cacheSize, *cacheMB, *shards, *dims, *demo, *demoSeed)
+	if *follow != "" && *replication {
+		log.Fatal("-follow and -replication are mutually exclusive: a follower re-serves the leader's feed, it does not lead")
+	}
+	if *replListen != "" && !*replication {
+		log.Fatal("-replication-listen requires -replication")
+	}
+	if *replRetainMB < 1 {
+		log.Fatal("-replication-retain-mb must be >= 1")
+	}
+	idx, err := openIndex(*storePath, *logPath, *summary, *pageFile, *fsync, *follow, *cacheSize, *cacheMB, *shards, *dims, *demo, *demoSeed)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer idx.Close()
+
+	// Both replication roles attach before NewEngine so engine-dispatched
+	// mutations route through the recording wrapper (leader) and the
+	// follower's applier sees the same searcher the engine publishes from.
+	var repl *fuzzyknn.Replication
+	if *replication {
+		repl, err = idx.EnableReplication(&fuzzyknn.ReplicationConfig{
+			RetainBytes: int64(*replRetainMB) << 20,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	var fol *fuzzyknn.Follower
+	if *follow != "" {
+		fol, err = idx.NewFollower(*follow, &fuzzyknn.FollowerConfig{Logf: log.Printf})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	eng := idx.NewEngine(&fuzzyknn.EngineConfig{
 		Parallelism:     *parallelism,
@@ -162,6 +219,8 @@ func main() {
 		SlowRequestThreshold: *slowQuery,
 		EnablePprof:          *enablePprof,
 		Logf:                 log.Printf,
+		Replication:          repl,
+		Follower:             fol,
 	})
 	srv := &http.Server{Addr: *addr, Handler: handler}
 
@@ -169,6 +228,21 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
+
+	var replSrv *http.Server
+	if *replListen != "" {
+		replSrv = &http.Server{Addr: *replListen, Handler: handler.ReplicationHandler()}
+		log.Printf("replication feed on %s", *replListen)
+		go func() { errCh <- replSrv.ListenAndServe() }()
+	}
+	if fol != nil {
+		log.Printf("following %s", fol.Leader())
+		go func() {
+			if err := fol.Run(ctx); err != nil && ctx.Err() == nil {
+				log.Printf("follower stopped: %v", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errCh:
@@ -178,6 +252,11 @@ func main() {
 	log.Printf("shutting down, draining for up to %v", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if replSrv != nil {
+		if err := replSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("replication shutdown: %v", err)
+		}
+	}
 	switch err := srv.Shutdown(shutdownCtx); {
 	case errors.Is(err, context.DeadlineExceeded):
 		log.Printf("shutdown: drain timeout exceeded, in-flight requests dropped")
@@ -186,11 +265,13 @@ func main() {
 	}
 }
 
-// openIndex opens the store- or log-backed index, or builds an in-memory
-// synthetic one in -demo mode. Log-backed and demo indexes are mutable.
-func openIndex(storePath, logPath, summary, pageFile, fsync string, cacheSize, cacheMB, shards, dims, demo int, demoSeed uint64) (*fuzzyknn.Index, error) {
+// openIndex opens the store- or log-backed index, builds an in-memory
+// synthetic one in -demo mode, or an empty mutable one in -follow mode
+// (the follower loop fills it from the leader). Log-backed, demo and
+// follower indexes are mutable.
+func openIndex(storePath, logPath, summary, pageFile, fsync, follow string, cacheSize, cacheMB, shards, dims, demo int, demoSeed uint64) (*fuzzyknn.Index, error) {
 	modes := 0
-	for _, set := range []bool{storePath != "", logPath != "", demo > 0} {
+	for _, set := range []bool{storePath != "", logPath != "", demo > 0, follow != ""} {
 		if set {
 			modes++
 		}
@@ -202,7 +283,7 @@ func openIndex(storePath, logPath, summary, pageFile, fsync string, cacheSize, c
 	cfg := &fuzzyknn.Config{CacheSize: cacheSize, Shards: shards, Fsync: policy}
 	switch {
 	case modes > 1:
-		return nil, errors.New("give exactly one of -store, -log or -demo")
+		return nil, errors.New("give exactly one of -store, -log, -demo or -follow")
 	case shards < 1:
 		return nil, errors.New("-shards must be >= 1")
 	case summary != "" && storePath == "":
@@ -233,7 +314,9 @@ func openIndex(storePath, logPath, summary, pageFile, fsync string, cacheSize, c
 			return nil, err
 		}
 		return fuzzyknn.NewIndex(objs, cfg)
+	case follow != "":
+		return fuzzyknn.NewIndex(nil, cfg)
 	default:
-		return nil, fmt.Errorf("missing -store, -log or -demo; run %s -h for usage", os.Args[0])
+		return nil, fmt.Errorf("missing -store, -log, -demo or -follow; run %s -h for usage", os.Args[0])
 	}
 }

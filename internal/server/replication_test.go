@@ -1,0 +1,324 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"fuzzyknn"
+	"fuzzyknn/internal/replica"
+)
+
+// newLeaderServer builds a replication-enabled 6-object index, its engine
+// and an httptest server playing the leader role.
+func newLeaderServer(t *testing.T, cfg *fuzzyknn.ReplicationConfig) (*httptest.Server, *fuzzyknn.Index, *fuzzyknn.Replication) {
+	t.Helper()
+	objs := []*fuzzyknn.Object{
+		blob(t, 1, 2, 0), blob(t, 2, 3, 0.5), blob(t, 3, 4, -1),
+		blob(t, 4, 8, 2), blob(t, 5, -3, 1), blob(t, 6, 0, 6),
+	}
+	ix, err := fuzzyknn.NewIndex(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl, err := ix.EnableReplication(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := ix.NewEngine(&fuzzyknn.EngineConfig{Parallelism: 2})
+	ts := httptest.NewServer(New(ix, eng, &Options{Replication: repl}))
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+		ix.Close()
+	})
+	return ts, ix, repl
+}
+
+// fetchBinary GETs url and returns the body, asserting the status code.
+func fetchBinary(t *testing.T, url string, wantStatus int) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s = %d, want %d (body: %s)", url, resp.StatusCode, wantStatus, body)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// insertBlob POSTs one object through the engine write path.
+func insertBlob(t *testing.T, base string, id uint64, cx, cy float64) {
+	t.Helper()
+	o := blob(t, id, cx, cy)
+	wps := o.WeightedPoints()
+	obj := &ObjectJSON{ID: id, Points: make([]PointJSON, len(wps))}
+	for i, wp := range wps {
+		obj.Points[i] = PointJSON{P: wp.P, Mu: wp.Mu}
+	}
+	var out MutationResponse
+	if code := postJSON(t, base+"/objects", InsertRequest{Object: obj}, &out); code != http.StatusCreated {
+		t.Fatalf("POST /objects id=%d = %d, want 201", id, code)
+	}
+}
+
+// TestReplicationCheckpointEndpoint bootstraps from /replication/checkpoint
+// and checks the snapshot tracks mutations.
+func TestReplicationCheckpointEndpoint(t *testing.T) {
+	ts, _, repl := newLeaderServer(t, nil)
+
+	body := fetchBinary(t, ts.URL+"/replication/checkpoint", http.StatusOK)
+	snap, err := replica.DecodeSnapshot(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Gen != repl.Generation() {
+		t.Fatalf("snapshot gen = %d, want %d", snap.Gen, repl.Generation())
+	}
+	if snap.Seq != 0 || len(snap.Objects) != 6 {
+		t.Fatalf("snapshot seq=%d objects=%d, want seq=0 objects=6", snap.Seq, len(snap.Objects))
+	}
+
+	insertBlob(t, ts.URL, 7, 1, 1)
+	body = fetchBinary(t, ts.URL+"/replication/checkpoint", http.StatusOK)
+	snap, err = replica.DecodeSnapshot(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Seq != repl.LastSeq() || len(snap.Objects) != 7 {
+		t.Fatalf("snapshot seq=%d objects=%d, want seq=%d objects=7",
+			snap.Seq, len(snap.Objects), repl.LastSeq())
+	}
+	if repl.Snapshots() != 2 {
+		t.Fatalf("snapshots = %d, want 2", repl.Snapshots())
+	}
+}
+
+// TestReplicationLogEndpoint exercises parameter validation, the empty
+// poll, frame delivery and the 410 truncation signal.
+func TestReplicationLogEndpoint(t *testing.T) {
+	ts, _, repl := newLeaderServer(t, &fuzzyknn.ReplicationConfig{RetainFrames: 2})
+
+	for _, bad := range []string{
+		"/replication/log",                       // missing from
+		"/replication/log?from=0",                // before the first frame
+		"/replication/log?from=x",                // unparsable
+		"/replication/log?from=1&wait_ms=-5",     // negative wait
+		"/replication/log?from=1&wait_ms=snail",  // unparsable wait
+		"/replication/log?from=1&max_bytes=0",    // non-positive budget
+		"/replication/log?from=1&max_bytes=tiny", // unparsable budget
+	} {
+		fetchBinary(t, ts.URL+bad, http.StatusBadRequest)
+	}
+
+	// Caught up, wait_ms=0: an empty stream, not an error.
+	body := fetchBinary(t, ts.URL+"/replication/log?from=1&wait_ms=0", http.StatusOK)
+	gen, latest, frames, err := replica.DecodeStream(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != repl.Generation() || latest != 0 || len(frames) != 0 {
+		t.Fatalf("empty poll: gen=%d latest=%d frames=%d", gen, latest, len(frames))
+	}
+
+	insertBlob(t, ts.URL, 7, 1, 1)
+	body = fetchBinary(t, ts.URL+"/replication/log?from=1&wait_ms=0", http.StatusOK)
+	_, latest, frames, err = replica.DecodeStream(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != 1 || len(frames) != 1 || frames[0].Seq != 1 || len(frames[0].Inserts) != 1 {
+		t.Fatalf("after insert: latest=%d frames=%+v", latest, frames)
+	}
+	if frames[0].Inserts[0].ID() != 7 {
+		t.Fatalf("frame insert id = %d, want 7", frames[0].Inserts[0].ID())
+	}
+
+	// Push the 2-frame retention window past sequence 1: 410, re-bootstrap.
+	insertBlob(t, ts.URL, 8, 2, 2)
+	insertBlob(t, ts.URL, 9, 3, 3)
+	insertBlob(t, ts.URL, 10, 4, 4)
+	fetchBinary(t, ts.URL+"/replication/log?from=1&wait_ms=0", http.StatusGone)
+}
+
+// TestReplicationDedicatedHandler checks the -replication-listen mux serves
+// only the replication endpoints.
+func TestReplicationDedicatedHandler(t *testing.T) {
+	objs := []*fuzzyknn.Object{blob(t, 1, 2, 0), blob(t, 2, 3, 0.5)}
+	ix, err := fuzzyknn.NewIndex(objs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repl, err := ix.EnableReplication(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := ix.NewEngine(nil)
+	srv := New(ix, eng, &Options{Replication: repl})
+	ts := httptest.NewServer(srv.ReplicationHandler())
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+		ix.Close()
+	})
+
+	body := fetchBinary(t, ts.URL+"/replication/checkpoint", http.StatusOK)
+	if snap, err := replica.DecodeSnapshot(body); err != nil || len(snap.Objects) != 2 {
+		t.Fatalf("dedicated checkpoint: err=%v objects=%v", err, snap)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("dedicated listener GET /stats = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestFollowerServeSurface runs a real leader+follower pair: the follower
+// serves queries byte-identically, rejects writes with 403, and reports its
+// position in /stats and /metrics.
+func TestFollowerServeSurface(t *testing.T) {
+	leaderTS, _, _ := newLeaderServer(t, nil)
+	insertBlob(t, leaderTS.URL, 7, 1.5, -0.5)
+
+	folIx, err := fuzzyknn.NewIndex(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fol, err := folIx.NewFollower(leaderTS.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := fol.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	folEng := folIx.NewEngine(nil)
+	folTS := httptest.NewServer(New(folIx, folEng, &Options{Follower: fol}))
+	t.Cleanup(func() {
+		folTS.Close()
+		folEng.Close()
+		folIx.Close()
+	})
+
+	// Queries: byte-identical to the leader at the same applied sequence.
+	req := AKNNRequest{Query: queryJSON(t), K: 3, Alpha: 0.5}
+	var fromLeader, fromFollower QueryResponse
+	if code := postJSON(t, leaderTS.URL+"/aknn", req, &fromLeader); code != http.StatusOK {
+		t.Fatalf("leader /aknn = %d", code)
+	}
+	if code := postJSON(t, folTS.URL+"/aknn", req, &fromFollower); code != http.StatusOK {
+		t.Fatalf("follower /aknn = %d", code)
+	}
+	lj, _ := json.Marshal(fromLeader.Results)
+	fj, _ := json.Marshal(fromFollower.Results)
+	if !bytes.Equal(lj, fj) {
+		t.Fatalf("results diverge:\nleader   %s\nfollower %s", lj, fj)
+	}
+
+	// Writes: 403 pointing at the leader, and nothing applied.
+	was := folIx.Len()
+	for _, tc := range []struct{ method, path, body string }{
+		{"POST", "/objects", `{"object":{"id":99,"points":[{"p":[0,0],"mu":1}]}}`},
+		{"POST", "/objects:batch", `{"delete_ids":[1]}`},
+		{"DELETE", "/objects/1", ""},
+		{"POST", "/checkpoint", ""},
+	} {
+		hr, err := http.NewRequest(tc.method, folTS.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(hr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusForbidden {
+			t.Fatalf("%s %s = %d, want 403 (body: %s)", tc.method, tc.path, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), leaderTS.URL) {
+			t.Fatalf("%s %s error does not name the leader: %s", tc.method, tc.path, body)
+		}
+	}
+	if folIx.Len() != was {
+		t.Fatalf("follower size changed %d -> %d across rejected writes", was, folIx.Len())
+	}
+
+	// /stats: follower block with the applied position.
+	var stats StatsResponse
+	resp, err := http.Get(folTS.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Replication == nil || stats.Replication.Role != "follower" {
+		t.Fatalf("follower /stats replication block = %+v", stats.Replication)
+	}
+	st := fol.Stats()
+	if stats.Replication.AppliedSeq != st.AppliedSeq || stats.Replication.Leader != leaderTS.URL {
+		t.Fatalf("follower /stats replication = %+v, follower stats %+v", stats.Replication, st)
+	}
+	if st.AppliedSeq != 1 || st.LagFrames != 0 || st.Bootstraps != 1 {
+		t.Fatalf("follower stats = %+v, want applied=1 lag=0 bootstraps=1", st)
+	}
+
+	// /metrics: follower families present with the same position.
+	page := scrape(t, folTS.URL)
+	if got := seriesValue(t, page, "fuzzyknn_replication_applied_seq"); got != float64(st.AppliedSeq) {
+		t.Fatalf("applied_seq metric = %v, want %d", got, st.AppliedSeq)
+	}
+	if got := seriesValue(t, page, "fuzzyknn_replication_lag_frames"); got != 0 {
+		t.Fatalf("lag_frames metric = %v, want 0", got)
+	}
+	if got := seriesValue(t, page, "fuzzyknn_replication_bootstraps_total"); got != 1 {
+		t.Fatalf("bootstraps metric = %v, want 1", got)
+	}
+	if got := seriesValue(t, page, "fuzzyknn_replication_bytes_streamed_total"); got <= 0 {
+		t.Fatalf("bytes_streamed metric = %v, want > 0", got)
+	}
+
+	// The leader-side view: /stats leader block and leader metric families.
+	var lstats StatsResponse
+	resp, err = http.Get(leaderTS.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&lstats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if lstats.Replication == nil || lstats.Replication.Role != "leader" || lstats.Replication.LatestSeq != 1 {
+		t.Fatalf("leader /stats replication block = %+v", lstats.Replication)
+	}
+	lpage := scrape(t, leaderTS.URL)
+	if got := seriesValue(t, lpage, "fuzzyknn_replication_latest_seq"); got != 1 {
+		t.Fatalf("leader latest_seq metric = %v, want 1", got)
+	}
+	if got := seriesValue(t, lpage, "fuzzyknn_replication_snapshots_total"); got != 1 {
+		t.Fatalf("leader snapshots metric = %v, want 1", got)
+	}
+	if got := seriesValue(t, lpage, "fuzzyknn_replication_bytes_streamed_total"); got <= 0 {
+		t.Fatalf("leader bytes_streamed metric = %v, want > 0", got)
+	}
+}

@@ -14,6 +14,15 @@
 //	GET    /metrics       Prometheus text exposition (engine + HTTP series)
 //	GET    /healthz       liveness probe
 //	GET    /debug/pprof/* runtime profiles (opt-in via Options.EnablePprof)
+//	GET    /replication/checkpoint  binary bootstrap snapshot (leader role)
+//	GET    /replication/log         committed frame stream, long-poll (leader role)
+//
+// With Options.Replication set the server is a replication leader: the two
+// /replication/ endpoints (binary, not JSON — see internal/replica for the
+// wire format) let followers bootstrap and tail the index's committed
+// mutations. With Options.Follower set it is a read-only replica: the full
+// query surface stays up, mutation endpoints answer 403 pointing at the
+// leader, and /stats + /metrics report the applied sequence and frame lag.
 //
 // The mutation endpoints require a mutable index (in-memory or log-backed);
 // on a read-only index they answer 500. A duplicate insert id or malformed
@@ -99,6 +108,17 @@ type Options struct {
 	// Logf receives panic and slow-request log lines. Nil selects a no-op
 	// in tests' favor; cmd/fuzzyserve wires log.Printf.
 	Logf func(format string, args ...any)
+	// Replication, when non-nil, makes this server a replication leader:
+	// GET /replication/checkpoint and GET /replication/log serve the
+	// bootstrap snapshot and committed-frame feed of the index's
+	// replication log (see fuzzyknn.Index.EnableReplication). These
+	// endpoints are exempt from RequestTimeout — tailing is a long-poll.
+	Replication *fuzzyknn.Replication
+	// Follower, when non-nil, marks this server a read-only replica fed by
+	// the given follower: mutation endpoints answer 403 (writes go to the
+	// leader), and /stats + /metrics report the apply position and lag.
+	// The caller drives the follower loop (Follower.Run) itself.
+	Follower *fuzzyknn.Follower
 }
 
 // Server is an http.Handler serving one index through one engine. Both are
@@ -115,6 +135,7 @@ type Server struct {
 	// the engine's registry.
 	reg    *metrics.Registry
 	panics *metrics.Counter
+	repl   replState
 }
 
 // New builds the handler. opts may be nil for defaults.
@@ -175,6 +196,7 @@ func New(ix *fuzzyknn.Index, eng *fuzzyknn.Engine, opts *Options) *Server {
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.registerReplication()
 	if s.opts.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -241,7 +263,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		s.observe(r, rec, time.Since(start))
 	}()
-	if s.opts.RequestTimeout > 0 && !strings.HasPrefix(r.URL.Path, "/debug/pprof") {
+	if s.opts.RequestTimeout > 0 && !strings.HasPrefix(r.URL.Path, "/debug/pprof") &&
+		!strings.HasPrefix(r.URL.Path, "/replication/") {
 		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
 		defer cancel()
 		r = r.WithContext(ctx)
@@ -473,6 +496,7 @@ type StatsResponse struct {
 	EngineStats         StatsJSON        `json:"engine_stats"`
 	PageCache           *CacheJSON       `json:"page_cache,omitempty"`
 	ObjectCache         *CacheJSON       `json:"object_cache,omitempty"`
+	Replication         *ReplicationJSON `json:"replication,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -566,6 +590,9 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnFollower(w) {
+		return
+	}
 	var req InsertRequest
 	if !decode(w, r, &req) {
 		return
@@ -588,6 +615,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBatchMutate(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnFollower(w) {
+		return
+	}
 	var req BatchMutateRequest
 	if !decode(w, r, &req) {
 		return
@@ -643,6 +673,9 @@ func (s *Server) handleBatchMutate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnFollower(w) {
+		return
+	}
 	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid object id: %w", err))
@@ -660,6 +693,9 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // the server keeps serving, compacting the logs unless the (optional) body
 // says {"compact": false}. Indexes whose store cannot checkpoint answer 501.
 func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.rejectOnFollower(w) {
+		return
+	}
 	compact := true
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -742,6 +778,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if hits, misses, ok := s.ix.ObjectCacheStats(); ok {
 		resp.ObjectCache = &CacheJSON{Hits: hits, Misses: misses}
 	}
+	resp.Replication = s.replicationStats()
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -29,6 +29,11 @@ func (c *Counting) Get(id uint64) (*fuzzy.Object, error) {
 // Count returns the number of Get calls since construction or the last Reset.
 func (c *Counting) Count() int64 { return c.n.Load() }
 
+// Uncounted returns the wrapped reader, for internal consumers whose reads
+// must not pollute the paper's access accounting (e.g. replication
+// snapshot cuts, which scan every live object but are not queries).
+func (c *Counting) Uncounted() Reader { return c.Reader }
+
 // Reset zeroes the access counter.
 func (c *Counting) Reset() { c.n.Store(0) }
 

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Operational smoke: boot the real server binary, drive the main endpoints,
+# then scrape /metrics and check the key observability series exist and
+# moved. Catches wiring regressions (routes, exposition format, engine
+# instrumentation) no unit test sees. Runnable locally from the repo root:
+#
+#   scripts/metrics_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+source scripts/ci_lib.sh
+
+build_fuzzyserve
+start_server /tmp/metrics-smoke.log -demo 500 -addr 127.0.0.1:18080 \
+  -request-timeout 5s -slow-query 2s -pprof
+wait_healthz http://127.0.0.1:18080
+
+curl -sf http://127.0.0.1:18080/aknn -d '{"query_id": 7, "k": 5, "alpha": 0.5}' >/dev/null
+curl -sf http://127.0.0.1:18080/rknn -d '{"query_id": 7, "k": 3, "alpha_start": 0.3, "alpha_end": 0.8}' >/dev/null
+curl -sf http://127.0.0.1:18080/range -d '{"query_id": 7, "alpha": 0.5, "radius": 10}' >/dev/null
+curl -sf http://127.0.0.1:18080/objects -d '{"object": {"id": 9001, "points": [{"p": [1, 2], "mu": 1.0}]}}' >/dev/null
+curl -sf http://127.0.0.1:18080/stats >/dev/null
+curl -sf 'http://127.0.0.1:18080/debug/pprof/goroutine?debug=1' >/dev/null
+curl -sf http://127.0.0.1:18080/metrics > metrics.txt
+echo '--- /metrics smoke page ---'; head -40 metrics.txt
+grep -q 'fuzzyknn_requests_total{kind="aknn"} 1' metrics.txt
+grep -q 'fuzzyknn_requests_total{kind="rknn"} 1' metrics.txt
+grep -q 'fuzzyknn_requests_total{kind="insert"} 1' metrics.txt
+grep -q 'fuzzyknn_request_duration_seconds_count{kind="aknn"} 1' metrics.txt
+grep -q 'fuzzyknn_engine_queue_depth{queue="query"}' metrics.txt
+grep -q 'fuzzyknn_engine_queue_capacity{queue="write"}' metrics.txt
+grep -q 'fuzzyknn_engine_write_batch_size_count 1' metrics.txt
+grep -q 'fuzzyknn_engine_overloaded_total 0' metrics.txt
+grep -q 'fuzzyknn_http_panics_total 0' metrics.txt
+grep -q 'fuzzyknn_index_objects 501' metrics.txt
+grep -q 'fuzzyknn_http_requests_total{code="200",endpoint="POST /aknn"} 1' metrics.txt
+echo 'metrics smoke OK'
