@@ -82,6 +82,17 @@ var ErrDuplicate = store.ErrDuplicate
 // store has no durable log (in-memory NewIndex, immutable OpenIndex).
 var ErrCheckpointUnsupported = store.ErrUnsupported
 
+// ErrDegraded tags writes refused by an index whose backing store
+// fail-stopped after a storage fault (a failed fsync or a write whose
+// durability cannot be trusted). The condition is sticky: it never clears
+// in place — recovery is reopening the index on healthy storage, which
+// replays exactly the acknowledged prefix. Reads keep serving the last
+// published snapshot throughout; see Index.Degraded.
+var ErrDegraded = store.ErrFailed
+
+// DegradedState describes a degraded index: why it fail-stopped and when.
+type DegradedState = query.DegradedState
+
 // CheckpointInfo describes one shard store's durable checkpoint state: the
 // snapshot generation and size, and how much log the next open must replay
 // on top of it.
@@ -619,6 +630,16 @@ func (ix *Index) ApplyBatch(inserts []*Object, deletes []uint64) error {
 func (ix *Index) Checkpoint(compact bool) ([]CheckpointInfo, error) {
 	return ix.inner.Checkpoint(compact)
 }
+
+// Degraded reports the index's sticky degraded state, or nil while it is
+// healthy. A degraded index answers every query from the last published
+// snapshot but refuses Insert/Delete/ApplyBatch/Checkpoint with errors
+// wrapping ErrDegraded.
+func (ix *Index) Degraded() *DegradedState { return ix.inner.Degraded() }
+
+// StorageFaults counts store operations refused by fail-stopped storage:
+// the triggering fault plus every rejected retry.
+func (ix *Index) StorageFaults() int64 { return ix.inner.StorageFaults() }
 
 // Len returns the number of indexed objects.
 func (ix *Index) Len() int { return ix.inner.Len() }

@@ -390,13 +390,18 @@ func (e *Engine) executeWrites(group []job) {
 	// 256-item one.)
 	stats, err := e.ix.ApplyBatch(inserts, deletes)
 	// stats is in combined order (inserts, then deletes); map it back onto
-	// group positions.
+	// group positions. A refusal that did no work at all (e.g. a degraded
+	// index) returns no stats — missing entries stay zero.
 	accrued := make(map[int]query.Stats, len(stats))
 	for bi, i := range insJob {
-		accrued[i] = stats[bi]
+		if bi < len(stats) {
+			accrued[i] = stats[bi]
+		}
 	}
 	for bj, j := range delJob {
-		accrued[j] = stats[len(inserts)+bj]
+		if k := len(inserts) + bj; k < len(stats) {
+			accrued[j] = stats[k]
+		}
 	}
 	var be *query.BatchError
 	if err != nil && errors.As(err, &be) {

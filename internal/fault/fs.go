@@ -1,0 +1,134 @@
+package fault
+
+import (
+	"io"
+	"os"
+	"time"
+)
+
+// File is the seam the storage layer performs I/O through instead of a
+// bare *os.File. It is exactly the subset of *os.File the store uses, so
+// *os.File satisfies it directly and WrapFile can interpose failpoints.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Writer
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+	Stat() (os.FileInfo, error)
+	Name() string
+}
+
+var _ File = (*os.File)(nil)
+
+// WrapFile interposes three failpoints on f, pre-resolved once so each
+// operation costs one atomic load when disabled:
+//
+//	<prefix>.read  — ReadAt  (error fails; torn corrupts silently; stall delays)
+//	<prefix>.write — WriteAt and Write (error/short/torn/stall)
+//	<prefix>.sync  — Sync    (error fails; stall delays)
+//
+// The prefix names the artifact role (store.log, store.ckpt, ...), not
+// the path, so specs survive across generations and temp files.
+func WrapFile(f File, prefix string) File {
+	return &faultFile{
+		File:  f,
+		read:  P(prefix + ".read"),
+		write: P(prefix + ".write"),
+		sync:  P(prefix + ".sync"),
+	}
+}
+
+type faultFile struct {
+	File
+	read, write, sync *Point
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if s, fire := f.read.Eval(); fire {
+		switch s.Action {
+		case ActStall:
+			time.Sleep(s.stall())
+		case ActTorn:
+			// A torn read returns success with corrupt bytes — the CRC
+			// layer above must catch it.
+			n, err := f.File.ReadAt(p, off)
+			Corrupt(p[:n])
+			return n, err
+		case ActShort:
+			n, err := f.File.ReadAt(p[:len(p)/2], off)
+			if err == nil {
+				err = s.err()
+			}
+			return n, err
+		default:
+			return 0, s.err()
+		}
+	}
+	return f.File.ReadAt(p, off)
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if s, fire := f.write.Eval(); fire {
+		return f.failWrite(s, p, func(b []byte) (int, error) { return f.File.WriteAt(b, off) })
+	}
+	return f.File.WriteAt(p, off)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if s, fire := f.write.Eval(); fire {
+		return f.failWrite(s, p, f.File.Write)
+	}
+	return f.File.Write(p)
+}
+
+// failWrite realizes a fired write action: error persists nothing, short
+// persists a strict prefix, torn persists everything with a corrupted
+// tail. All three return an error — a write that tore is a write the
+// caller must not acknowledge.
+func (f *faultFile) failWrite(s Spec, p []byte, do func([]byte) (int, error)) (int, error) {
+	switch s.Action {
+	case ActStall:
+		time.Sleep(s.stall())
+		return do(p)
+	case ActShort:
+		n, err := do(p[:len(p)/2])
+		if err == nil {
+			err = s.err()
+		}
+		return n, err
+	case ActTorn:
+		mangled := make([]byte, len(p))
+		copy(mangled, p)
+		Corrupt(mangled[len(mangled)/2:])
+		n, err := do(mangled)
+		if err == nil {
+			err = s.err()
+		}
+		return n, err
+	default:
+		return 0, s.err()
+	}
+}
+
+func (f *faultFile) Sync() error {
+	if s, fire := f.sync.Eval(); fire {
+		if s.Action == ActStall {
+			time.Sleep(s.stall())
+		} else {
+			return s.err()
+		}
+	}
+	return f.File.Sync()
+}
+
+// Corrupt flips the low bit of every byte in b — the canonical torn-bytes
+// mangling (deterministic, non-empty change for any length > 0), shared by
+// seams that carry payloads outside the File interface (e.g. the replica
+// transport).
+func Corrupt(b []byte) {
+	for i := range b {
+		b[i] ^= 0x01
+	}
+}

@@ -1,0 +1,82 @@
+package pager
+
+import (
+	"errors"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"fuzzyknn/internal/fault"
+)
+
+// TestCommitFaultLeavesPreviousGeneration sweeps injected failures
+// through every step of a generation rewrite: the previous generation
+// must stay openable and byte-correct, and the failed commit must report
+// its cause.
+func TestCommitFaultLeavesPreviousGeneration(t *testing.T) {
+	points := []string{"pager.file.write", "pager.file.sync", "pager.file.rename", "pager.manifest.write", "pager.manifest.sync"}
+	for _, point := range points {
+		t.Run(point, func(t *testing.T) {
+			defer fault.Reset()
+			path := filepath.Join(t.TempDir(), "pages.fzp")
+			writePages(t, path, 3).Close()
+
+			fault.Enable(point, fault.Spec{Action: fault.ActError, Nth: 1, Err: syscall.ENOSPC})
+			w, err := NewWriter(path, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			failed := false
+			for i := 0; i < 4; i++ {
+				if _, err := w.WritePage(LeafPage, 1, []byte{9}); err != nil {
+					failed = true
+					break
+				}
+			}
+			if !failed {
+				err := w.Commit(Manifest{RootPage: 0, Dims: 2, Height: 1, MinEntries: 1, MaxEntries: 2, Objects: 4})
+				if err == nil {
+					t.Fatalf("%s did not fail the rewrite", point)
+				}
+				if !errors.Is(err, syscall.ENOSPC) {
+					t.Fatalf("commit error %v does not expose the cause", err)
+				}
+			}
+			fault.Reset()
+
+			f, err := Open(path)
+			if err != nil {
+				t.Fatalf("previous generation unopenable after failed rewrite: %v", err)
+			}
+			defer f.Close()
+			m := f.Manifest()
+			if m.Generation != 1 || m.PageCount != 3 {
+				t.Fatalf("manifest advanced across a failed commit: %+v", m)
+			}
+			buf := make([]byte, m.PageSize)
+			for page := uint32(0); page < m.PageCount; page++ {
+				if _, _, _, err := f.ReadPage(page, buf); err != nil {
+					t.Fatalf("page %d unreadable: %v", page, err)
+				}
+			}
+		})
+	}
+}
+
+// TestTornPageReadSurfacesCorrupt proves the per-page CRC catches a read
+// that silently returned flipped bits.
+func TestTornPageReadSurfacesCorrupt(t *testing.T) {
+	defer fault.Reset()
+	path := filepath.Join(t.TempDir(), "pages.fzp")
+	f := writePages(t, path, 2)
+	defer f.Close()
+
+	fault.Enable("pager.file.read", fault.Spec{Action: fault.ActTorn, Nth: 1})
+	buf := make([]byte, f.Manifest().PageSize)
+	if _, _, _, err := f.ReadPage(0, buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn page read returned %v, want ErrCorrupt", err)
+	}
+	if _, _, _, err := f.ReadPage(0, buf); err != nil {
+		t.Fatalf("clean retry failed: %v", err)
+	}
+}

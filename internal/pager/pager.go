@@ -8,10 +8,12 @@
 // with an 8-byte header — CRC-32 (IEEE) of the rest of the page, a flags
 // word and an entry count — followed by a payload whose layout belongs to
 // the caller (internal/query encodes R-tree nodes into it). The manifest
-// lives next to the page file at <path>.manifest and binds {generation,
-// page size, page count, root page, dims, tree shape, object count}; both
-// files are written via the temp + fsync + rename discipline, manifest
-// last, so a crash mid-write leaves the previous generation intact.
+// lives at <path>.manifest and binds {generation, page size, page count,
+// root page, dims, tree shape, object count}; generation G's page data
+// lives at <path>.g<G>, so publishing a rewrite never touches the previous
+// generation's bytes — the manifest rename is the one commit point, and a
+// failure (or crash) anywhere before it leaves the old generation fully
+// intact with the half-published new one as sweepable debris.
 package pager
 
 import (
@@ -22,12 +24,18 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
+
+	"fuzzyknn/internal/fault"
 )
 
 // Page-file format constants.
 const (
 	manifestMagic = "FZPGMAN1"
-	version       = 1
+	// version 2 moved page data from <path> to the generation-numbered
+	// <path>.g<G>, closing the crash window between data rename and
+	// manifest publish that version 1 had.
+	version = 2
 
 	// PageHeaderSize is the per-page overhead: crc32 (4) + flags (2) +
 	// entry count (2).
@@ -65,6 +73,12 @@ type Manifest struct {
 
 // ManifestPath returns the manifest path for a page file path.
 func ManifestPath(path string) string { return path + ".manifest" }
+
+// PageFilePath returns where generation gen's page data lives (the
+// manifest at ManifestPath names the live generation).
+func PageFilePath(path string, gen uint64) string {
+	return fmt.Sprintf("%s.g%d", path, gen)
+}
 
 func encodeManifest(m Manifest) []byte {
 	buf := make([]byte, manifestSize)
@@ -151,7 +165,7 @@ func ReadManifest(path string) (Manifest, error) {
 type Writer struct {
 	path     string
 	tmp      string
-	f        *os.File
+	f        fault.File
 	pageSize uint32
 	buf      []byte
 	pages    uint32
@@ -164,10 +178,13 @@ type Writer struct {
 func NewWriter(path string, pageSize uint32) (*Writer, error) {
 	pageSize = RoundPageSize(pageSize)
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	osf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, err
 	}
+	// Any injected failure here is a clean abort: the generation is only
+	// reachable once the manifest commits, so there is nothing to poison.
+	f := fault.WrapFile(osf, "pager.file")
 	return &Writer{path: path, tmp: tmp, f: f, pageSize: pageSize, buf: make([]byte, pageSize)}, nil
 }
 
@@ -208,9 +225,12 @@ func (w *Writer) WritePage(flags uint16, count uint16, payload []byte) (uint32, 
 	return id, nil
 }
 
-// Commit durably publishes the generation: page file first, then manifest.
-// The writer fills in PageCount, PageSize and Generation (previous
-// generation at this path plus one).
+// Commit durably publishes the generation: page data renamed to its
+// generation-numbered path first, then the manifest — the manifest rename
+// is the commit point. The previous generation's data file is never
+// touched until the new manifest is published, so any failure up to that
+// moment leaves the old generation intact; the superseded data file is
+// unlinked afterwards (and swept by Open if a crash strikes first).
 func (w *Writer) Commit(m Manifest) error {
 	if w.err != nil {
 		w.Abort()
@@ -219,8 +239,10 @@ func (w *Writer) Commit(m Manifest) error {
 	m.PageSize = w.pageSize
 	m.PageCount = w.pages
 	m.Generation = 1
+	prevGen := uint64(0)
 	if prev, err := ReadManifest(w.path); err == nil {
-		m.Generation = prev.Generation + 1
+		prevGen = prev.Generation
+		m.Generation = prevGen + 1
 	}
 	if err := m.validate(); err != nil {
 		w.Abort()
@@ -236,14 +258,27 @@ func (w *Writer) Commit(m Manifest) error {
 		return err
 	}
 	w.f = nil
-	if err := os.Rename(w.tmp, w.path); err != nil {
+	dataPath := PageFilePath(w.path, m.Generation)
+	if err := fault.P("pager.file.rename").Err(); err != nil {
+		w.Abort()
+		return err
+	}
+	if err := os.Rename(w.tmp, dataPath); err != nil {
 		w.Abort()
 		return err
 	}
 	if err := syncDir(filepath.Dir(w.path)); err != nil {
+		os.Remove(dataPath)
 		return err
 	}
-	return atomicWriteFile(ManifestPath(w.path), encodeManifest(m))
+	if err := atomicWriteFile(ManifestPath(w.path), encodeManifest(m)); err != nil {
+		os.Remove(dataPath)
+		return err
+	}
+	if prevGen > 0 {
+		os.Remove(PageFilePath(w.path, prevGen))
+	}
+	return nil
 }
 
 // Abort discards the in-progress generation.
@@ -258,21 +293,24 @@ func (w *Writer) Abort() {
 // File is an open page-file generation: the manifest plus random-access,
 // CRC-checked page reads. Reads are safe for concurrent use.
 type File struct {
-	f *os.File
+	f fault.File
 	m Manifest
 }
 
-// Open validates the manifest, opens the page file and checks its size
-// matches pageCount × pageSize exactly.
+// Open validates the manifest, opens the generation it names and checks
+// its size matches pageCount × pageSize exactly. Data files from other
+// generations — debris a crashed rewrite can leave — are swept.
 func Open(path string) (*File, error) {
 	m, err := ReadManifest(path)
 	if err != nil {
 		return nil, err
 	}
-	f, err := os.Open(path)
+	sweepDebris(path, m.Generation)
+	osf, err := os.Open(PageFilePath(path, m.Generation))
 	if err != nil {
 		return nil, err
 	}
+	f := fault.WrapFile(osf, "pager.file")
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -313,14 +351,48 @@ func (f *File) ReadPage(page uint32, buf []byte) (flags uint16, count uint16, pa
 // Close closes the page file.
 func (f *File) Close() error { return f.f.Close() }
 
+// sweepDebris removes generation data files other than keep, plus a stale
+// write temp — the leftovers of a rewrite that crashed before (or after)
+// its manifest commit. Best-effort; a failed removal retries next open.
+func sweepDebris(path string, keep uint64) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	keepName := filepath.Base(PageFilePath(path, keep))
+	isGen := func(name string) bool {
+		suffix := strings.TrimPrefix(name, base+".g")
+		if suffix == "" {
+			return false
+		}
+		for _, c := range suffix {
+			if c < '0' || c > '9' {
+				return false
+			}
+		}
+		return true
+	}
+	for _, de := range ents {
+		name := de.Name()
+		if name == base+".tmp" || (strings.HasPrefix(name, base+".g") && name != keepName && isGen(name)) {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
 // atomicWriteFile writes data to path via temp file + fsync + rename +
 // directory sync (same discipline as checkpoint manifests).
 func atomicWriteFile(path string, data []byte) error {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	osf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
+	f := fault.WrapFile(osf, "pager.manifest")
 	if _, err := f.Write(data); err != nil {
 		f.Close()
 		os.Remove(tmp)

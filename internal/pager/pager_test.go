@@ -127,13 +127,14 @@ func TestPageCorruptionDetected(t *testing.T) {
 	f := writePages(t, path, 3)
 	f.Close()
 
-	data, err := os.ReadFile(path)
+	dataPath := PageFilePath(path, 1)
+	data, err := os.ReadFile(dataPath)
 	if err != nil {
 		t.Fatal(err)
 	}
 	mut := append([]byte(nil), data...)
 	mut[PageAlign+PageHeaderSize] ^= 0xff // page 1's first payload byte
-	if err := os.WriteFile(path, mut, 0o644); err != nil {
+	if err := os.WriteFile(dataPath, mut, 0o644); err != nil {
 		t.Fatal(err)
 	}
 	f, err = Open(path)
@@ -150,7 +151,7 @@ func TestPageCorruptionDetected(t *testing.T) {
 	}
 
 	// A size that disagrees with the manifest fails at Open.
-	if err := os.WriteFile(path, data[:2*PageAlign], 0o644); err != nil {
+	if err := os.WriteFile(dataPath, data[:2*PageAlign], 0o644); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Open(path); !errors.Is(err, ErrCorrupt) {

@@ -347,18 +347,18 @@ func (p *batchPrep) storeApply() error {
 		// already passed, so failures here are of the I/O class.
 		m := p.ix.store.(store.Mutator)
 		for _, o := range p.inserts {
-			if err := m.Insert(o); err != nil {
+			if err := p.ix.noteStoreErr(m.Insert(o)); err != nil {
 				return fmt.Errorf("query: batch insert %d: %w", o.ID(), err)
 			}
 		}
 		for _, id := range p.deletes {
-			if err := m.Delete(id); err != nil {
+			if err := p.ix.noteStoreErr(m.Delete(id)); err != nil {
 				return fmt.Errorf("query: batch delete %d: %w", id, err)
 			}
 		}
 		return nil
 	}
-	err := bm.ApplyBatch(p.inserts, p.deletes)
+	err := p.ix.noteStoreErr(bm.ApplyBatch(p.inserts, p.deletes))
 	if err == nil {
 		return nil
 	}
@@ -422,6 +422,12 @@ func (sx *ShardedIndex) ApplyBatch(inserts []*fuzzy.Object, deletes []uint64) ([
 	stats := make([]Stats, len(inserts)+len(deletes))
 	if len(inserts)+len(deletes) == 0 {
 		return stats, nil
+	}
+	if err := sx.refuseIfDegraded(); err != nil {
+		return nil, fmt.Errorf("query: batch: %w", err)
+	}
+	if err := sx.refuseIfDegraded(); err != nil {
+		return nil, fmt.Errorf("query: batch: %w", err)
 	}
 
 	// Cross-shard structural validation: nil objects and a batch-wide

@@ -196,6 +196,12 @@ type Index struct {
 	// writeMu serializes Insert/Delete; readers never take it.
 	writeMu sync.Mutex
 	snap    atomic.Pointer[snapshot]
+
+	// degraded is set (sticky, first fault wins) when the store
+	// fail-stops; storageFaults counts every store op refused for that
+	// reason. See degraded.go.
+	degraded      atomic.Pointer[DegradedState]
+	storageFaults atomic.Int64
 }
 
 // snapshot is one immutable, consistent view of the index. The tree is
@@ -364,11 +370,11 @@ func (ix *Index) Checkpoint(compact bool) ([]store.CheckpointInfo, error) {
 	}
 	info, err := cp.Checkpoint()
 	if err != nil {
-		return nil, fmt.Errorf("query: checkpoint: %w", err)
+		return nil, fmt.Errorf("query: checkpoint: %w", ix.noteStoreErr(err))
 	}
 	if compact {
 		if info, err = cp.CompactLog(); err != nil {
-			return nil, fmt.Errorf("query: compact log: %w", err)
+			return nil, fmt.Errorf("query: compact log: %w", ix.noteStoreErr(err))
 		}
 	}
 	return []store.CheckpointInfo{info}, nil
@@ -402,7 +408,7 @@ func (ix *Index) Insert(obj *fuzzy.Object) error {
 	if !ok {
 		return fmt.Errorf("query: insert: %w: store %T has no write side", store.ErrReadOnly, ix.store)
 	}
-	if err := m.Insert(obj); err != nil {
+	if err := ix.noteStoreErr(m.Insert(obj)); err != nil {
 		return fmt.Errorf("query: insert: %w", err)
 	}
 	li := &leafItem{id: obj.ID(), approx: ix.estimator(obj), rep: obj.Rep()}
@@ -444,7 +450,7 @@ func (ix *Index) Delete(id uint64) (Stats, error) {
 	if !tree.Delete(obj.SupportMBR(), func(d any) bool { return d.(*leafItem).id == id }) {
 		return st, fmt.Errorf("query: delete: %w: id %d not in index", store.ErrNotFound, id)
 	}
-	if err := m.Delete(id); err != nil {
+	if err := ix.noteStoreErr(m.Delete(id)); err != nil {
 		// Store refused (e.g. raced liveness); the tree clone is discarded
 		// unpublished, so index and store stay consistent.
 		return st, fmt.Errorf("query: delete: %w", err)

@@ -58,6 +58,14 @@ type Searcher interface {
 	// consistency). Indexes over stores without a durable log fail with
 	// store.ErrUnsupported.
 	Checkpoint(compact bool) ([]store.CheckpointInfo, error)
+	// Degraded reports the sticky degraded state entered when the backing
+	// store fail-stops after a storage fault (nil = healthy). A degraded
+	// index keeps answering every query from the last published snapshot;
+	// mutations and checkpoints fail with errors wrapping store.ErrFailed.
+	Degraded() *DegradedState
+	// StorageFaults counts store operations refused by fail-stopped
+	// storage (the triggering fault plus every rejected retry).
+	StorageFaults() int64
 	// Len returns the number of indexed objects.
 	Len() int
 	// Dims returns the dimensionality (0 until known).

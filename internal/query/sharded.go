@@ -136,6 +136,9 @@ func (sx *ShardedIndex) Stats() IndexStats {
 // keep their new checkpoints, which is harmless (each shard's manifest is
 // self-consistent on its own).
 func (sx *ShardedIndex) Checkpoint(compact bool) ([]store.CheckpointInfo, error) {
+	if err := sx.refuseIfDegraded(); err != nil {
+		return nil, fmt.Errorf("query: checkpoint: %w", err)
+	}
 	infos := make([]store.CheckpointInfo, 0, len(sx.shards))
 	for i, sh := range sx.shards {
 		sub, err := sh.Checkpoint(compact)
@@ -171,6 +174,9 @@ func (sx *ShardedIndex) Insert(obj *fuzzy.Object) error {
 	if obj == nil {
 		return badArgf("query: insert: nil object")
 	}
+	if err := sx.refuseIfDegraded(); err != nil {
+		return fmt.Errorf("query: insert: %w", err)
+	}
 	if d := sx.Dims(); d != 0 && obj.Dims() != d {
 		return badArgf("query: insert: object dims %d, index dims %d", obj.Dims(), d)
 	}
@@ -179,6 +185,9 @@ func (sx *ShardedIndex) Insert(obj *fuzzy.Object) error {
 
 // Delete retires id from its owning shard. See Index.Delete.
 func (sx *ShardedIndex) Delete(id uint64) (Stats, error) {
+	if err := sx.refuseIfDegraded(); err != nil {
+		return Stats{}, fmt.Errorf("query: delete: %w", err)
+	}
 	return sx.shardFor(id).Delete(id)
 }
 

@@ -1,0 +1,51 @@
+package replica
+
+import "time"
+
+// jitterBackoff produces full-jitter exponential retry delays (the AWS
+// "full jitter" scheme with a floor): each call to next draws uniformly
+// from [min, ceiling] and then doubles the ceiling, capped at max. The
+// ceiling starts at min, so the first retry of a streak sleeps exactly
+// min; reset narrows the window again after a success. Jitter prevents a
+// fleet of followers from hammering a recovering leader in lockstep.
+//
+// Not safe for concurrent use; each retry loop owns one instance (the
+// Follower contract already forbids concurrent Run/Sync).
+type jitterBackoff struct {
+	min, max time.Duration
+	cur      time.Duration // current ceiling
+	rng      uint64        // splitmix64 state
+}
+
+func newJitterBackoff(min, max time.Duration, seed uint64) *jitterBackoff {
+	if seed == 0 {
+		seed = uint64(time.Now().UnixNano())
+	}
+	return &jitterBackoff{min: min, max: max, cur: min, rng: seed}
+}
+
+// next returns the sleep before the next retry and widens the window for
+// the one after it.
+func (b *jitterBackoff) next() time.Duration {
+	d := b.min
+	if span := b.cur - b.min; span > 0 {
+		d += time.Duration(b.nextU64() % uint64(span+1))
+	}
+	b.cur *= 2
+	if b.cur > b.max {
+		b.cur = b.max
+	}
+	return d
+}
+
+// reset narrows the window back to [min, min] after a success.
+func (b *jitterBackoff) reset() { b.cur = b.min }
+
+// nextU64 advances the splitmix64 stream.
+func (b *jitterBackoff) nextU64() uint64 {
+	b.rng += 0x9e3779b97f4a7c15
+	z := b.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -13,8 +13,15 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fuzzyknn/internal/fault"
 	"fuzzyknn/internal/fuzzy"
 )
+
+// fpFetch intercepts every replication fetch on the follower side,
+// modeling a faulty network: error drops the connection, short truncates
+// the body, torn flips payload bits (caught downstream by the wire CRCs),
+// stall delays the response.
+var fpFetch = fault.P("replica.fetch")
 
 // Applier is the follower's view of its local index: frames and snapshot
 // diffs are applied through the same group-commit path the leader used, so
@@ -35,8 +42,16 @@ type Options struct {
 	// MaxBytes bounds the frame bytes per poll response (default 4 MiB).
 	MaxBytes int
 	// MinBackoff/MaxBackoff bound the reconnect backoff after transport
-	// errors (defaults 100ms and 2s).
+	// errors (defaults 100ms and 2s). Retry n of a failure streak sleeps a
+	// full-jitter duration drawn uniformly from [MinBackoff, ceiling],
+	// where the ceiling starts at MinBackoff (so the first retry is
+	// exactly MinBackoff) and doubles per consecutive failure up to
+	// MaxBackoff; any success resets the ceiling. Jitter keeps a fleet of
+	// followers from reconnecting in lockstep after a leader restart.
 	MinBackoff, MaxBackoff time.Duration
+	// BackoffSeed seeds the jitter stream; 0 derives a seed from the
+	// clock. Tests pin it to make retry schedules deterministic.
+	BackoffSeed uint64
 	// Logf receives re-bootstrap and reconnect log lines; nil discards.
 	Logf func(format string, args ...any)
 }
@@ -159,7 +174,18 @@ func (f *Follower) logf(format string, args ...any) {
 }
 
 // fetch issues one GET and returns the whole body, counting streamed bytes.
+// The replica.fetch failpoint sits on this path: every replication request
+// — bootstrap or log poll — crosses it exactly once.
 func (f *Follower) fetch(ctx context.Context, url string) ([]byte, int, error) {
+	spec, fire := fpFetch.Eval()
+	if fire {
+		switch spec.Action {
+		case fault.ActError:
+			return nil, 0, fmt.Errorf("replica: injected connection drop: %w", spec.InjectedErr())
+		case fault.ActStall:
+			time.Sleep(spec.StallFor())
+		}
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, 0, err
@@ -172,6 +198,14 @@ func (f *Follower) fetch(ctx context.Context, url string) ([]byte, int, error) {
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, resp.StatusCode, err
+	}
+	if fire {
+		switch spec.Action {
+		case fault.ActShort:
+			body = body[:len(body)/2]
+		case fault.ActTorn:
+			fault.Corrupt(body)
+		}
 	}
 	f.bytesStreamed.Add(int64(len(body)))
 	return body, resp.StatusCode, nil
@@ -352,7 +386,7 @@ func (f *Follower) SyncTo(ctx context.Context, seq uint64) error {
 }
 
 func (f *Follower) syncTo(ctx context.Context, upTo uint64) error {
-	backoff := f.opts.MinBackoff
+	backoff := newJitterBackoff(f.opts.MinBackoff, f.opts.MaxBackoff, f.opts.BackoffSeed)
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -364,13 +398,12 @@ func (f *Follower) syncTo(ctx context.Context, upTo uint64) error {
 				}
 				f.reconnects.Add(1)
 				f.logf("replica: bootstrap from %s failed: %v (retrying)", f.leader, err)
-				if !sleepCtx(ctx, backoff) {
+				if !sleepCtx(ctx, backoff.next()) {
 					return ctx.Err()
 				}
-				backoff = minDur(backoff*2, f.opts.MaxBackoff)
 				continue
 			}
-			backoff = f.opts.MinBackoff
+			backoff.reset()
 		}
 		if upTo != 0 && f.applied.Load() >= upTo {
 			return nil
@@ -384,7 +417,7 @@ func (f *Follower) syncTo(ctx context.Context, upTo uint64) error {
 			if n == 0 && f.applied.Load() >= f.leaderSeq.Load() {
 				return nil // converged
 			}
-			backoff = f.opts.MinBackoff
+			backoff.reset()
 		case needsRebootstrap(err):
 			f.logf("replica: %v; re-bootstrapping", err)
 			f.markUnbootstrapped()
@@ -394,10 +427,9 @@ func (f *Follower) syncTo(ctx context.Context, upTo uint64) error {
 			}
 			f.reconnects.Add(1)
 			f.logf("replica: poll %s failed: %v (retrying)", f.leader, err)
-			if !sleepCtx(ctx, backoff) {
+			if !sleepCtx(ctx, backoff.next()) {
 				return ctx.Err()
 			}
-			backoff = minDur(backoff*2, f.opts.MaxBackoff)
 		}
 	}
 }
@@ -406,7 +438,7 @@ func (f *Follower) syncTo(ctx context.Context, upTo uint64) error {
 // long-poll tail, re-bootstrapping on truncation/divergence and backing
 // off on transport errors. Always returns ctx.Err().
 func (f *Follower) Run(ctx context.Context) error {
-	backoff := f.opts.MinBackoff
+	backoff := newJitterBackoff(f.opts.MinBackoff, f.opts.MaxBackoff, f.opts.BackoffSeed)
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -418,18 +450,17 @@ func (f *Follower) Run(ctx context.Context) error {
 				}
 				f.reconnects.Add(1)
 				f.logf("replica: bootstrap from %s failed: %v (retrying)", f.leader, err)
-				if !sleepCtx(ctx, backoff) {
+				if !sleepCtx(ctx, backoff.next()) {
 					return ctx.Err()
 				}
-				backoff = minDur(backoff*2, f.opts.MaxBackoff)
 				continue
 			}
-			backoff = f.opts.MinBackoff
+			backoff.reset()
 		}
 		_, err := f.pollOnce(ctx, f.opts.PollWait, 0)
 		switch {
 		case err == nil:
-			backoff = f.opts.MinBackoff
+			backoff.reset()
 		case needsRebootstrap(err):
 			f.logf("replica: %v; re-bootstrapping", err)
 			f.markUnbootstrapped()
@@ -439,10 +470,9 @@ func (f *Follower) Run(ctx context.Context) error {
 			}
 			f.reconnects.Add(1)
 			f.logf("replica: poll %s failed: %v (retrying)", f.leader, err)
-			if !sleepCtx(ctx, backoff) {
+			if !sleepCtx(ctx, backoff.next()) {
 				return ctx.Err()
 			}
-			backoff = minDur(backoff*2, f.opts.MaxBackoff)
 		}
 	}
 }
@@ -456,13 +486,6 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	case <-ctx.Done():
 		return false
 	}
-}
-
-func minDur(a, b time.Duration) time.Duration {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // ParseWaitMS parses a wait_ms query parameter, clamping to [0, max].

@@ -12,7 +12,7 @@
 //	POST   /checkpoint    {compact?} (body optional)                      → {shards, compacted}
 //	GET    /stats         index size + engine lifetime totals
 //	GET    /metrics       Prometheus text exposition (engine + HTTP series)
-//	GET    /healthz       liveness probe
+//	GET    /healthz       liveness probe; reports degraded mode (always 200)
 //	GET    /debug/pprof/* runtime profiles (opt-in via Options.EnablePprof)
 //	GET    /replication/checkpoint  binary bootstrap snapshot (leader role)
 //	GET    /replication/log         committed frame stream, long-poll (leader role)
@@ -30,6 +30,15 @@
 // 404. Mutations are dispatched through the engine like queries, so they
 // share its worker pool, cancellation and lifetime statistics, and every
 // query in flight during a mutation keeps its consistent snapshot.
+//
+// When the index's storage fail-stops (a failed fsync poisons the store),
+// the server enters degraded read-only mode: every query keeps serving from
+// the last published snapshot, mutations and checkpoints answer 503 with
+// the fail-stop reason, /healthz stays 200 (the process is alive and
+// useful) but reports {"status": "degraded", "reason": ...}, and /stats and
+// /metrics expose the state for alerting (fuzzyknn_degraded,
+// fuzzyknn_storage_faults_total). The condition is sticky — recovery is
+// restarting the process on healthy storage.
 //
 // Error taxonomy beyond that: a request body over the 16 MiB cap is 413, a
 // request that outlives Options.RequestTimeout is 504, and a request the
@@ -149,6 +158,17 @@ func New(ix *fuzzyknn.Index, eng *fuzzyknn.Engine, opts *Options) *Server {
 	s.reg.GaugeFunc("fuzzyknn_index_objects",
 		"Live objects in the served index.",
 		func() int64 { return int64(ix.Len()) })
+	s.reg.GaugeFunc("fuzzyknn_degraded",
+		"1 while the index is in sticky degraded read-only mode after a storage fail-stop, else 0.",
+		func() int64 {
+			if ix.Degraded() != nil {
+				return 1
+			}
+			return 0
+		})
+	s.reg.CounterFunc("fuzzyknn_storage_faults_total",
+		"Store operations refused by fail-stopped storage (the triggering fault plus every rejected retry).",
+		ix.StorageFaults)
 	// One cache vocabulary for both caching layers: the block cache holds
 	// index pages (cache="pages"), the store LRU holds decoded object
 	// payloads (cache="objects"). Families register only for the layers the
@@ -193,9 +213,7 @@ func New(ix *fuzzyknn.Index, eng *fuzzyknn.Engine, opts *Options) *Server {
 	s.mux.HandleFunc("POST /checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.registerReplication()
 	if s.opts.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -497,6 +515,31 @@ type StatsResponse struct {
 	PageCache           *CacheJSON       `json:"page_cache,omitempty"`
 	ObjectCache         *CacheJSON       `json:"object_cache,omitempty"`
 	Replication         *ReplicationJSON `json:"replication,omitempty"`
+	Degraded            *DegradedJSON    `json:"degraded,omitempty"`
+}
+
+// DegradedJSON appears in /stats and /healthz while the index is in sticky
+// degraded read-only mode after a storage fail-stop.
+type DegradedJSON struct {
+	// Reason is the first fail-stop error observed.
+	Reason string `json:"reason"`
+	// Since is when the index entered degraded mode (RFC 3339).
+	Since string `json:"since"`
+	// StorageFaults counts store operations refused by fail-stopped
+	// storage.
+	StorageFaults int64 `json:"storage_faults"`
+}
+
+// HealthzResponse is the body of GET /healthz. Status is "ok" or
+// "degraded"; the HTTP status is 200 either way — a degraded server is
+// alive and still answers every query, so liveness probes must not kill
+// it. Alert on Status (or the fuzzyknn_degraded metric) instead.
+type HealthzResponse struct {
+	Status string `json:"status"`
+	// Reason and Since are set while degraded: the first fail-stop error
+	// and when it was observed (RFC 3339).
+	Reason string `json:"reason,omitempty"`
+	Since  string `json:"since,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.
@@ -656,10 +699,21 @@ func (s *Server) handleBatchMutate(w http.ResponseWriter, r *http.Request) {
 		out.Results = append(out.Results, BatchItemJSON{Op: "delete", ID: id})
 		reqs = append(reqs, fuzzyknn.BatchRequest{Kind: fuzzyknn.BatchDeleteKind, ID: id})
 	}
+	var degradedErr error
 	for k, resp := range s.eng.DoBatch(r.Context(), reqs) {
 		if resp.Err != nil {
 			out.Results[resultPos[k]].Error = resp.Err.Error()
+			if errors.Is(resp.Err, fuzzyknn.ErrDegraded) {
+				degradedErr = resp.Err
+			}
 		}
+	}
+	// A degraded index refuses the batch as one unit (the group commit
+	// shares the outcome); answer 503 like the other mutation endpoints
+	// instead of burying the refusal in per-item verdicts.
+	if degradedErr != nil {
+		writeError(w, http.StatusServiceUnavailable, degradedErr)
+		return
 	}
 	for _, item := range out.Results {
 		if item.Error == "" {
@@ -713,8 +767,11 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	infos, err := s.eng.Checkpoint(compact)
 	if err != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(err, fuzzyknn.ErrCheckpointUnsupported) {
+		switch {
+		case errors.Is(err, fuzzyknn.ErrCheckpointUnsupported):
 			status = http.StatusNotImplemented
+		case errors.Is(err, fuzzyknn.ErrDegraded):
+			status = http.StatusServiceUnavailable
 		}
 		writeError(w, status, err)
 		return
@@ -779,6 +836,35 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.ObjectCache = &CacheJSON{Hits: hits, Misses: misses}
 	}
 	resp.Replication = s.replicationStats()
+	resp.Degraded = s.degradedStats()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// degradedStats snapshots the index's degraded state for /stats, or nil
+// while healthy.
+func (s *Server) degradedStats() *DegradedJSON {
+	d := s.ix.Degraded()
+	if d == nil {
+		return nil
+	}
+	return &DegradedJSON{
+		Reason:        d.Reason,
+		Since:         d.Since.UTC().Format(time.RFC3339Nano),
+		StorageFaults: s.ix.StorageFaults(),
+	}
+}
+
+// handleHealthz answers the liveness probe. A degraded index still serves
+// its whole query surface, so the status code stays 200 — orchestrators
+// must not restart-loop a replica that is alive and useful. The body tells
+// operators (and readiness-style checks that parse it) the truth.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthzResponse{Status: "ok"}
+	if d := s.ix.Degraded(); d != nil {
+		resp.Status = "degraded"
+		resp.Reason = d.Reason
+		resp.Since = d.Since.UTC().Format(time.RFC3339Nano)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -888,7 +974,9 @@ func writeQueryError(w http.ResponseWriter, err error) {
 
 // writeMutationError maps Insert/Delete failures onto the same taxonomy:
 // invalid or duplicate objects are the client's fault (400), deleting a
-// dead id is 404, load signals as in writeLoadError, a read-only store
+// dead id is 404, load signals as in writeLoadError, a write refused by a
+// degraded (fail-stopped) store is 503 — retrying against this process
+// cannot succeed, the client should fail over — and a read-only store
 // (server configuration) is a 500.
 func writeMutationError(w http.ResponseWriter, err error) {
 	if writeLoadError(w, err) {
@@ -896,6 +984,8 @@ func writeMutationError(w http.ResponseWriter, err error) {
 	}
 	status := http.StatusInternalServerError
 	switch {
+	case errors.Is(err, fuzzyknn.ErrDegraded):
+		status = http.StatusServiceUnavailable
 	case errors.Is(err, fuzzyknn.ErrInvalidQuery), errors.Is(err, fuzzyknn.ErrDuplicate):
 		status = http.StatusBadRequest
 	case errors.Is(err, fuzzyknn.ErrNotFound):

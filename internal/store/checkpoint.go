@@ -13,6 +13,8 @@ import (
 	"slices"
 	"strings"
 	"time"
+
+	"fuzzyknn/internal/fault"
 )
 
 // ErrUnsupported is returned for checkpoint operations on stores that have
@@ -158,32 +160,66 @@ func readManifest(path string) (*logManifest, error) {
 
 // atomicWriteFile publishes data at path via temp file + fsync + rename +
 // directory fsync: after a crash the path holds either the old content or
-// the new, never a prefix.
-func atomicWriteFile(path string, data []byte) error {
+// the new, never a prefix. The committed result distinguishes the two
+// failure regimes a caller must treat differently: false means the rename
+// never happened (the old content is intact, the temp is gone — a clean
+// abort, safe to retry); true with a non-nil error means the rename
+// succeeded but the directory fsync did not, so which content survives a
+// power loss is unknowable and the caller must fail-stop rather than
+// acknowledge on top of ambiguous disk state.
+func atomicWriteFile(path string, data []byte) (committed bool, err error) {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	osf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return err
+		return false, err
 	}
+	f := fault.WrapFile(osf, "store.manifest")
 	if _, err := f.Write(data); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return false, err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
 		os.Remove(tmp)
-		return err
+		return false, err
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
-		return err
+		return false, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := renameFP(fpManifestRename, tmp, path); err != nil {
 		os.Remove(tmp)
+		return false, err
+	}
+	return true, syncDirFP(filepath.Dir(path))
+}
+
+// renameFP is os.Rename behind a failpoint.
+func renameFP(p *fault.Point, oldpath, newpath string) error {
+	if err := p.Err(); err != nil {
 		return err
 	}
-	return syncDir(filepath.Dir(path))
+	return os.Rename(oldpath, newpath)
+}
+
+// syncDirFP is syncDir behind the store.dirsync failpoint.
+func syncDirFP(dir string) error {
+	if err := fpDirSync.Err(); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// verifyPayload checks a copied record's embedded CRC before it lands in
+// a new artifact, so a read that silently returned corrupt bytes (bit
+// rot, a lying disk) cannot be laundered into a freshly checksummed
+// checkpoint or compacted log.
+func verifyPayload(p []byte, id uint64) error {
+	if len(p) < 20 || crc32.ChecksumIEEE(p[:len(p)-4]) != binary.LittleEndian.Uint32(p[len(p)-4:]) {
+		return fmt.Errorf("%w: object %d failed its embedded checksum during copy", ErrCorrupt, id)
+	}
+	return nil
 }
 
 // syncDir fsyncs a directory so a just-renamed file survives power loss.
@@ -220,17 +256,18 @@ const (
 // after the lock is dropped.
 type ckptSource struct {
 	e dirEntry
-	f *os.File
+	f fault.File
 }
 
 // writeCheckpoint streams a snapshot of srcs to path via temp file + fsync
 // + rename, returning each record's payload offset and the final size.
 func writeCheckpoint(path string, dims int, gen uint64, srcs []ckptSource) (offsets []int64, size int64, err error) {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	osf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, 0, err
 	}
+	f := fault.WrapFile(osf, "store.ckpt")
 	fail := func(err error) ([]int64, int64, error) {
 		f.Close()
 		os.Remove(tmp)
@@ -261,6 +298,9 @@ func writeCheckpoint(path string, dims int, gen uint64, srcs []ckptSource) (offs
 		if _, err := src.f.ReadAt(p, int64(src.e.offset)); err != nil {
 			return fail(fmt.Errorf("store: checkpoint read object %d: %w", src.e.id, err))
 		}
+		if err := verifyPayload(p, src.e.id); err != nil {
+			return fail(err)
+		}
 		binary.LittleEndian.PutUint32(frame[:], uint32(src.e.length))
 		if _, err := w.Write(frame[:]); err != nil {
 			return fail(err)
@@ -285,11 +325,14 @@ func writeCheckpoint(path string, dims int, gen uint64, srcs []ckptSource) (offs
 		os.Remove(tmp)
 		return nil, 0, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := renameFP(fpCkptRename, tmp, path); err != nil {
 		os.Remove(tmp)
 		return nil, 0, err
 	}
-	if err := syncDir(filepath.Dir(path)); err != nil {
+	if err := syncDirFP(filepath.Dir(path)); err != nil {
+		// The rename happened but is not durable; the file is not yet
+		// manifest-committed, so dropping it is the clean abort.
+		os.Remove(path)
 		return nil, 0, err
 	}
 	return offsets, pos + 4, nil
@@ -301,10 +344,11 @@ func writeCheckpoint(path string, dims int, gen uint64, srcs []ckptSource) (offs
 // truncation, checksum mismatch — is ErrCorrupt: checkpoints are published
 // atomically, so unlike a log they have no legitimate torn state.
 func (s *LogStore) loadCheckpoint(path string, man *logManifest) error {
-	f, err := os.Open(path)
+	osf, err := os.Open(path)
 	if err != nil {
 		return fmt.Errorf("%w: manifest names checkpoint %s: %v", ErrCorrupt, filepath.Base(path), err)
 	}
+	f := fault.WrapFile(osf, "store.ckpt")
 	ok := false
 	defer func() {
 		if !ok {
@@ -454,6 +498,10 @@ func (s *LogStore) Checkpoint() (CheckpointInfo, error) {
 	// snapshot covers, and each entry's backing file (payloads may live
 	// in the log or in the previous checkpoint).
 	s.mu.RLock()
+	if err := s.failed; err != nil {
+		s.mu.RUnlock()
+		return CheckpointInfo{}, err
+	}
 	gen := s.ckptGen + 1
 	tail := s.offset
 	srcs := make([]ckptSource, 0, len(s.live))
@@ -469,11 +517,12 @@ func (s *LogStore) Checkpoint() (CheckpointInfo, error) {
 	if err != nil {
 		return CheckpointInfo{}, err
 	}
-	newF, err := os.Open(cpath)
+	newOSF, err := os.Open(cpath)
 	if err != nil {
 		os.Remove(cpath)
 		return CheckpointInfo{}, err
 	}
+	newF := fault.WrapFile(newOSF, "store.ckpt")
 
 	// Phase 3 — commit: force the log down to at least the recorded tail
 	// (under SyncBatch/SyncOff the manifest must never bind bytes that are
@@ -481,7 +530,16 @@ func (s *LogStore) Checkpoint() (CheckpointInfo, error) {
 	// directory entries to the snapshot so the covered log prefix is no
 	// longer needed for reads.
 	s.mu.Lock()
+	if err := s.failed; err != nil {
+		s.mu.Unlock()
+		newF.Close()
+		os.Remove(cpath)
+		return CheckpointInfo{}, err
+	}
 	if err := s.f.Sync(); err != nil {
+		// The log fsync that would have made the manifest's bound bytes
+		// durable failed: fsyncgate territory — poison, never acknowledge.
+		err = s.failLocked("checkpoint log fsync", err)
 		s.mu.Unlock()
 		newF.Close()
 		os.Remove(cpath)
@@ -497,10 +555,19 @@ func (s *LogStore) Checkpoint() (CheckpointInfo, error) {
 		size:    s.offset,
 		created: now,
 	}
-	if err := atomicWriteFile(manifestPath(s.path), encodeManifest(man)); err != nil {
+	if committed, err := atomicWriteFile(manifestPath(s.path), encodeManifest(man)); err != nil {
+		if committed {
+			// The manifest renamed but its durability is unknowable; the
+			// in-memory directory still matches the previous manifest and
+			// the old files stay open, so reads remain correct — but no
+			// further acknowledgment can be honest. Poison.
+			err = s.failLocked("manifest directory fsync", err)
+		}
 		s.mu.Unlock()
 		newF.Close()
-		os.Remove(cpath)
+		if !committed {
+			os.Remove(cpath)
+		}
 		return CheckpointInfo{}, err
 	}
 	oldF, oldPath := s.ckptF, ""
@@ -552,6 +619,9 @@ func (s *LogStore) CompactLog() (CheckpointInfo, error) {
 	defer s.ckptMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.failed != nil {
+		return CheckpointInfo{}, s.failed
+	}
 
 	// Survivors: a tombstone for every checkpointed id no longer live as
 	// its checkpoint copy (deleted, or deleted and reinserted), then a put
@@ -580,11 +650,12 @@ func (s *LogStore) CompactLog() (CheckpointInfo, error) {
 	if err != nil {
 		return CheckpointInfo{}, err
 	}
-	newF, err := os.OpenFile(npath, os.O_RDWR, 0o644)
+	newOSF, err := os.OpenFile(npath, os.O_RDWR, 0o644)
 	if err != nil {
 		os.Remove(npath)
 		return CheckpointInfo{}, err
 	}
+	newF := fault.WrapFile(newOSF, "store.log")
 	man := &logManifest{
 		dims:    s.dims,
 		gen:     s.ckptGen,
@@ -594,9 +665,19 @@ func (s *LogStore) CompactLog() (CheckpointInfo, error) {
 		size:    size,
 		created: s.ckptAt,
 	}
-	if err := atomicWriteFile(manifestPath(s.path), encodeManifest(man)); err != nil {
+	if committed, err := atomicWriteFile(manifestPath(s.path), encodeManifest(man)); err != nil {
+		if committed {
+			// Renamed but not durably: the manifest on disk now names the
+			// compacted log while memory still appends to the old one —
+			// acknowledging any further write would be acknowledging into a
+			// file the next open may never read. Poison; reads stay valid
+			// through the handles already open.
+			err = s.failLocked("manifest directory fsync", err)
+		}
 		newF.Close()
-		os.Remove(npath)
+		if !committed {
+			os.Remove(npath)
+		}
 		return CheckpointInfo{}, err
 	}
 	oldF, oldPath := s.f, logPathFor(s.path, s.logSeq)
@@ -624,10 +705,11 @@ func (s *LogStore) CompactLog() (CheckpointInfo, error) {
 // offset and the final size.
 func writeCompactedLog(path string, dims int, tombs []uint64, puts []ckptSource) (offsets []int64, size int64, err error) {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	osf, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return nil, 0, err
 	}
+	f := fault.WrapFile(osf, "store.compact")
 	fail := func(err error) ([]int64, int64, error) {
 		f.Close()
 		os.Remove(tmp)
@@ -679,6 +761,9 @@ func writeCompactedLog(path string, dims int, tombs []uint64, puts []ckptSource)
 		if _, err := src.f.ReadAt(p, int64(src.e.offset)); err != nil {
 			return fail(fmt.Errorf("store: compaction read object %d: %w", src.e.id, err))
 		}
+		if err := verifyPayload(p, src.e.id); err != nil {
+			return fail(err)
+		}
 		offsets[i] = pos + logFrameSize
 		if err := writeRec(recPut, p); err != nil {
 			return fail(err)
@@ -694,11 +779,13 @@ func writeCompactedLog(path string, dims int, tombs []uint64, puts []ckptSource)
 		os.Remove(tmp)
 		return nil, 0, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := renameFP(fpCompactRename, tmp, path); err != nil {
 		os.Remove(tmp)
 		return nil, 0, err
 	}
-	if err := syncDir(filepath.Dir(path)); err != nil {
+	if err := syncDirFP(filepath.Dir(path)); err != nil {
+		// Renamed but not durably; nothing references it yet, so drop it.
+		os.Remove(path)
 		return nil, 0, err
 	}
 	return offsets, pos, nil

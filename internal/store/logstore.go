@@ -10,7 +10,27 @@ import (
 	"slices"
 	"sync"
 
+	"fuzzyknn/internal/fault"
 	"fuzzyknn/internal/fuzzy"
+)
+
+// The store's failpoints, pre-resolved once so consulting them is one
+// atomic load. File-level points (<role>.read/.write/.sync) are wired by
+// fault.WrapFile at each open site under these role prefixes:
+//
+//	store.log      — the active append log (any generation)
+//	store.ckpt     — checkpoint files (temp during write, final for reads)
+//	store.compact  — a compacted log being written
+//	store.manifest — the manifest temp file
+//
+// The commit-step points below cover the operations between files: the
+// renames that publish an artifact and the directory fsyncs that make a
+// rename durable.
+var (
+	fpManifestRename = fault.P("store.manifest.rename")
+	fpCkptRename     = fault.P("store.ckpt.rename")
+	fpCompactRename  = fault.P("store.compact.rename")
+	fpDirSync        = fault.P("store.dirsync")
 )
 
 // SyncPolicy selects when a LogStore fsyncs. The policies trade the
@@ -86,7 +106,7 @@ func (p SyncPolicy) String() string {
 // positioned I/O.
 type LogStore struct {
 	mu     sync.RWMutex
-	f      *os.File
+	f      fault.File
 	path   string // base path; manifest/checkpoint/compacted logs are named after it ("" = anonymous, no checkpoints)
 	dims   int
 	policy SyncPolicy
@@ -94,17 +114,18 @@ type LogStore struct {
 	dead   map[uint64]dirEntry // most recent tombstoned version per id
 	ids    []uint64            // sorted live ids
 	offset int64               // append position
+	failed error               // sticky fail-stop poison (wraps ErrFailed); see failLocked
 
 	ckptMu    sync.Mutex // serializes Checkpoint and CompactLog
-	ckptF     *os.File   // current checkpoint file (nil when ckptGen == 0)
+	ckptF     fault.File // current checkpoint file (nil when ckptGen == 0)
 	ckptGen   uint64
 	ckptIDs   map[uint64]struct{} // ids the current checkpoint holds
 	ckptBytes int64
-	ckptAt    int64      // checkpoint cut time, unix nanos
-	logSeq    uint64     // active log sequence (0 = the original path)
-	tail      int64      // manifest-bound replay start; earlier bytes are covered by the checkpoint
-	retired   []*os.File // superseded files kept open for in-flight readers until Close
-	replayed  int        // records replayed at open (reopen-cost diagnostics)
+	ckptAt    int64        // checkpoint cut time, unix nanos
+	logSeq    uint64       // active log sequence (0 = the original path)
+	tail      int64        // manifest-bound replay start; earlier bytes are covered by the checkpoint
+	retired   []fault.File // superseded files kept open for in-flight readers until Close
+	replayed  int          // records replayed at open (reopen-cost diagnostics)
 }
 
 const (
@@ -159,10 +180,11 @@ func OpenLogPolicy(path string, dims int, policy SyncPolicy) (*LogStore, error) 
 	}
 	var s *LogStore
 	if man == nil {
-		f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+		osf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 		if err != nil {
 			return nil, err
 		}
+		f := fault.WrapFile(osf, "store.log")
 		if s, err = openLogFile(f, dims); err != nil {
 			f.Close()
 			return nil, err
@@ -212,10 +234,11 @@ func openWithManifest(path string, dims int, man *logManifest) (*LogStore, error
 		}
 	}
 	lp := logPathFor(path, man.logSeq)
-	f, err := os.OpenFile(lp, os.O_RDWR, 0o644)
+	osf, err := os.OpenFile(lp, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("%w: manifest names log %s: %v", ErrCorrupt, filepath.Base(lp), err)
 	}
+	f := fault.WrapFile(osf, "store.log")
 	s.f = f
 	st, err := f.Stat()
 	if err != nil {
@@ -249,7 +272,7 @@ func openWithManifest(path string, dims int, man *logManifest) (*LogStore, error
 	return s, nil
 }
 
-func openLogFile(f *os.File, dims int) (*LogStore, error) {
+func openLogFile(f fault.File, dims int) (*LogStore, error) {
 	st, err := f.Stat()
 	if err != nil {
 		return nil, err
@@ -305,7 +328,7 @@ func openLogFile(f *os.File, dims int) (*LogStore, error) {
 }
 
 // readLogHeader validates the fixed log file header and returns its dims.
-func readLogHeader(f *os.File) (int, error) {
+func readLogHeader(f fault.File) (int, error) {
 	hdr := make([]byte, logHeaderSize)
 	if _, err := io.ReadFull(io.NewSectionReader(f, 0, logHeaderSize), hdr); err != nil {
 		return 0, fmt.Errorf("%w: unreadable log header: %v", ErrCorrupt, err)
@@ -628,25 +651,51 @@ func (s *LogStore) appendRecord(kind byte, payload []byte) error {
 }
 
 // writeRecord lands one framed record at the append position, optionally
-// fsyncing, and advances the position only on success (a failed write
-// leaves the directory untouched; the orphaned bytes are overwritten by the
-// next append or truncated as a crash tail on reopen).
+// fsyncing, and advances the position only on success. Any failure
+// fail-stops the store (see failLocked): a short or torn write leaves
+// garbage at the tail that a full-length reopen scan could mistake for
+// corruption, and a failed fsync means the page cache may already have
+// dropped acknowledged bytes — in both cases continuing to acknowledge
+// writes would be lying about durability.
 func (s *LogStore) writeRecord(buf []byte, sync bool) error {
 	if _, err := s.f.WriteAt(buf, s.offset); err != nil {
-		return err
+		return s.failLocked("log append", err)
 	}
 	if sync {
 		if err := s.f.Sync(); err != nil {
-			return err
+			return s.failLocked("log fsync", err)
 		}
 	}
 	s.offset += int64(len(buf))
 	return nil
 }
 
+// failLocked poisons the store after an I/O failure on the active log:
+// the first caller records a sticky error wrapping ErrFailed and makes a
+// best-effort truncate back to the acknowledged append position, so the
+// on-disk file holds exactly the pre-failure record prefix (a torn write
+// must not leave bytes a reopen would have to interpret). Every later
+// mutation returns the recorded error unchanged. Callers hold s.mu.
+func (s *LogStore) failLocked(op string, cause error) error {
+	if s.failed == nil {
+		s.failed = fmt.Errorf("%w: %s: %w", ErrFailed, op, cause)
+		// Best effort — if even the truncate fails, reopen's tail scan is
+		// the backstop, and it may (correctly, loudly) refuse the garbage.
+		s.f.Truncate(s.offset)
+	}
+	return s.failed
+}
+
+// Failed reports the sticky fail-stop error, nil while healthy.
+func (s *LogStore) Failed() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.failed
+}
+
 // fileFor resolves the file backing an entry's payload — the active log,
 // the checkpoint, or a retired handle. Call with s.mu held (either mode).
-func (s *LogStore) fileFor(e dirEntry) *os.File {
+func (s *LogStore) fileFor(e dirEntry) fault.File {
 	if e.src != nil {
 		return e.src
 	}
@@ -700,6 +749,9 @@ func (s *LogStore) Insert(o *fuzzy.Object) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.failed != nil {
+		return s.failed
+	}
 	if _, isLive := s.live[o.ID()]; isLive {
 		return fmt.Errorf("%w: %d", ErrDuplicate, o.ID())
 	}
@@ -718,6 +770,9 @@ func (s *LogStore) Insert(o *fuzzy.Object) error {
 func (s *LogStore) Delete(id uint64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.failed != nil {
+		return s.failed
+	}
 	e, isLive := s.live[id]
 	if !isLive {
 		return fmt.Errorf("%w: id %d", ErrNotFound, id)
@@ -754,6 +809,9 @@ func (s *LogStore) ApplyBatch(inserts []*fuzzy.Object, deletes []uint64) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.failed != nil {
+		return s.failed
+	}
 	if _, err := validateBatch(inserts, deletes, s.dims, func(id uint64) bool {
 		_, isLive := s.live[id]
 		return isLive
@@ -816,7 +874,13 @@ func (s *LogStore) ApplyBatch(inserts []*fuzzy.Object, deletes []uint64) error {
 func (s *LogStore) Sync() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.f.Sync()
+	if s.failed != nil {
+		return s.failed
+	}
+	if err := s.f.Sync(); err != nil {
+		return s.failLocked("log fsync", err)
+	}
+	return nil
 }
 
 // Close releases the log, the checkpoint, and every retired file handle.

@@ -22,6 +22,7 @@ import (
 	"slices"
 	"sync"
 
+	"fuzzyknn/internal/fault"
 	"fuzzyknn/internal/fuzzy"
 	"fuzzyknn/internal/geom"
 )
@@ -128,6 +129,15 @@ var ErrReadOnly = errors.New("store: read-only")
 
 // ErrDuplicate is returned by Insert when the id is already live.
 var ErrDuplicate = errors.New("store: duplicate object id")
+
+// ErrFailed marks a store that has fail-stopped: an I/O error on its
+// active log (a failed write or — critically — a failed fsync, after
+// which the page cache may have dropped acknowledged data, so retrying
+// the fsync can "succeed" without restoring durability) poisoned it
+// permanently. Every subsequent mutation returns an error wrapping
+// ErrFailed; reads keep serving whatever was already published. Recovery
+// is reopening the store, which replays only what is actually on disk.
+var ErrFailed = errors.New("store: failed (fail-stop after storage fault)")
 
 const (
 	magic      = "FZKNNST1"
@@ -386,7 +396,7 @@ type dirEntry struct {
 	// data file: LogStore points entries at its checkpoint or at a retired
 	// log after compaction. nil (the only value Writer/DiskStore use)
 	// means the active file.
-	src *os.File
+	src fault.File
 }
 
 // Create opens path for writing a new store of objects with the given
